@@ -1,0 +1,82 @@
+"""Ablation: the d4 dimensioning rule (Section III-A).
+
+"if the desired output has to give logic inversion then d4 must be
+(n+1/2) lambda, whereas if the desired results has to give the
+non-inverted output then d4 must be n lambda."
+
+The bench sweeps the output-arm length over a full wavelength and
+records the decoded polarity: the gate must flip from MAJ to NMAJ
+exactly at the half-wavelength offsets, with the decision margin
+collapsing at the quarter-wavelength boundaries.
+"""
+
+import math
+
+import pytest
+
+from bench_common import emit
+from repro.core import GateDimensions, TriangleMajorityGate, segment_length
+from repro.core.layout import PAPER_WAVELENGTH, PAPER_WIDTH
+from repro.core.logic import input_patterns, majority
+
+
+def _gate_with_d4(d4: float) -> TriangleMajorityGate:
+    dims = GateDimensions(
+        wavelength=PAPER_WAVELENGTH, width=PAPER_WIDTH,
+        d1=segment_length(6, PAPER_WAVELENGTH),
+        d2=segment_length(16, PAPER_WAVELENGTH),
+        d3=segment_length(4, PAPER_WAVELENGTH),
+        d4=d4, stem=segment_length(2, PAPER_WAVELENGTH))
+    return TriangleMajorityGate(dimensions=dims)
+
+
+def _sweep():
+    from repro.core import PhaseDetector
+
+    lam = PAPER_WAVELENGTH
+    # Fixed phase reference: the all-zeros output of the *design-point*
+    # gate (d4 = 1 lambda).  A per-gate self-calibration would absorb
+    # the geometric inversion we want to observe.
+    baseline = _gate_with_d4(lam)
+    reference = baseline.output_envelopes((0, 0, 0))["O1"]
+    detector = PhaseDetector(
+        reference_phase=float(__import__("numpy").angle(reference)))
+
+    rows = []
+    for fraction in (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0):
+        d4 = (1.0 + fraction) * lam
+        gate = _gate_with_d4(d4)
+        envelope = gate.output_envelopes((0, 1, 1))["O1"]
+        detection = detector.detect_envelope(envelope)
+        rows.append((fraction, d4, detection.logic_value, detection.margin))
+    return rows
+
+
+def bench_ablation_d4_inversion(benchmark):
+    rows = benchmark(_sweep)
+
+    lines = ["d4 offset (lambda) | decoded MAJ(0,1,1) | phase margin (rad)"]
+    for fraction, d4, decoded, margin in rows:
+        lines.append(f"  1 + {fraction:5.3f}          | {decoded}"
+                     f"                  | {margin:+.3f}")
+    emit("ABLATION -- d4 rule: n*lambda buffers, (n+1/2)*lambda inverts",
+         "\n".join(lines))
+
+    by_fraction = {round(f, 3): (decoded, margin)
+                   for f, _d4, decoded, margin in rows}
+    # n * lambda -> non-inverted (majority of (0,1,1) = 1).
+    assert by_fraction[0.0][0] == 1
+    assert by_fraction[1.0][0] == 1
+    # (n + 1/2) * lambda -> inverted.
+    assert by_fraction[0.5][0] == 0
+    # Margin is maximal at the design points, minimal at the boundary.
+    assert by_fraction[0.0][1] == pytest.approx(math.pi / 2, abs=1e-6)
+    assert by_fraction[0.5][1] == pytest.approx(math.pi / 2, abs=1e-6)
+    assert by_fraction[0.25][1] == pytest.approx(0.0, abs=1e-6)
+
+    # Sanity: the inverted-design gate decodes NMAJ on every pattern.
+    inverted = TriangleMajorityGate(invert_output=True)
+    for bits in input_patterns(3):
+        result = inverted.evaluate(bits)
+        assert result.expected == 1 - majority(*bits)
+        assert result.correct

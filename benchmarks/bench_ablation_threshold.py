@@ -1,0 +1,61 @@
+"""Ablation: the XOR threshold choice (Section IV-C).
+
+"The appropriate threshold in this case is 0.5 because for {I1,I2}
+being {0,0} and {1,1} magnetization are approximately 1 while they are
+approximately 0 when the inputs are {0,1} and {1,0}."
+
+The bench sweeps the decision threshold on the *FDTD* output amplitudes
+(which carry real residual amplitude in the destructive cases) and maps
+the window of thresholds for which the gate decodes XOR correctly on
+all four patterns -- 0.5 must sit comfortably inside it.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import emit
+from repro.core import TriangleXorGate
+from repro.core.detection import ThresholdDetector
+from repro.core.logic import input_patterns, xor
+from repro.physics import Wave
+
+
+def _generate():
+    gate = TriangleXorGate()
+    table = gate.normalized_output_table(backend="fdtd")
+    thresholds = np.linspace(0.05, 0.95, 19)
+    working = []
+    for threshold in thresholds:
+        ok = True
+        for bits in input_patterns(2):
+            amplitude = table[bits][0]
+            detector = ThresholdDetector(threshold=float(threshold))
+            decoded = detector.detect(Wave(amplitude, 0.0, 10e9)).logic_value
+            if decoded != xor(*bits):
+                ok = False
+                break
+        working.append((float(threshold), ok))
+    return table, working
+
+
+def bench_ablation_threshold(benchmark):
+    table, working = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    window = [t for t, ok in working if ok]
+    lines = [
+        "FDTD normalised amplitudes: "
+        + ", ".join(f"{bits}: {table[bits][0]:.3f}"
+                    for bits in input_patterns(2)),
+        f"thresholds decoding XOR correctly: "
+        f"[{min(window):.2f}, {max(window):.2f}]",
+        "paper's choice 0.5 inside the window: "
+        f"{min(window) <= 0.5 <= max(window)}",
+    ]
+    emit("ABLATION -- XOR threshold window", "\n".join(lines))
+
+    assert window, "no working threshold at all"
+    assert min(window) <= 0.5 <= max(window)
+    # The window is a contiguous band (single crossover in amplitude).
+    oks = [ok for _t, ok in working]
+    transitions = sum(1 for a, b in zip(oks, oks[1:]) if a != b)
+    assert transitions <= 2

@@ -1,0 +1,61 @@
+"""Ablation: the width <= wavelength design rule (Section III-A).
+
+"To simplify the interference pattern, the width of the waveguide must
+be equal or less than wavelength lambda."
+
+The bench checks both directions:
+
+* the layout layer *rejects* widths above lambda outright;
+* on the FDTD tier, an XOR gate rasterised at the full multimode width
+  (no single-mode narrowing) loses its destructive-interference
+  contrast, while the single-mode realisation keeps it -- the physical
+  mechanism behind the rule.
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.core import GateDimensions, TriangleXorGate, paper_xor_dimensions
+from repro.core.fabric import build_wave_simulator, fabricate
+from repro.core.layout import xor_layout
+from repro.fdtd import run_steady_state
+
+
+def _contrast(single_mode: bool) -> float:
+    """Worst destructive amplitude / unanimous amplitude on FDTD."""
+    fab = fabricate(xor_layout(), single_mode=single_mode)
+    amplitudes = {}
+    for bits in ((0, 0), (0, 1)):
+        sim = build_wave_simulator(fab, 10e9,
+                                   {"I1": bits[0], "I2": bits[1]})
+        from repro.core.fabric import settle_periods_for
+        envelope = run_steady_state(sim, settle_periods_for(fab))
+        amplitudes[bits] = abs(sim.region_envelope(
+            fab.terminal_masks["O1"], envelope))
+    return amplitudes[(0, 1)] / amplitudes[(0, 0)]
+
+
+def _generate():
+    return _contrast(single_mode=True), _contrast(single_mode=False)
+
+
+def bench_ablation_width(benchmark):
+    narrow, wide = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    emit("ABLATION -- width rule (w <= lambda)",
+         "\n".join([
+             "destructive/unanimous amplitude ratio at O1:",
+             f"  single-mode guides (w < lambda/2): {narrow:.3f} "
+             "(clean cancellation)",
+             f"  multimode guides  (w ~ lambda):    {wide:.3f} "
+             "(odd mode destroys the contrast)",
+         ]))
+
+    # Narrow guides decode XOR (ratio below the 0.5 threshold)...
+    assert narrow < 0.5
+    # ...while the multimode realisation loses the contrast entirely.
+    assert wide > narrow
+
+    # And the layout layer refuses widths beyond the rule.
+    with pytest.raises(ValueError, match="must not exceed"):
+        GateDimensions(wavelength=55e-9, width=60e-9, d1=330e-9)

@@ -1,0 +1,50 @@
+"""Circuit-scaling bench: the ref. [42] comparison at adder level.
+
+Section IV-D cites Zografos et al. [42]: despite the gate-level delay
+deficit, SW circuits win on area/power products (800x ADP for a 32-bit
+hybrid divider vs 10 nm CMOS).  We regenerate that *kind* of table for
+ripple-carry adders built from our triangle gates: energy, delay, area,
+EDP and area x energy against 16/7 nm CMOS across widths.
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.evaluation.circuit_level import adder_comparison, format_comparison
+
+
+def _generate():
+    return {width: adder_comparison(width) for width in (4, 8, 16, 32)}
+
+
+def bench_circuit_scaling(benchmark):
+    tables = benchmark(_generate)
+
+    blocks = []
+    for width, figures in tables.items():
+        blocks.append(f"{width}-bit ripple-carry adder:")
+        blocks.append(format_comparison(figures))
+        blocks.append("")
+    emit("CIRCUIT SCALING -- adders vs CMOS (ref [42] style)",
+         "\n".join(blocks))
+
+    for width, figures in tables.items():
+        sw = figures["SW (this work)"]
+        c16 = figures["16nm CMOS"]
+        c7 = figures["7nm CMOS"]
+        # Energy: SW beats 16 nm CMOS at every width by a wide margin.
+        assert c16.energy / sw.energy > 10, width
+        # Delay: CMOS wins at every width (the paper's 11x-40x story).
+        assert sw.delay > 5 * c7.delay, width
+        # Area x energy: SW far ahead of 16 nm CMOS, competitive with
+        # 7 nm -- the circuit-level conclusion of [42].
+        assert (c16.area_delay_power_product
+                / sw.area_delay_power_product) > 10, width
+        ratio_7nm = (c7.area_delay_power_product
+                     / sw.area_delay_power_product)
+        assert 0.1 < ratio_7nm < 10, width
+
+    # Scaling shape: SW energy grows linearly with width.
+    sw4 = tables[4]["SW (this work)"].energy
+    sw32 = tables[32]["SW (this work)"].energy
+    assert sw32 == pytest.approx(8 * sw4, rel=1e-6)

@@ -1,0 +1,80 @@
+"""Circuit-level benchmark: the workloads the paper's intro motivates.
+
+Section I: multi-output gates matter because "the same structure can be
+used to feed multiple inputs of next stage gates simultaneously" --
+without FO2, "the logic gate must be replicated multiple times which
+gives significant energy overhead".  The bench quantifies that claim on
+the full-adder / ripple-carry-adder circuits: energy per operation with
+FO2 triangle gates vs single-output gates that must be duplicated for
+each consumer.
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.circuits import CircuitSimulator, full_adder_netlist, ripple_carry_adder_netlist
+from repro.core.logic import full_adder
+from repro.evaluation import PAPER_ME_CELL
+
+
+def _replication_energy(netlist) -> float:
+    """Energy if every FO2 gate with two consumers were duplicated.
+
+    A single-output gate library must instantiate one extra copy of a
+    gate for each extra consumer of its output; each copy re-excites
+    all of the gate's inputs.
+    """
+    extra = 0.0
+    for gate in netlist.gates.values():
+        driven = [o for o in gate.outputs if o is not None]
+        if gate.gate_type in ("MAJ3", "NMAJ3") and len(driven) == 2:
+            extra += 3 * PAPER_ME_CELL.excitation_energy
+        elif gate.gate_type in ("XOR", "XNOR") and len(driven) == 2:
+            extra += 2 * PAPER_ME_CELL.excitation_energy
+    return extra
+
+
+def _generate():
+    adder = ripple_carry_adder_netlist(4)
+    sim = CircuitSimulator(adder)
+    inputs = {f"a{i}": 1 for i in range(4)}
+    inputs.update({f"b{i}": (i % 2) for i in range(4)})
+    inputs["cin"] = 0
+    report = sim.run(inputs)
+    extra = _replication_energy(adder)
+    fa = CircuitSimulator(full_adder_netlist())
+    fa_report = fa.run({"a": 1, "b": 1, "cin": 0})
+    return adder, report, extra, fa_report
+
+
+def bench_circuit_adders(benchmark):
+    adder, report, extra, fa_report = benchmark(_generate)
+
+    total_single_output = report.energy + extra
+    lines = [
+        f"full adder: {fa_report.energy * 1e18:.1f} aJ, "
+        f"{fa_report.stage_count} stages, "
+        f"{fa_report.delay * 1e9:.1f} ns",
+        f"4-bit ripple-carry adder ({adder.gate_count} gate instances):",
+        f"  energy with FO2 gates        : {report.energy * 1e18:.1f} aJ",
+        f"  energy if replicated (no FO2): "
+        f"{total_single_output * 1e18:.1f} aJ",
+        f"  FO2 saving                   : "
+        f"{(1 - report.energy / total_single_output) * 100:.0f} %",
+        f"  critical path                : {report.stage_count} stages = "
+        f"{report.delay * 1e9:.1f} ns",
+    ]
+    emit("CIRCUITS -- energy dividend of fan-out-of-2", "\n".join(lines))
+
+    # Functional spot check against arithmetic.
+    a_val = 0b1111
+    b_val = 0b1010
+    out = report.outputs
+    total = sum(out[f"s{i}"] << i for i in range(4)) + (out["cout"] << 4)
+    assert total == a_val + b_val
+    # FO2 saves energy whenever a carry feeds two consumers.
+    assert extra > 0
+    assert report.energy < total_single_output
+    # Full adder reference.
+    s, c = full_adder(1, 1, 0)
+    assert fa_report.outputs == {"sum": s, "carry": c}

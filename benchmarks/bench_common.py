@@ -1,0 +1,22 @@
+"""Shared helpers for the reproduction benchmarks (imported by name to
+avoid clashing with the tests/ conftest on combined runs)."""
+
+from __future__ import annotations
+
+import os
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+REPORT_PATH = os.path.join(OUTPUT_DIR, "report.txt")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a delimited reproduction block and append it to the
+    persistent report (pytest captures stdout unless run with ``-s``;
+    ``benchmarks/output/report.txt`` always has the full reproduction
+    record of the last run)."""
+    bar = "=" * 72
+    block = f"\n{bar}\n{title}\n{bar}\n{body}\n"
+    print(block)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(REPORT_PATH, "a") as handle:
+        handle.write(block)

@@ -1,0 +1,73 @@
+"""Extension benches: the scaling claims of Section III-A's last paragraph.
+
+* fan-in: "more inputs can be added" -- the MAJ5 gate (2 extra stacked
+  cells) vs replication-based alternatives;
+* fan-out: "extended beyond 2 by using directional couplers ... and
+  repeaters" -- cost of FO4/FO8 trees;
+* data parallelism (the companion ref [9] direction): n-bit bitwise
+  majority through one gate via frequency multiplexing.
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.core.extended import FanoutTree, TriangleMajority5Gate
+from repro.core.parallel import ParallelMajorityGate
+from repro.evaluation import PAPER_ME_CELL
+from repro.physics import FECOB, DispersionRelation, FilmStack
+
+
+def _generate():
+    maj5 = TriangleMajority5Gate()
+    maj5_ok = maj5.is_functionally_correct()
+
+    tree = FanoutTree()
+    plans = {n: tree.plan(n) for n in (2, 4, 8)}
+    max_fanout = tree.max_fanout()
+
+    dispersion = DispersionRelation(FilmStack(material=FECOB,
+                                              thickness=1e-9))
+    parallel = ParallelMajorityGate(dispersion, n_channels=4,
+                                    centre_frequency=17e9,
+                                    channel_spacing=0.1e9)
+    word = parallel.evaluate_word(0b1010, 0b1100, 0b0110)
+    return maj5, maj5_ok, plans, max_fanout, parallel, word
+
+
+def bench_extensions(benchmark):
+    maj5, maj5_ok, plans, max_fanout, parallel, word = benchmark(_generate)
+
+    e_cell = PAPER_ME_CELL.excitation_energy
+    lines = [
+        f"MAJ5 (stacked inputs): {maj5.n_cells} cells, all 32 patterns "
+        f"{'correct' if maj5_ok else 'INCORRECT'}, energy "
+        f"{maj5.n_excitation_cells * e_cell * 1e18:.1f} aJ "
+        f"(vs {2 * 5 * e_cell * 1e18 / 2:.1f} aJ for two replicated "
+        "MAJ3 front-ends)",
+        "",
+        "fan-out trees (couplers + repeaters):",
+    ]
+    for n, plan in plans.items():
+        lines.append(
+            f"  FO{n}: {plan.n_couplers} couplers, {plan.n_repeaters} "
+            f"repeaters, leaf amplitude {plan.leaf_amplitude_before_repeaters:.2f}, "
+            f"energy {plan.energy * 1e18:.1f} aJ, "
+            f"+{plan.delay * 1e9:.2f} ns")
+    lines.append(f"  max tree fan-out before repeater sensitivity: "
+                 f"{max_fanout}")
+    lines.append("")
+    lines.append("frequency-multiplexed 4-bit bitwise MAJ "
+                 "(one physical gate):")
+    lines.extend(f"  {row}" for row in parallel.channel_summary())
+    lines.append(f"  MAJ(0b1010, 0b1100, 0b0110) = 0b{word[0]:04b} "
+                 f"(expected 0b1110), throughput x{parallel.throughput_gain():.0f}")
+    emit("EXTENSIONS -- fan-in 5, fan-out > 2, n-bit parallelism",
+         "\n".join(lines))
+
+    assert maj5_ok
+    assert maj5.n_cells == 7
+    assert plans[4].n_repeaters == 4
+    assert plans[8].tree_depth == 3
+    assert max_fanout >= 8
+    assert word[0] == 0b1110
+    assert word[1] == word[2]  # FO2 on every channel

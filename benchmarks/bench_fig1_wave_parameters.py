@@ -1,0 +1,60 @@
+"""Figure 1: spin-wave parameters (wavelength, wavenumber, phase).
+
+The figure illustrates two waves -- (a) phase 0, k = 1 and (b) phase
+pi, k = 3 (in units of the base wavenumber).  The bench regenerates the
+two spatial waveforms, verifies the parameter relations (k = 2 pi /
+lambda, the phase-pi wave is the inverted wave) and writes the sampled
+curves to the output directory.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from bench_common import emit
+from repro.physics import Wave, phase_distance
+
+
+def _generate():
+    lam_base = 55e-9
+    x = np.linspace(0.0, 3 * lam_base, 600)
+    curves = {}
+    for label, phase, k_mult in (("a", 0.0, 1), ("b", math.pi, 3)):
+        k = k_mult * 2.0 * math.pi / lam_base
+        # Spatial snapshot at t = 0: A cos(phi - k x).
+        curves[label] = {
+            "k": k,
+            "wavelength": 2.0 * math.pi / k,
+            "phase": phase,
+            "x": x,
+            "y": np.cos(phase - k * x),
+        }
+    return curves
+
+
+def bench_fig1_wave_parameters(benchmark, output_dir):
+    curves = benchmark(_generate)
+
+    lines = []
+    for label, c in curves.items():
+        lines.append(
+            f"wave {label}: phase = {c['phase'] / math.pi:.0f} pi, "
+            f"k = {c['k'] * 1e-6:.1f} rad/um, "
+            f"lambda = {c['wavelength'] * 1e9:.1f} nm")
+    emit("FIGURE 1 -- spin wave parameters", "\n".join(lines))
+
+    a, b = curves["a"], curves["b"]
+    # k = 2 pi / lambda for both waves.
+    for c in (a, b):
+        assert c["k"] * c["wavelength"] == pytest.approx(2.0 * math.pi)
+    # Wave b has 3x the wavenumber -> 1/3 the wavelength.
+    assert b["wavelength"] == pytest.approx(a["wavelength"] / 3.0)
+    # Phase pi inverts the waveform at x = 0.
+    assert b["y"][0] == pytest.approx(-a["y"][0])
+    # Phase difference is pi exactly.
+    assert phase_distance(a["phase"], b["phase"]) == pytest.approx(math.pi)
+
+    data = np.column_stack([a["x"], a["y"], b["y"]])
+    np.savetxt(f"{output_dir}/fig1_wave_parameters.csv", data,
+               delimiter=",", header="x_m,wave_a,wave_b")

@@ -1,0 +1,78 @@
+"""Figure 3: the FO2 MAJ3 triangle geometry and its dimensioning rules.
+
+Section IV-A fixes the dimensions at lambda = 55 nm: d1 = 330 nm,
+d2 = 880 nm, d3 = 220 nm, d4 = 55 nm.  The bench regenerates the layout
+from the wavelength alone, verifies every dimension and every
+phase-design rule of Section III-A (n lambda vs (n+1/2) lambda), and
+rasterises the geometry into a mask image.
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.core import (
+    fabricate,
+    maj3_layout,
+    paper_maj3_dimensions,
+    validate_phase_design,
+)
+from repro.viz import amplitude_gray, write_pgm
+
+
+def _generate():
+    dims = paper_maj3_dimensions()
+    layout = maj3_layout(dims)
+    checks = validate_phase_design(layout)
+    fab = fabricate(layout)
+    return dims, layout, checks, fab
+
+
+def bench_fig3_maj3_layout(benchmark, output_dir):
+    dims, layout, checks, fab = benchmark(_generate)
+
+    lam = dims.wavelength
+    lines = [
+        f"lambda = {lam * 1e9:.0f} nm, width = {dims.width * 1e9:.0f} nm",
+        f"d1 = {dims.d1 * 1e9:.0f} nm ({dims.d1 / lam:.0f} lambda)   "
+        "[paper: 330 nm]",
+        f"d2 = {dims.d2 * 1e9:.0f} nm ({dims.d2 / lam:.0f} lambda)   "
+        "[paper: 880 nm]",
+        f"d3 = {dims.d3 * 1e9:.0f} nm ({dims.d3 / lam:.0f} lambda)   "
+        "[paper: 220 nm]",
+        f"d4 = {dims.d4 * 1e9:.0f} nm ({dims.d4 / lam:.0f} lambda)   "
+        "[paper: 55 nm]",
+        "",
+        "phase-design checks:",
+    ]
+    lines += [f"  {name}: {'PASS' if ok else 'FAIL'}"
+              for name, ok in checks.items()]
+    emit("FIGURE 3 -- FO2 MAJ3 gate geometry (reconstructed)",
+         "\n".join(lines))
+
+    assert dims.d1 == pytest.approx(330e-9)
+    assert dims.d2 == pytest.approx(880e-9)
+    assert dims.d3 == pytest.approx(220e-9)
+    assert dims.d4 == pytest.approx(55e-9)
+    assert all(checks.values()), checks
+    # Five transducer terminals: 3 inputs + 2 outputs.
+    assert len(layout.input_names) == 3
+    assert len(layout.output_names) == 2
+
+    image = amplitude_gray(fab.mask.astype(float))
+    write_pgm(f"{output_dir}/fig3_maj3_geometry.pgm", image)
+    from repro.viz import save_layout_svg
+
+    save_layout_svg(layout, f"{output_dir}/fig3_maj3_geometry.svg",
+                    title="Figure 3: FO2 MAJ3 triangle gate (reconstructed)")
+
+
+def bench_fig3_inverted_variant(benchmark):
+    """The d4 = (n+1/2) lambda rule: the inverting-output geometry."""
+    def _build():
+        dims = paper_maj3_dimensions(invert_output=True)
+        layout = maj3_layout(dims)
+        return dims, validate_phase_design(layout)
+
+    dims, checks = benchmark(_build)
+    assert dims.d4 == pytest.approx(82.5e-9)  # 1.5 lambda
+    assert all(checks.values()), checks

@@ -1,0 +1,61 @@
+"""Figure 4: the FO2 XOR triangle geometry.
+
+Section IV-A: d1 = 330 nm and the output offset d2 = 40 nm ("as small
+as possible to capture stronger spin wave" -- threshold detection cares
+about amplitude, not phase, so d2 is *not* a lambda multiple).
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.core import (
+    fabricate,
+    paper_xor_dimensions,
+    validate_phase_design,
+    xor_layout,
+)
+from repro.viz import amplitude_gray, write_pgm
+
+
+def _generate():
+    dims = paper_xor_dimensions()
+    layout = xor_layout(dims)
+    checks = validate_phase_design(layout)
+    fab = fabricate(layout)
+    return dims, layout, checks, fab
+
+
+def bench_fig4_xor_layout(benchmark, output_dir):
+    dims, layout, checks, fab = benchmark(_generate)
+
+    lam = dims.wavelength
+    lines = [
+        f"lambda = {lam * 1e9:.0f} nm, width = {dims.width * 1e9:.0f} nm",
+        f"d1 = {dims.d1 * 1e9:.0f} nm ({dims.d1 / lam:.0f} lambda)  "
+        "[paper: 330 nm]",
+        f"d2 = {dims.d2_xor * 1e9:.0f} nm (detector offset, NOT a lambda "
+        "multiple)  [paper: 40 nm]",
+        "",
+        "phase-design checks:",
+    ]
+    lines += [f"  {name}: {'PASS' if ok else 'FAIL'}"
+              for name, ok in checks.items()]
+    emit("FIGURE 4 -- FO2 XOR gate geometry (reconstructed)",
+         "\n".join(lines))
+
+    assert dims.d1 == pytest.approx(330e-9)
+    assert dims.d2_xor == pytest.approx(40e-9)
+    assert all(checks.values()), checks
+    # Four transducer terminals: 2 inputs + 2 outputs (third input gone).
+    assert len(layout.input_names) == 2
+    assert len(layout.output_names) == 2
+    assert "I3" not in layout.nodes
+    # The detector offset is deliberately small: well under a wavelength.
+    assert dims.d2_xor < lam
+
+    image = amplitude_gray(fab.mask.astype(float))
+    write_pgm(f"{output_dir}/fig4_xor_geometry.pgm", image)
+    from repro.viz import save_layout_svg
+
+    save_layout_svg(layout, f"{output_dir}/fig4_xor_geometry.svg",
+                    title="Figure 4: FO2 XOR triangle gate (reconstructed)")

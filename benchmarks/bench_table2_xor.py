@@ -1,0 +1,51 @@
+"""Table II: fan-in-2 fan-out-2 XOR gate normalised output magnetisation.
+
+Paper values (MuMax3): {0,0} -> (0.99, 1), {1,1} -> (1, 1), mixed
+inputs -> ~0 at both outputs; threshold 0.5 decodes XOR (amplitude
+above threshold = logic 0) and flipping the comparison yields XNOR.
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.core import PAPER_TABLE_II, TriangleXorGate, paper_table_ii_gate
+from repro.core.logic import input_patterns, xnor, xor
+from repro.io import format_truth_table
+
+
+def _generate_tables():
+    gate = paper_table_ii_gate()
+    table = gate.normalized_output_table()
+    logic = gate.truth_table()
+    xnor_gate = TriangleXorGate(xnor=True)
+    xnor_logic = xnor_gate.truth_table()
+    return table, logic, xnor_logic
+
+
+def bench_table2_xor(benchmark):
+    table, logic, xnor_logic = benchmark(_generate_tables)
+
+    patterns = sorted(input_patterns(2), key=lambda b: (b[1], b[0]))
+    rows = []
+    for bits in patterns:
+        o1, o2 = table[bits]
+        p1, p2 = PAPER_TABLE_II[bits]
+        rows.append([f"{o1:.3f}", f"{o2:.3f}", f"{p1}", f"{p2}"])
+    emit("TABLE II -- FO2 XOR normalised output magnetisation "
+         "(reproduced vs paper)",
+         format_truth_table([tuple(reversed(b)) for b in patterns],
+                            ["O1 (ours)", "O2 (ours)",
+                             "O1 (paper)", "O2 (paper)"],
+                            rows, ["I2", "I1"]))
+
+    for bits in patterns:
+        o1, o2 = table[bits]
+        assert o1 == pytest.approx(o2, abs=1e-9)       # fan-out of 2
+        paper = PAPER_TABLE_II[bits][1]
+        # Same side of the 0.5 threshold as the paper's value.
+        assert (o1 > 0.5) == (paper > 0.5), bits
+        # XOR decodes correctly; flipping the condition gives XNOR.
+        assert logic[bits].correct
+        assert logic[bits].expected == xor(*bits)
+        assert xnor_logic[bits].correct
+        assert xnor_logic[bits].expected == xnor(*bits)

@@ -1,0 +1,59 @@
+"""Table III: performance comparison (energy / delay / cell counts).
+
+Reproduces every row of the paper's Table III from the component models
+(ME transducer 34.4 nW x 100 ps pulses; CMOS data from refs [40][41])
+and re-derives the headline ratios of the abstract: 25 %-50 % energy
+saving vs the ladder SW gates at equal delay, 43x-0.8x energy vs
+16/7 nm CMOS, and 11x-40x delay overhead.
+"""
+
+import pytest
+
+from bench_common import emit
+from repro.evaluation import build_table_iii, format_table_iii, headline_ratios
+
+
+def _generate():
+    return build_table_iii(), headline_ratios()
+
+
+def bench_table3_performance(benchmark):
+    rows, ratios = benchmark(_generate)
+
+    lines = [format_table_iii(rows), "", "Derived headline ratios:"]
+    for name, value in ratios.as_dict().items():
+        if "saving" in name:
+            lines.append(f"  {name}: {value * 100:.0f} %")
+        else:
+            lines.append(f"  {name}: {value:.1f}x")
+    emit("TABLE III -- PERFORMANCE COMPARISON (reproduced)",
+         "\n".join(lines))
+
+    by_key = {(r.design, r.function): r for r in rows}
+
+    # Cell counts ("Used cell No." row of Table III).
+    assert by_key[("This work", "MAJ")].device_count == 5
+    assert by_key[("This work", "XOR")].device_count == 4
+    assert by_key[("SW [23]", "MAJ")].device_count == 6
+    assert by_key[("16nm CMOS", "MAJ")].device_count == 16
+
+    # Energy values (aJ).
+    assert by_key[("This work", "MAJ")].energy_aj == pytest.approx(
+        10.3, abs=0.1)
+    assert by_key[("This work", "XOR")].energy_aj == pytest.approx(
+        6.9, abs=0.1)
+    assert by_key[("SW [23]", "MAJ")].energy_aj == pytest.approx(
+        13.7, abs=0.15)
+
+    # Delay: all SW gates 0.4 ns.
+    for design in ("This work", "SW [23]"):
+        for function in ("MAJ", "XOR"):
+            assert by_key[(design, function)].delay_ns == pytest.approx(0.4)
+
+    # Abstract's headline claims.
+    assert ratios.energy_saving_vs_sw_maj == pytest.approx(0.25)
+    assert ratios.energy_saving_vs_sw_xor == pytest.approx(0.50)
+    assert ratios.energy_vs_cmos16_xor == pytest.approx(44.0, rel=0.05)
+    assert ratios.energy_vs_cmos7_xor == pytest.approx(0.8, rel=0.05)
+    assert ratios.delay_overhead_cmos7_xor == pytest.approx(40.0)
+    assert ratios.delay_overhead_cmos16_maj == pytest.approx(13.3, rel=0.01)

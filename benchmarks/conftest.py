@@ -1,0 +1,34 @@
+"""Pytest fixtures for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper and prints the
+rows it produced next to the published values (via
+:func:`bench_common.emit`); the blocks are also appended to
+``benchmarks/output/report.txt`` (reset at session start), so every
+``pytest benchmarks/ --benchmark-only`` run leaves a complete
+reproduction record even without ``-s``.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from bench_common import OUTPUT_DIR, REPORT_PATH  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report():
+    """Start each bench session with an empty reproduction report."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    if os.path.exists(REPORT_PATH):
+        os.remove(REPORT_PATH)
+    yield
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    """Directory for generated artifacts (created on first use)."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR

@@ -1,0 +1,80 @@
+"""Error correction with spin-wave logic: TMR and Hamming(7,4).
+
+Section II-B of the paper motivates majority hardware with error
+detection and correction.  This example builds two classic schemes
+entirely from the triangle gate library and exercises them against
+injected faults:
+
+* triple modular redundancy (MAJ3 voter) masking module failures;
+* a Hamming(7,4) single-error corrector (XOR syndrome chains + AND
+  decoders) repairing any single-bit channel flip.
+
+Run with ``python examples/error_correction.py``.
+"""
+
+import random
+from itertools import product
+
+from repro.circuits import CircuitSimulator
+from repro.circuits.faults import StuckAtFault, FaultySimulator, fault_coverage, tmr_netlist, xor_module
+from repro.circuits.hamming import (
+    hamming74_corrector_netlist,
+    hamming74_encode,
+    hamming74_encoder_netlist,
+    run_corrector,
+)
+
+
+def demo_tmr() -> None:
+    netlist = tmr_netlist(xor_module, n_inputs=2)
+    print(f"TMR(XOR) netlist: {netlist.gate_count} gates "
+          f"({netlist.count_by_type()})")
+    clean = CircuitSimulator(netlist)
+    for bits in product((0, 1), repeat=2):
+        inputs = {"d0": bits[0], "d1": bits[1]}
+        vote = clean.run(inputs).outputs["vote"]
+        print(f"  inputs {bits}: vote = {vote}")
+    # Break one module copy and show the voter masking it.
+    broken = FaultySimulator(netlist, StuckAtFault("m1_y", 1))
+    masked = all(
+        broken.run({"d0": a, "d1": b}).outputs["vote"]
+        == clean.run({"d0": a, "d1": b}).outputs["vote"]
+        for a, b in product((0, 1), repeat=2))
+    print(f"  module m1 output stuck at 1 -> voter masks it: {masked}\n")
+
+
+def demo_hamming(n_messages: int = 6, seed: int = 7) -> None:
+    rng = random.Random(seed)
+    encoder = CircuitSimulator(hamming74_encoder_netlist())
+    corrector = CircuitSimulator(hamming74_corrector_netlist())
+    print("Hamming(7,4) over spin-wave XOR/AND/NOT gates:")
+    for _ in range(n_messages):
+        data = tuple(rng.randint(0, 1) for _ in range(4))
+        inputs = {f"d{i + 1}": b for i, b in enumerate(data)}
+        outputs = encoder.run(inputs).outputs
+        codeword = [outputs[f"c{i}"] for i in range(1, 8)]
+        assert tuple(codeword) == hamming74_encode(data)
+        error = rng.randint(0, 7)
+        received = codeword.copy()
+        note = "clean"
+        if error:
+            received[error - 1] ^= 1
+            note = f"bit {error} flipped"
+        decoded = run_corrector(corrector, received)
+        status = "OK" if decoded == data else "FAIL"
+        print(f"  data {data} -> codeword {tuple(codeword)} "
+              f"-> channel: {note:>13} -> decoded {decoded}  [{status}]")
+
+    report = fault_coverage(hamming74_corrector_netlist())
+    print(f"\n  corrector testability: {report.coverage * 100:.0f} % "
+          f"single-stuck-at coverage over {report.n_faults} faults "
+          "(exhaustive vectors)")
+
+
+def main() -> None:
+    demo_tmr()
+    demo_hamming()
+
+
+if __name__ == "__main__":
+    main()

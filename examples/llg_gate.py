@@ -1,0 +1,46 @@
+"""Full micromagnetic (LLG) simulation of a scaled triangle XOR gate.
+
+The ground-truth tier: actual magnetisation dynamics on the triangle
+geometry, the same experiment the paper runs in MuMax3, scaled to a
+CPU-friendly size (the interference logic is scale-invariant in units
+of the wavelength).
+
+Run with ``python examples/llg_gate.py`` -- about 5 minutes for the
+four XOR input patterns.
+"""
+
+import time
+
+from repro.micromag.gate_experiment import scaled_xor_experiment, xor_contrast
+
+
+def main() -> None:
+    experiment = scaled_xor_experiment()
+    fab = experiment.fabricated
+    print("scaled triangle XOR on Fe60Co20B20:")
+    print(f"  frequency {experiment.frequency / 1e9:.0f} GHz, "
+          f"lambda {experiment.wavelength * 1e9:.1f} nm")
+    print(f"  canvas {fab.mask.shape[1]} x {fab.mask.shape[0]} cells "
+          f"({fab.cell_size * 1e9:.2f} nm), "
+          f"{int(fab.mask.sum())} magnetic cells")
+    print(f"  settle time {experiment.settle_time * 1e9:.2f} ns, "
+          f"dt {experiment.dt * 1e15:.0f} fs")
+
+    patterns = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    cases = []
+    for bits in patterns:
+        start = time.time()
+        case = experiment.run_case(bits)
+        cases.append(case)
+        amps = ", ".join(f"{name} = {value:.3e}"
+                         for name, value in case.amplitudes.items())
+        print(f"  inputs {bits}: {amps}   [{time.time() - start:.0f} s]")
+
+    contrast = xor_contrast(cases)
+    print(f"\nunanimous/antiphase amplitude contrast: {contrast:.1f}x")
+    print("threshold 0.5 decodes XOR on the LLG tier: "
+          f"{contrast > 2.0}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Micromagnetic (LLG-tier) spin-wave interference demo.
+
+Reproduces the physics of the paper's Figure 2b with the from-scratch
+finite-difference LLG solver: two phase-encoded excitation cells on a
+Fe60Co20B20 waveguide, showing constructive interference for equal
+logic values and destructive interference for opposite ones -- the
+primitive every gate in the paper is built from.
+
+Run with ``python examples/micromagnetic_interference.py``
+(about a minute on a laptop: this is the full magnetisation dynamics,
+not the fast wave tier).
+"""
+
+import math
+
+from repro.micromag import (
+    Envelope,
+    ExcitationSource,
+    Mesh,
+    Probe,
+    Simulation,
+    rectangle,
+)
+from repro.physics import FECOB, DispersionRelation, FilmStack
+
+
+def run_case(bit_a: int, bit_b: int, frequency: float) -> float:
+    """Detected amplitude after the interference of two sources."""
+    # 600 nm x 30 nm x 1 nm FeCoB strip, 5 nm cells, absorbing ends.
+    mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(120, 6, 1))
+    sim = Simulation(mesh, FECOB, demag="thin_film",
+                     absorber_width=100e-9, absorber_axes=(0,))
+    sim.initialize((0, 0, 1))
+
+    # Two co-located excitation cells phase-encoding the bits: their
+    # waves superpose at the source plane, so cancellation is exact and
+    # does not depend on matching the simulated wavelength.  (Separated
+    # cells also work when spaced n*lambda apart, but the residual then
+    # measures the few-percent analytic-vs-numerical wavelength
+    # mismatch of the thin-film demag approximation.)
+    x_a = 120e-9
+    for bit in (bit_a, bit_b):
+        sim.add_source(ExcitationSource.for_logic(
+            rectangle(x_a, 0, x_a + 15e-9, 30e-9), bit,
+            amplitude=6e3, frequency=frequency,
+            envelope=Envelope(start=0.0, rise=0.1e-9)))
+
+    probe = Probe("detector", rectangle(420e-9, 0, 440e-9, 30e-9))
+    sim.add_probe(probe)
+    sim.run(duration=1.2e-9, dt=2.5e-14, sample_every=4)
+    amplitude, _phase = probe.trace.window(0.6e-9).demodulate(frequency)
+    return amplitude
+
+
+def main() -> None:
+    frequency = 18e9  # comfortably above the ~3.7 GHz FVSW gap
+    film = FilmStack(material=FECOB, thickness=1e-9)
+    dispersion = DispersionRelation(film)
+    print("Fe60Co20B20 film: "
+          f"gap = {dispersion.gap_frequency() / 1e9:.2f} GHz, "
+          f"lambda({frequency / 1e9:.0f} GHz) = "
+          f"{dispersion.wavelength(frequency) * 1e9:.1f} nm, "
+          f"v_g = {float(dispersion.group_velocity(dispersion.wavenumber(frequency))):.0f} m/s")
+
+    print("\nrunning LLG simulations (four phase combinations) ...")
+    results = {}
+    for bits in ((0, 0), (0, 1), (1, 0), (1, 1)):
+        results[bits] = run_case(*bits, frequency=frequency)
+        print(f"  sources {bits}: detected amplitude "
+              f"{results[bits]:.3e}")
+
+    constructive = (results[(0, 0)] + results[(1, 1)]) / 2.0
+    destructive = (results[(0, 1)] + results[(1, 0)]) / 2.0
+    contrast = constructive / max(destructive, 1e-30)
+    contrast_text = (f"{contrast:.1f}x" if contrast < 1e6
+                     else "machine-precision cancellation (> 1e6 x)")
+    print(f"\nconstructive / destructive contrast: {contrast_text}")
+    print("equal phases add, opposite phases cancel -- the interference "
+          "primitive of the paper's Figure 2b.")
+
+
+if __name__ == "__main__":
+    main()

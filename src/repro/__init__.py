@@ -1,0 +1,74 @@
+"""repro: reproduction of "Fan-out of 2 Triangle Shape Spin Wave Logic
+Gates" (Mahmoud et al., DATE 2021).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: triangle FO2 Majority and X(N)OR gates,
+    derived (N)AND/(N)OR gates, the ladder-shape baseline, layout
+    dimensioning, phase/threshold detection, the analytic wave-network
+    evaluation tier and the gate-to-solver fabrication bridge.
+``repro.physics``
+    Materials, the Kalinikos-Slavin dispersion, plane-wave algebra and
+    attenuation models.
+``repro.micromag``
+    From-scratch finite-difference LLG solver (the MuMax3 substitute):
+    exchange, Newell-tensor FFT demagnetisation, uniaxial anisotropy,
+    Zeeman + local excitation, stochastic thermal field; RK4/RK45/Heun.
+``repro.fdtd``
+    Fast 2-D damped scalar-wave tier for gate-scale field maps.
+``repro.circuits``
+    Netlists, couplers/repeaters, majority-logic synthesis and a
+    gate-level simulator (full adder, adders, voting trees).
+``repro.evaluation``
+    ME transducer and CMOS reference models; the Table III generator.
+``repro.io`` / ``repro.viz``
+    OVF interchange, ASCII tables, field-map rendering.
+
+Quickstart
+----------
+>>> from repro import TriangleMajorityGate
+>>> gate = TriangleMajorityGate()
+>>> result = gate.evaluate((0, 1, 1))
+>>> result.outputs["O1"].logic_value, result.outputs["O2"].logic_value
+(1, 1)
+"""
+
+from .core import (
+    DerivedTriangleGate,
+    GateResult,
+    LadderMajorityGate,
+    LadderXorGate,
+    PhaseDetector,
+    ThresholdDetector,
+    TriangleMajorityGate,
+    TriangleXorGate,
+    paper_maj3_dimensions,
+    paper_table_i_gate,
+    paper_table_ii_gate,
+    paper_xor_dimensions,
+)
+from .physics import FECOB, DispersionRelation, FilmStack, Material, Wave
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DerivedTriangleGate",
+    "GateResult",
+    "LadderMajorityGate",
+    "LadderXorGate",
+    "PhaseDetector",
+    "ThresholdDetector",
+    "TriangleMajorityGate",
+    "TriangleXorGate",
+    "paper_maj3_dimensions",
+    "paper_table_i_gate",
+    "paper_table_ii_gate",
+    "paper_xor_dimensions",
+    "FECOB",
+    "DispersionRelation",
+    "FilmStack",
+    "Material",
+    "Wave",
+    "__version__",
+]

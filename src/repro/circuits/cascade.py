@@ -1,0 +1,158 @@
+"""Cascade-depth analysis: how far can a spin wave travel through gates?
+
+The paper's assumption (v) -- "the output is passed directly to be used
+by another SW gate" -- makes cascading free in Table III, but each real
+gate stage attenuates the wave (junction scattering, propagation loss,
+fan-out splitting).  This module computes the amplitude budget of a
+gate chain and plans minimal repeater insertion, quantifying when the
+all-magnonic pipeline of the paper's vision needs regeneration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..evaluation.transducers import PAPER_ME_CELL, METransducer
+from ..physics.attenuation import AttenuationModel
+from .components import Repeater
+
+
+@dataclass(frozen=True)
+class StageModel:
+    """Amplitude transfer of one gate stage.
+
+    Attributes
+    ----------
+    transmission:
+        Worst-case output/input amplitude ratio of the stage.  For the
+        calibrated triangle MAJ3 this is the minority-case normalised
+        output (0.083 in Table I) when cascading must work for *every*
+        input pattern, or the unanimous value for best-case analysis.
+    path_length:
+        Waveguide length traversed in the stage [m].
+    """
+
+    transmission: float
+    path_length: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.transmission <= 1.0:
+            raise ValueError("stage transmission must be in (0, 1]")
+        if self.path_length < 0:
+            raise ValueError("path length must be non-negative")
+
+
+@dataclass(frozen=True)
+class CascadeReport:
+    """Outcome of a cascade-budget analysis."""
+
+    n_stages: int
+    final_amplitude: float
+    min_detectable: float
+    max_depth_without_repeater: int
+    repeater_positions: Tuple[int, ...]
+    total_repeater_energy: float
+    added_delay: float
+
+
+class CascadeAnalyzer:
+    """Amplitude budget and repeater planning for gate chains.
+
+    Parameters
+    ----------
+    attenuation:
+        Propagation-loss model applied along stage path lengths.
+    min_detectable:
+        Smallest amplitude the detectors / next-stage transducers can
+        still use (relative to the nominal excitation level).
+    repeater:
+        Regenerator inserted when the budget runs out.
+    """
+
+    def __init__(self, attenuation: AttenuationModel,
+                 min_detectable: float = 0.05,
+                 repeater: Optional[Repeater] = None):
+        if not 0.0 < min_detectable < 1.0:
+            raise ValueError("min_detectable must be in (0, 1)")
+        self.attenuation = attenuation
+        self.min_detectable = min_detectable
+        self.repeater = repeater if repeater is not None else Repeater(
+            minimum_input=min_detectable)
+
+    def stage_factor(self, stage: StageModel) -> float:
+        """Amplitude ratio of one stage (gate transfer x path loss)."""
+        return stage.transmission \
+            * self.attenuation.path_factor(stage.path_length)
+
+    def amplitude_after(self, stages: List[StageModel],
+                        input_amplitude: float = 1.0) -> float:
+        """Amplitude surviving an unrepeatered chain."""
+        amplitude = input_amplitude
+        for stage in stages:
+            amplitude *= self.stage_factor(stage)
+        return amplitude
+
+    def max_depth(self, stage: StageModel,
+                  input_amplitude: float = 1.0) -> int:
+        """Stages of a homogeneous chain before falling below threshold."""
+        factor = self.stage_factor(stage)
+        if factor >= 1.0:
+            return 10 ** 9  # lossless chains never die
+        if input_amplitude <= self.min_detectable:
+            return 0
+        return int(math.floor(
+            math.log(self.min_detectable / input_amplitude)
+            / math.log(factor)))
+
+    def plan(self, stages: List[StageModel],
+             input_amplitude: float = 1.0) -> CascadeReport:
+        """Greedy repeater insertion keeping every stage detectable.
+
+        A repeater is placed *before* any stage whose output would drop
+        below the threshold; greedy placement is optimal here because
+        regeneration always restores the same nominal amplitude.
+        """
+        amplitude = input_amplitude
+        positions: List[int] = []
+        for index, stage in enumerate(stages):
+            next_amplitude = amplitude * self.stage_factor(stage)
+            if next_amplitude < self.min_detectable:
+                if self.repeater.nominal_amplitude \
+                        * self.stage_factor(stage) < self.min_detectable:
+                    raise ValueError(
+                        f"stage {index} kills even a regenerated wave "
+                        f"(factor {self.stage_factor(stage):.3g}); the "
+                        "chain is infeasible at this threshold")
+                positions.append(index)
+                amplitude = self.repeater.nominal_amplitude \
+                    * self.stage_factor(stage)
+            else:
+                amplitude = next_amplitude
+        homogeneous = self.max_depth(stages[0], input_amplitude) \
+            if stages else 0
+        return CascadeReport(
+            n_stages=len(stages),
+            final_amplitude=amplitude,
+            min_detectable=self.min_detectable,
+            max_depth_without_repeater=homogeneous,
+            repeater_positions=tuple(positions),
+            total_repeater_energy=len(positions) * self.repeater.energy,
+            added_delay=len(positions) * self.repeater.delay)
+
+
+def triangle_stage_model(worst_case: bool = True,
+                         path_length: float = 1.045e-6) -> StageModel:
+    """Stage model of the calibrated triangle MAJ3.
+
+    ``worst_case=True`` uses Table I's 0.083 minority amplitude (the
+    chain must work for every input pattern); ``False`` uses the
+    unanimous 1.0.  The default path length is the longest input-to-
+    output path of the 55 nm design (19 lambda).
+    """
+    from ..core.calibration import PAPER_TABLE_I
+
+    transmission = min(v[0] for v in PAPER_TABLE_I.values()) \
+        if worst_case else 1.0
+    return StageModel(transmission=transmission, path_length=path_length)

@@ -1,0 +1,120 @@
+"""Auxiliary spin-wave circuit components.
+
+Section III-A (last paragraph): "the gate fan-out capabilities can be
+extended beyond 2 by using directional couplers [36] to split the spin
+wave into multiple arms and using repeaters [37] to regenerate a strong
+SW in the different waveguides."  These components complete the circuit
+layer: couplers split amplitude, repeaters restore it (at transducer
+cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..physics.waves import Wave
+from ..evaluation.transducers import PAPER_ME_CELL, METransducer
+
+
+@dataclass(frozen=True)
+class DirectionalCoupler:
+    """Ideal N-arm power splitter (ref. [36] device class).
+
+    Splits an incoming wave into ``n_arms`` equal arms; power is
+    conserved, so the per-arm amplitude is ``1/sqrt(n)`` of the input.
+    An ``excess_loss`` factor (amplitude, per pass) models the coupler's
+    non-ideality.
+    """
+
+    n_arms: int = 2
+    excess_loss: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_arms < 2:
+            raise ValueError("a coupler needs at least 2 arms")
+        if not 0.0 < self.excess_loss <= 1.0:
+            raise ValueError("excess loss factor must be in (0, 1]")
+
+    def split(self, wave: Wave) -> List[Wave]:
+        """The per-arm output waves (equal amplitude and phase)."""
+        arm = wave.split(self.n_arms).attenuate(self.excess_loss)
+        return [arm] * self.n_arms
+
+    @property
+    def per_arm_amplitude_factor(self) -> float:
+        return self.excess_loss / math.sqrt(self.n_arms)
+
+
+@dataclass(frozen=True)
+class Repeater:
+    """Clocked spin-wave repeater (ref. [37] device class).
+
+    Regenerates a full-strength wave from a (possibly attenuated)
+    incoming wave while preserving its phase.  Costs one transducer
+    excitation per evaluation plus the repeater latch delay.
+    """
+
+    transducer: METransducer = PAPER_ME_CELL
+    nominal_amplitude: float = 1.0
+    minimum_input: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.nominal_amplitude <= 0:
+            raise ValueError("nominal amplitude must be positive")
+        if not 0.0 < self.minimum_input < self.nominal_amplitude:
+            raise ValueError("minimum input must be in (0, nominal)")
+
+    def regenerate(self, wave: Wave) -> Wave:
+        """A fresh wave at nominal amplitude with the input's phase.
+
+        Raises
+        ------
+        ValueError
+            If the input is below the repeater's sensitivity -- the
+            signal was lost upstream and regeneration would launder an
+            undefined logic value.
+        """
+        if wave.amplitude < self.minimum_input:
+            raise ValueError(
+                f"repeater input amplitude {wave.amplitude:.3g} below "
+                f"sensitivity {self.minimum_input:.3g}")
+        return Wave(amplitude=self.nominal_amplitude, phase=wave.phase,
+                    frequency=wave.frequency)
+
+    @property
+    def energy(self) -> float:
+        """Energy per regeneration [J] (one ME excitation)."""
+        return self.transducer.excitation_energy
+
+    @property
+    def delay(self) -> float:
+        """Regeneration delay [s] (ME cell response)."""
+        return self.transducer.delay
+
+
+def fanout_chain(target_fanout: int, coupler_arms: int = 2
+                 ) -> Tuple[int, int]:
+    """Plan a fan-out tree beyond the native FO2.
+
+    Returns ``(n_couplers, n_repeaters)`` for a tree of
+    ``coupler_arms``-way couplers delivering ``target_fanout`` copies,
+    with one repeater per leaf to restore full amplitude (the paper's
+    recipe for fan-out > 2).
+
+    >>> fanout_chain(2)
+    (1, 2)
+    >>> fanout_chain(4)
+    (3, 4)
+    """
+    if target_fanout < 2:
+        raise ValueError("fan-out below 2 needs no splitting")
+    if coupler_arms < 2:
+        raise ValueError("couplers need at least 2 arms")
+    n_couplers = 0
+    leaves = 1
+    while leaves < target_fanout:
+        n_couplers += leaves
+        leaves *= coupler_arms
+    return n_couplers, target_fanout

@@ -1,0 +1,188 @@
+"""Hamming(7,4) encoder / single-error corrector over spin-wave gates.
+
+Section II-B motivates majority/parity hardware with error detection
+and correction.  The Hamming(7,4) code is the textbook single-error
+corrector and exercises the whole gate library at once: XOR chains for
+parities and syndromes, derived AND gates with NOT literals for the
+syndrome decoder, and splitter trees for the heavy signal reuse.
+
+Codeword layout (positions 1..7): p1 p2 d1 p3 d2 d3 d4 with
+p1 = d1^d2^d4, p2 = d1^d3^d4, p3 = d2^d3^d4; the syndrome
+(s3 s2 s1) read as a binary number is the 1-based error position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .netlist import Netlist
+
+#: position (1-based) of each data bit in the codeword.
+DATA_POSITIONS = {1: 3, 2: 5, 3: 6, 4: 7}
+#: position of each parity bit.
+PARITY_POSITIONS = {1: 1, 2: 2, 3: 4}
+
+
+def hamming74_encode(data: Sequence[int]) -> Tuple[int, ...]:
+    """Reference encoder: 4 data bits -> 7-bit codeword (positions 1..7).
+
+    >>> hamming74_encode((1, 0, 1, 1))
+    (0, 1, 1, 0, 0, 1, 1)
+    """
+    if len(data) != 4:
+        raise ValueError("Hamming(7,4) takes 4 data bits")
+    d1, d2, d3, d4 = (int(b) for b in data)
+    if any(b not in (0, 1) for b in (d1, d2, d3, d4)):
+        raise ValueError("data bits must be 0 or 1")
+    p1 = d1 ^ d2 ^ d4
+    p2 = d1 ^ d3 ^ d4
+    p3 = d2 ^ d3 ^ d4
+    return (p1, p2, d1, p3, d2, d3, d4)
+
+
+def hamming74_decode(codeword: Sequence[int]) -> Tuple[Tuple[int, ...], int]:
+    """Reference decoder: codeword -> (corrected data, error position).
+
+    Error position 0 means the codeword was clean.
+    """
+    if len(codeword) != 7:
+        raise ValueError("codeword must have 7 bits")
+    c = [int(b) for b in codeword]
+    s1 = c[0] ^ c[2] ^ c[4] ^ c[6]
+    s2 = c[1] ^ c[2] ^ c[5] ^ c[6]
+    s3 = c[3] ^ c[4] ^ c[5] ^ c[6]
+    position = s1 + 2 * s2 + 4 * s3
+    if position:
+        c[position - 1] ^= 1
+    return (c[2], c[4], c[5], c[6]), position
+
+
+class _Fan:
+    """Splitter-tree helper: hand out copies of a net on demand."""
+
+    def __init__(self, netlist: Netlist, source: str, copies: int):
+        self.netlist = netlist
+        self._pool: List[str] = []
+        self._grow(source, copies)
+
+    def _grow(self, source: str, copies: int) -> None:
+        if copies <= 1:
+            self._pool.append(source)
+            return
+        # Binary splitter tree.
+        left = copies - copies // 2
+        right = copies // 2
+        a = f"{source}_f{left}"
+        b = f"{source}_g{right}"
+        self.netlist.add_gate(f"split_{source}_{copies}", "SPLITTER2",
+                              [source], [a, b])
+        self._grow(a, left)
+        self._grow(b, right)
+
+    def take(self) -> str:
+        if not self._pool:
+            raise RuntimeError("fan exhausted; plan more copies")
+        return self._pool.pop()
+
+
+def _xor_chain(netlist: Netlist, prefix: str, nets: Sequence[str],
+               out: str) -> None:
+    """Reduce nets with 2-input XOR gates into ``out``."""
+    acc = nets[0]
+    for index, net in enumerate(nets[1:]):
+        target = out if index == len(nets) - 2 else f"{prefix}_x{index}"
+        netlist.add_gate(f"{prefix}_xor{index}", "XOR", [acc, net],
+                         [target, None])
+        acc = target
+
+
+def hamming74_encoder_netlist() -> Netlist:
+    """Encoder: inputs d1..d4, outputs c1..c7."""
+    net = Netlist("hamming74_encoder")
+    for i in range(1, 5):
+        net.add_input(f"d{i}")
+    for i in range(1, 8):
+        net.add_output(f"c{i}")
+    # Usage counts: d1 in p1, p2 + pass-through; d2 in p1, p3 + out;
+    # d3 in p2, p3 + out; d4 in p1, p2, p3 + out.
+    fans = {
+        "d1": _Fan(net, "d1", 3),
+        "d2": _Fan(net, "d2", 3),
+        "d3": _Fan(net, "d3", 3),
+        "d4": _Fan(net, "d4", 4),
+    }
+    _xor_chain(net, "p1", [fans["d1"].take(), fans["d2"].take(),
+                           fans["d4"].take()], "c1")
+    _xor_chain(net, "p2", [fans["d1"].take(), fans["d3"].take(),
+                           fans["d4"].take()], "c2")
+    _xor_chain(net, "p3", [fans["d2"].take(), fans["d3"].take(),
+                           fans["d4"].take()], "c4")
+    # Data pass-throughs (repeaters re-excite the wave toward outputs).
+    net.add_gate("buf_c3", "REPEATER", [fans["d1"].take()], ["c3"])
+    net.add_gate("buf_c5", "REPEATER", [fans["d2"].take()], ["c5"])
+    net.add_gate("buf_c6", "REPEATER", [fans["d3"].take()], ["c6"])
+    net.add_gate("buf_c7", "REPEATER", [fans["d4"].take()], ["c7"])
+    net.validate()
+    return net
+
+
+def hamming74_corrector_netlist() -> Netlist:
+    """Single-error corrector: inputs c1..c7, outputs d1..d4 (corrected).
+
+    Structure: three 4-input XOR syndrome chains; per data bit a
+    2-AND miniterm over the syndrome literals selecting "error is
+    here", XORed into the received bit.
+    """
+    net = Netlist("hamming74_corrector")
+    for i in range(1, 8):
+        net.add_input(f"c{i}")
+    for i in range(1, 5):
+        net.add_output(f"d{i}")
+
+    # Codeword-bit usage: syndrome membership + (data bits) final XOR.
+    usage = {1: 1, 2: 1, 3: 3, 4: 1, 5: 3, 6: 3, 7: 4}
+    fans = {i: _Fan(net, f"c{i}", usage[i]) for i in range(1, 8)}
+
+    _xor_chain(net, "s1", [fans[1].take(), fans[3].take(),
+                           fans[5].take(), fans[7].take()], "s1")
+    _xor_chain(net, "s2", [fans[2].take(), fans[3].take(),
+                           fans[6].take(), fans[7].take()], "s2")
+    _xor_chain(net, "s3", [fans[4].take(), fans[5].take(),
+                           fans[6].take(), fans[7].take()], "s3")
+
+    # Literal requirements over the four miniterms
+    # d1@3: s1 s2 ~s3 | d2@5: s1 ~s2 s3 | d3@6: ~s1 s2 s3 | d4@7: s1 s2 s3.
+    # Positive/negative usage per syndrome: s1: 3 pos, 1 neg;
+    # s2: 3 pos, 1 neg; s3: 3 pos, 1 neg -- fan each into 4 and invert one.
+    syn_fans = {name: _Fan(net, name, 4) for name in ("s1", "s2", "s3")}
+    inverted = {}
+    for name in ("s1", "s2", "s3"):
+        net.add_gate(f"not_{name}", "NOT", [syn_fans[name].take()],
+                     [f"n{name}", None])
+        inverted[name] = f"n{name}"
+
+    miniterms = {
+        1: (syn_fans["s1"].take(), syn_fans["s2"].take(), inverted["s3"]),
+        2: (syn_fans["s1"].take(), inverted["s2"], syn_fans["s3"].take()),
+        3: (inverted["s1"], syn_fans["s2"].take(), syn_fans["s3"].take()),
+        4: (syn_fans["s1"].take(), syn_fans["s2"].take(),
+            syn_fans["s3"].take()),
+    }
+    for data_bit, (a, b, c) in miniterms.items():
+        net.add_gate(f"and_{data_bit}a", "AND", [a, b],
+                     [f"m{data_bit}a", None])
+        net.add_gate(f"and_{data_bit}b", "AND", [f"m{data_bit}a", c],
+                     [f"flip{data_bit}", None])
+        position = DATA_POSITIONS[data_bit]
+        net.add_gate(f"fix_{data_bit}", "XOR",
+                     [fans[position].take(), f"flip{data_bit}"],
+                     [f"d{data_bit}", None])
+    net.validate()
+    return net
+
+
+def run_corrector(simulator, codeword: Sequence[int]) -> Tuple[int, ...]:
+    """Evaluate a corrector netlist simulator on a 7-bit codeword."""
+    inputs = {f"c{i + 1}": int(b) for i, b in enumerate(codeword)}
+    outputs = simulator.run(inputs).outputs
+    return tuple(outputs[f"d{i}"] for i in range(1, 5))

@@ -1,0 +1,130 @@
+"""Majority-logic building blocks: the circuits the paper motivates.
+
+Section II-B: "the Full Adder (a fundamental processor design building
+block) carry out is computed as a 3-input majority and most of the
+error detection and correction schemes rely on n-input majorities."
+This module synthesises those circuits over the triangle gate library,
+exploiting the FO2 property wherever a signal feeds two consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .netlist import Netlist
+
+
+def full_adder_netlist() -> Netlist:
+    """1-bit full adder from one MAJ3 and two XOR triangle gates.
+
+    ``carry = MAJ(a, b, cin)``; ``sum = a XOR b XOR cin`` via two
+    cascaded XOR gates.  The FO2 outputs mean ``a``, ``b`` and ``cin``
+    each need only one excitation per consumer -- here every signal
+    pair (gate) consumes dedicated nets, and the XOR1 gate's second
+    output is left unused to keep the textbook structure visible.
+    """
+    net = Netlist("full_adder")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    cin = net.add_input("cin")
+    net.add_output("sum")
+    net.add_output("carry")
+
+    # Each primary input physically feeds two gates; SW inputs are
+    # excitation cells, so we model the two consumers with explicit
+    # splitter components (one excitation feeding two arms).
+    net.add_gate("split_a", "SPLITTER2", [a], ["a1", "a2"])
+    net.add_gate("split_b", "SPLITTER2", [b], ["b1", "b2"])
+    net.add_gate("split_c", "SPLITTER2", [cin], ["c1", "c2"])
+
+    net.add_gate("xor1", "XOR", ["a1", "b1"], ["ab", None])
+    net.add_gate("xor2", "XOR", ["ab", "c1"], ["sum", None])
+    net.add_gate("maj", "MAJ3", ["a2", "b2", "c2"], ["carry", None])
+    net.validate()
+    return net
+
+
+def ripple_carry_adder_netlist(width: int) -> Netlist:
+    """``width``-bit ripple-carry adder of full-adder slices.
+
+    Demonstrates FO2 across stages: each slice's carry MAJ3 produces
+    two identical outputs; one feeds the next slice, keeping the other
+    free for carry-lookahead style consumers.
+    """
+    if width < 1:
+        raise ValueError("adder width must be at least 1")
+    net = Netlist(f"rca{width}")
+    for i in range(width):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    net.add_input("cin")
+    for i in range(width):
+        net.add_output(f"s{i}")
+    net.add_output("cout")
+
+    carry = "cin"
+    for i in range(width):
+        net.add_gate(f"split_a{i}", "SPLITTER2", [f"a{i}"],
+                     [f"a{i}_1", f"a{i}_2"])
+        net.add_gate(f"split_b{i}", "SPLITTER2", [f"b{i}"],
+                     [f"b{i}_1", f"b{i}_2"])
+        net.add_gate(f"split_c{i}", "SPLITTER2", [carry],
+                     [f"c{i}_1", f"c{i}_2"])
+        net.add_gate(f"xor1_{i}", "XOR", [f"a{i}_1", f"b{i}_1"],
+                     [f"ab{i}", None])
+        net.add_gate(f"xor2_{i}", "XOR", [f"ab{i}", f"c{i}_1"],
+                     [f"s{i}", None])
+        carry_net = "cout" if i == width - 1 else f"carry{i}"
+        # The MAJ3's second output is exported alongside: that is the
+        # fan-out-of-2 dividend -- a free copy of the carry.
+        spare = None if i == width - 1 else f"carry{i}_spare"
+        net.add_gate(f"maj_{i}", "MAJ3", [f"a{i}_2", f"b{i}_2", f"c{i}_2"],
+                     [carry_net, spare])
+        carry = carry_net
+    net.validate()
+    return net
+
+
+def majority_tree_netlist(n_leaves: int) -> Netlist:
+    """Balanced MAJ3 reduction tree for n-input voting (ECC decoding).
+
+    ``n_leaves`` must be a power of 3; each level reduces 3 votes to 1.
+    """
+    if n_leaves < 3:
+        raise ValueError("need at least 3 leaves")
+    n = n_leaves
+    while n > 1:
+        if n % 3 != 0:
+            raise ValueError("n_leaves must be a power of 3")
+        n //= 3
+    net = Netlist(f"maj_tree{n_leaves}")
+    level = [net.add_input(f"v{i}") for i in range(n_leaves)]
+    net.add_output("vote")
+    stage = 0
+    while len(level) > 1:
+        next_level: List[str] = []
+        for j in range(0, len(level), 3):
+            out = "vote" if len(level) == 3 else f"t{stage}_{j // 3}"
+            net.add_gate(f"maj{stage}_{j // 3}", "MAJ3",
+                         level[j:j + 3], [out, None])
+            next_level.append(out)
+        level = next_level
+        stage += 1
+    net.validate()
+    return net
+
+
+def parity_chain_netlist(n_bits: int) -> Netlist:
+    """n-input parity from a chain of 2-input XOR triangle gates."""
+    if n_bits < 2:
+        raise ValueError("parity needs at least 2 bits")
+    net = Netlist(f"parity{n_bits}")
+    bits = [net.add_input(f"d{i}") for i in range(n_bits)]
+    net.add_output("p")
+    acc = bits[0]
+    for i in range(1, n_bits):
+        out = "p" if i == n_bits - 1 else f"x{i}"
+        net.add_gate(f"xor{i}", "XOR", [acc, bits[i]], [out, None])
+        acc = out
+    net.validate()
+    return net

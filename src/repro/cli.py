@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the headline reproductions without writing
+Python:
+
+* ``truth-table maj3|xor|maj5|and|or|nand|nor|xnor`` -- evaluate a gate
+  on all input patterns (network tier);
+* ``table1`` / ``table2`` / ``table3`` -- print the reproduced paper
+  tables;
+* ``design [--wavelength-nm X]`` -- gate dimensions and operating point
+  for a given wavelength;
+* ``adder WIDTH`` -- circuit-level comparison of an n-bit adder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_truth_table(args: argparse.Namespace) -> int:
+    from .core import DerivedTriangleGate, TriangleMajorityGate, TriangleXorGate
+    from .core.extended import TriangleMajority5Gate
+    from .core.logic import input_patterns
+    from .io import format_truth_table
+
+    name = args.gate.lower()
+    if name == "maj3":
+        gate = TriangleMajorityGate()
+        n = 3
+        evaluate = lambda bits: gate.evaluate(bits).outputs
+    elif name == "nmaj3":
+        gate = TriangleMajorityGate(invert_output=True)
+        n = 3
+        evaluate = lambda bits: gate.evaluate(bits).outputs
+    elif name == "xor":
+        gate = TriangleXorGate()
+        n = 2
+        evaluate = lambda bits: gate.evaluate(bits).outputs
+    elif name == "xnor":
+        gate = TriangleXorGate(xnor=True)
+        n = 2
+        evaluate = lambda bits: gate.evaluate(bits).outputs
+    elif name == "maj5":
+        gate = TriangleMajority5Gate()
+        n = 5
+        evaluate = gate.evaluate
+    elif name in ("and", "or", "nand", "nor"):
+        gate = DerivedTriangleGate(name)
+        n = 2
+        evaluate = lambda bits: gate.evaluate(*bits).outputs
+    else:
+        print(f"unknown gate {args.gate!r}; choose from maj3, nmaj3, "
+              "xor, xnor, maj5, and, or, nand, nor", file=sys.stderr)
+        return 2
+
+    patterns = input_patterns(n)
+    rows = []
+    for bits in patterns:
+        outputs = evaluate(bits)
+        rows.append([outputs["O1"].logic_value,
+                     outputs["O2"].logic_value])
+    print(format_truth_table(patterns, ["O1", "O2"], rows,
+                             [f"I{i + 1}" for i in range(n)],
+                             title=f"{args.gate.upper()} "
+                                   "(triangle FO2, network tier)"))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .core import PAPER_TABLE_I, paper_table_i_gate
+    from .core.logic import input_patterns
+    from .io import format_truth_table
+
+    table = paper_table_i_gate().normalized_output_table()
+    patterns = sorted(input_patterns(3), key=lambda b: (b[2], b[1], b[0]))
+    rows = [[f"{table[b][0]:.3f}", f"{table[b][1]:.3f}",
+             str(PAPER_TABLE_I[b][0]), str(PAPER_TABLE_I[b][1])]
+            for b in patterns]
+    print(format_truth_table(
+        [tuple(reversed(b)) for b in patterns],
+        ["O1 (ours)", "O2 (ours)", "O1 (paper)", "O2 (paper)"],
+        rows, ["I3", "I2", "I1"],
+        title="TABLE I -- FO2 MAJ3 normalised outputs"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .core import PAPER_TABLE_II, paper_table_ii_gate
+    from .core.logic import input_patterns
+    from .io import format_truth_table
+
+    table = paper_table_ii_gate().normalized_output_table()
+    patterns = sorted(input_patterns(2), key=lambda b: (b[1], b[0]))
+    rows = [[f"{table[b][0]:.3f}", f"{table[b][1]:.3f}",
+             str(PAPER_TABLE_II[b][0]), str(PAPER_TABLE_II[b][1])]
+            for b in patterns]
+    print(format_truth_table(
+        [tuple(reversed(b)) for b in patterns],
+        ["O1 (ours)", "O2 (ours)", "O1 (paper)", "O2 (paper)"],
+        rows, ["I2", "I1"],
+        title="TABLE II -- FO2 XOR normalised outputs"))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .evaluation import format_table_iii, headline_ratios
+
+    print(format_table_iii())
+    print()
+    for name, value in headline_ratios().as_dict().items():
+        if "saving" in name:
+            print(f"  {name}: {value * 100:.0f} %")
+        else:
+            print(f"  {name}: {value:.1f}x")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    import math
+
+    from .core import paper_maj3_dimensions, paper_xor_dimensions
+    from .physics import FECOB, DispersionRelation, FilmStack
+
+    lam = args.wavelength_nm * 1e-9
+    width = min(0.9 * lam, 50e-9) if args.wavelength_nm != 55 else 50e-9
+    maj = paper_maj3_dimensions(wavelength=lam, width=width)
+    xor = paper_xor_dimensions(wavelength=lam, width=width)
+    film = FilmStack(material=FECOB, thickness=1e-9)
+    disp = DispersionRelation(film)
+    k = 2.0 * math.pi / lam
+    print(f"design wavelength : {lam * 1e9:.1f} nm "
+          f"(k = {k * 1e-6:.1f} rad/um)")
+    print(f"waveguide width   : {width * 1e9:.1f} nm")
+    print(f"frequency (KS)    : {float(disp.frequency(k)) / 1e9:.2f} GHz "
+          f"on 1 nm Fe60Co20B20")
+    print(f"group velocity    : {float(disp.group_velocity(k)):.0f} m/s")
+    print(f"attenuation length: "
+          f"{float(disp.attenuation_length(k)) * 1e6:.2f} um")
+    print("MAJ3 dimensions   : "
+          f"d1 = {maj.d1 * 1e9:.0f} nm, d2 = {maj.d2 * 1e9:.0f} nm, "
+          f"d3 = {maj.d3 * 1e9:.0f} nm, d4 = {maj.d4 * 1e9:.0f} nm, "
+          f"stem = {maj.stem * 1e9:.0f} nm")
+    print(f"XOR dimensions    : d1 = {xor.d1 * 1e9:.0f} nm, "
+          f"output offset = {xor.d2_xor * 1e9:.0f} nm")
+    return 0
+
+
+def _cmd_adder(args: argparse.Namespace) -> int:
+    from .evaluation.circuit_level import adder_comparison, format_comparison
+
+    figures = adder_comparison(args.width)
+    print(f"{args.width}-bit ripple-carry adder comparison")
+    print(format_comparison(figures))
+    sw = figures["SW (this work)"]
+    c7 = figures["7nm CMOS"]
+    print(f"\nSW vs 7nm CMOS: energy {c7.energy / sw.energy:.2f}x, "
+          f"delay {sw.delay / c7.delay:.1f}x slower, "
+          f"area x energy {c7.area_delay_power_product / sw.area_delay_power_product:.1f}x better")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Triangle FO2 spin-wave gate reproduction "
+                    "(Mahmoud et al., DATE 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tt = sub.add_parser("truth-table",
+                          help="evaluate a gate on all input patterns")
+    p_tt.add_argument("gate", help="maj3 | nmaj3 | xor | xnor | maj5 | "
+                                   "and | or | nand | nor")
+    p_tt.set_defaults(func=_cmd_truth_table)
+
+    for name, func, help_text in (
+            ("table1", _cmd_table1, "reproduce Table I"),
+            ("table2", _cmd_table2, "reproduce Table II"),
+            ("table3", _cmd_table3, "reproduce Table III")):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+
+    p_design = sub.add_parser("design",
+                              help="gate dimensions for a wavelength")
+    p_design.add_argument("--wavelength-nm", type=float, default=55.0)
+    p_design.set_defaults(func=_cmd_design)
+
+    p_adder = sub.add_parser("adder",
+                             help="n-bit adder comparison vs CMOS")
+    p_adder.add_argument("width", type=int)
+    p_adder.set_defaults(func=_cmd_adder)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early -- not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

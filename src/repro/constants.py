@@ -1,0 +1,56 @@
+"""Physical constants used throughout the spin-wave gate reproduction.
+
+All values are CODATA-2018 in SI units.  The micromagnetics community
+conventionally works with the *reduced* gyromagnetic ratio
+``gamma = |gamma_e| = g_e * mu_B / hbar`` (positive, rad s^-1 T^-1 after
+multiplication by mu0*H); MuMax3 uses ``gamma_LL = 1.7595e11 rad/(T s)``
+which we adopt verbatim so that our Landau-Lifshitz-Gilbert (LLG)
+integration matches the solver the paper used.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Vacuum permeability [T m / A].
+MU0 = 4.0e-7 * math.pi
+
+#: Reduced Planck constant [J s].
+HBAR = 1.054571817e-34
+
+#: Boltzmann constant [J / K].
+KB = 1.380649e-23
+
+#: Bohr magneton [J / T].
+MU_B = 9.2740100783e-24
+
+#: Electron g-factor (dimensionless, magnitude).
+G_E = 2.00231930436256
+
+#: Gyromagnetic ratio used by MuMax3 [rad / (T s)] -- the Landau-Lifshitz
+#: convention value for a free electron.
+GAMMA_LL = 1.7595e11
+
+#: gamma * mu0 / (2 pi) -- converts field in A/m straight to linear
+#: frequency in Hz; equals ~28.02 GHz/T divided into A/m units.
+GAMMA_MU0_OVER_2PI = GAMMA_LL * MU0 / (2.0 * math.pi)
+
+#: Elementary charge [C] (used by the CMOS energy sanity checks).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+
+def gyromagnetic_ratio(g_factor: float = G_E) -> float:
+    """Return the gyromagnetic ratio ``g * mu_B / hbar`` for a given g-factor.
+
+    Parameters
+    ----------
+    g_factor:
+        Spectroscopic g-factor of the material.  Defaults to the free
+        electron value.
+
+    Returns
+    -------
+    float
+        Gyromagnetic ratio in rad / (T s).
+    """
+    return g_factor * MU_B / HBAR

@@ -1,0 +1,165 @@
+"""Calibration of the network tier against the paper's Table I / II.
+
+The ideal (lossless) three-wave superposition gives normalised outputs
+of 1 for unanimous inputs and 1/3 for any 2-vs-1 majority; the paper's
+micromagnetic Table I instead reports 0.083-0.164 for the minority
+cases, with the value depending on *which* input is outvoted.  Two
+physical effects produce this structure:
+
+1. each input reaches the final interference points with a different
+   effective amplitude (different numbers of junction crossings and
+   different diffraction spreading along its path), and
+2. partially-cancelled states arrive as spatially distorted beams whose
+   overlap with the detection cell is reduced relative to the clean
+   unanimous beam (a mode-overlap penalty).
+
+Writing the arrival amplitudes as ``e1, e2, e3`` (normalised to
+``e1 + e2 + e3 = 1``) and the non-unanimous overlap penalty as ``eta``,
+the normalised detected amplitudes are::
+
+    unanimous              -> 1
+    input j in minority    -> eta * (1 - 2 * e_j)
+
+The three minority rows of Table I then *uniquely* determine the model:
+``eta`` must equal the sum of the three reported minority amplitudes
+(because the three ``(1 - 2 e_j)`` terms sum to 1), and each ``e_j``
+follows from its row.  This inversion is implemented in
+:func:`fit_arrival_model`; the paper's numbers give
+
+    eta  = 0.083 + 0.160 + 0.164 = 0.407
+    e1   = 0.398,  e2 = 0.303,  e3 = 0.299
+
+i.e. I1 arrives ~30 % stronger than I2/I3 and destructive states
+couple to the detector at ~41 % -- both physically sensible for the
+triangle geometry (I1's path crosses one junction fewer in our
+reconstruction, and a partially cancelled beam is strongly distorted).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from .logic import check_bits, majority
+
+#: Table I of the paper: normalised |m| at O1 and O2 per input pattern
+#: (I1, I2, I3) -- the reproduction target.
+PAPER_TABLE_I: Dict[Tuple[int, int, int], Tuple[float, float]] = {
+    (0, 0, 0): (1.0, 1.0),
+    (1, 0, 0): (0.083, 0.084),
+    (0, 1, 0): (0.16, 0.16),
+    (1, 1, 0): (0.164, 0.164),
+    (0, 0, 1): (0.164, 0.164),
+    (1, 0, 1): (0.16, 0.16),
+    (0, 1, 1): (0.083, 0.084),
+    (1, 1, 1): (1.0, 1.0),
+}
+
+#: Table II of the paper: normalised |m| at O1 and O2 per (I1, I2).
+PAPER_TABLE_II: Dict[Tuple[int, int], Tuple[float, float]] = {
+    (0, 0): (0.99, 1.0),
+    (1, 0): (0.0, 0.0),
+    (0, 1): (0.0, 0.0),
+    (1, 1): (1.0, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class ArrivalModel:
+    """Calibrated effective-arrival parameters of the triangle MAJ3 gate.
+
+    Attributes
+    ----------
+    efficiencies:
+        ``(e1, e2, e3)`` relative arrival amplitudes, summing to 1.
+    overlap_penalty:
+        ``eta`` applied to non-unanimous outputs.
+    """
+
+    efficiencies: Tuple[float, float, float]
+    overlap_penalty: float
+
+    def __post_init__(self) -> None:
+        if len(self.efficiencies) != 3:
+            raise ValueError("need exactly three arrival efficiencies")
+        if any(e <= 0 for e in self.efficiencies):
+            raise ValueError("arrival efficiencies must be positive")
+        total = sum(self.efficiencies)
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"efficiencies must sum to 1, got {total}")
+        if not 0.0 < self.overlap_penalty <= 1.0:
+            raise ValueError("overlap penalty must be in (0, 1]")
+
+    def normalized_output(self, bits: Sequence[int]) -> float:
+        """Predicted normalised output amplitude for an input pattern."""
+        b1, b2, b3 = check_bits(bits)
+        signs = [1.0 if b == 0 else -1.0 for b in (b1, b2, b3)]
+        raw = abs(sum(s * e for s, e in zip(signs, self.efficiencies)))
+        if b1 == b2 == b3:
+            return raw  # = 1 by normalisation
+        return self.overlap_penalty * raw
+
+    def output_phase_is_majority(self, bits: Sequence[int]) -> bool:
+        """True if the interference sign matches the majority phase.
+
+        The signed sum has the sign of the majority whenever the losing
+        input's efficiency stays below 1/2 -- the *functional-margin*
+        condition of the calibrated gate.
+        """
+        b1, b2, b3 = check_bits(bits)
+        signs = [1.0 if b == 0 else -1.0 for b in (b1, b2, b3)]
+        total = sum(s * e for s, e in zip(signs, self.efficiencies))
+        maj = majority(b1, b2, b3)
+        return (total > 0 and maj == 0) or (total < 0 and maj == 1)
+
+
+def fit_arrival_model(minority_amplitudes: Mapping[int, float] = None
+                      ) -> ArrivalModel:
+    """Invert the three minority rows of Table I into an ArrivalModel.
+
+    Parameters
+    ----------
+    minority_amplitudes:
+        ``{input_index: normalised amplitude when that input is in the
+        minority}`` with input indices 1..3.  Defaults to the paper's
+        Table I values (0.083, 0.16, 0.164).
+
+    Returns
+    -------
+    ArrivalModel
+        The unique ``(e1, e2, e3, eta)`` reproducing those rows.
+    """
+    if minority_amplitudes is None:
+        minority_amplitudes = {1: 0.083, 2: 0.16, 3: 0.164}
+    if sorted(minority_amplitudes) != [1, 2, 3]:
+        raise ValueError("minority_amplitudes must have keys 1, 2, 3")
+    p1, p2, p3 = (minority_amplitudes[i] for i in (1, 2, 3))
+    if min(p1, p2, p3) <= 0:
+        raise ValueError("minority amplitudes must be positive")
+    eta = p1 + p2 + p3
+    if eta > 1.0:
+        raise ValueError("minority amplitudes sum above 1; inconsistent "
+                         "with the unanimous normalisation")
+    # eta * (1 - 2 e_j) = p_j  =>  e_j = (1 - p_j / eta) / 2
+    efficiencies = tuple((1.0 - p / eta) / 2.0 for p in (p1, p2, p3))
+    if any(e >= 0.5 for e in efficiencies):
+        raise ValueError("fitted efficiency >= 1/2 would flip the majority "
+                         "phase; input data inconsistent with a working gate")
+    return ArrivalModel(efficiencies=efficiencies, overlap_penalty=eta)
+
+
+#: The model fitted to the paper's published Table I.
+PAPER_ARRIVAL_MODEL = fit_arrival_model()
+
+
+def xor_asymmetry_model() -> Dict[Tuple[int, int], float]:
+    """Table II reproduction: per-pattern normalised XOR amplitudes.
+
+    The XOR gate is two-wave interference: unanimous -> 1, antiphase ->
+    0 up to a tiny residual from the O1-side asymmetry the paper's
+    Table II shows as 0.99 vs 1.0.  We model outputs as ideal with the
+    measured 1 % imbalance attached to O1 of the (0, 0) row.
+    """
+    return {pattern: (a1 + a2) / 2.0
+            for pattern, (a1, a2) in PAPER_TABLE_II.items()}

@@ -1,0 +1,164 @@
+"""Generic 4-stage spin-wave device model (Figure 2a of the paper).
+
+"Conceptually speaking, a SW device includes 4 stages: SW creation,
+propagation, processing, and detection."  This module captures that
+pipeline as a light formal object used by documentation, the energy
+model (which charges per excitation/detection cell) and the circuit
+simulator (which chains devices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class TransducerKind(Enum):
+    """Physical realisations of excitation/detection cells (Section III-A)."""
+
+    MICROSTRIP_ANTENNA = "microstrip antenna"
+    MAGNETOELECTRIC_CELL = "magnetoelectric cell"
+    SPIN_ORBIT_TORQUE = "spin-orbit torque"
+
+
+class DetectionMethod(Enum):
+    """The two readout schemes the paper uses."""
+
+    PHASE = "phase"          # Majority gate
+    THRESHOLD = "threshold"  # X(N)OR gate
+
+
+@dataclass(frozen=True)
+class Transducer:
+    """One excitation or detection cell.
+
+    Attributes
+    ----------
+    name:
+        Terminal name ("I1", "O2", ...).
+    role:
+        "excite" or "detect".
+    kind:
+        Physical transducer type; the paper's energy numbers assume
+        magnetoelectric (ME) cells.
+    """
+
+    name: str
+    role: str
+    kind: TransducerKind = TransducerKind.MAGNETOELECTRIC_CELL
+
+    def __post_init__(self) -> None:
+        if self.role not in ("excite", "detect"):
+            raise ValueError(f"role must be 'excite' or 'detect', "
+                             f"got {self.role!r}")
+
+
+@dataclass
+class SpinWaveDevice:
+    """A spin-wave logic device as a creation/propagation/processing/
+    detection pipeline.
+
+    Attributes
+    ----------
+    name:
+        Device identifier ("triangle MAJ3 FO2", ...).
+    transducers:
+        All excitation and detection cells.
+    detection:
+        Readout scheme.
+    fan_out:
+        Number of equivalent outputs.
+    functional_region:
+        Free-text description of the processing stage (the interference
+        structure).
+    equal_energy_inputs:
+        True if all inputs are excited at the same energy level -- the
+        triangle gate's key advantage over the ladder baseline.
+    """
+
+    name: str
+    transducers: List[Transducer]
+    detection: DetectionMethod
+    fan_out: int = 1
+    functional_region: str = ""
+    equal_energy_inputs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fan_out < 1:
+            raise ValueError("fan-out must be at least 1")
+        names = [t.name for t in self.transducers]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate transducer names")
+        if self.n_detection_cells < self.fan_out:
+            raise ValueError("fan-out cannot exceed the detection cells")
+
+    @property
+    def excitation_cells(self) -> List[Transducer]:
+        return [t for t in self.transducers if t.role == "excite"]
+
+    @property
+    def detection_cells(self) -> List[Transducer]:
+        return [t for t in self.transducers if t.role == "detect"]
+
+    @property
+    def n_excitation_cells(self) -> int:
+        return len(self.excitation_cells)
+
+    @property
+    def n_detection_cells(self) -> int:
+        return len(self.detection_cells)
+
+    @property
+    def n_cells(self) -> int:
+        """Total transducer count ("Used cell No." of Table III)."""
+        return len(self.transducers)
+
+
+def _cells(excite: Sequence[str], detect: Sequence[str]) -> List[Transducer]:
+    return ([Transducer(n, "excite") for n in excite]
+            + [Transducer(n, "detect") for n in detect])
+
+
+def triangle_maj3_device() -> SpinWaveDevice:
+    """The paper's triangle FO2 MAJ3: 3 + 2 = 5 ME cells."""
+    return SpinWaveDevice(
+        name="triangle MAJ3 FO2 (this work)",
+        transducers=_cells(("I1", "I2", "I3"), ("O1", "O2")),
+        detection=DetectionMethod.PHASE,
+        fan_out=2,
+        functional_region="X-crossing + I3 feed triangle, all paths n*lambda",
+        equal_energy_inputs=True)
+
+
+def triangle_xor_device() -> SpinWaveDevice:
+    """The paper's triangle FO2 XOR: 2 + 2 = 4 ME cells."""
+    return SpinWaveDevice(
+        name="triangle XOR FO2 (this work)",
+        transducers=_cells(("I1", "I2"), ("O1", "O2")),
+        detection=DetectionMethod.THRESHOLD,
+        fan_out=2,
+        functional_region="X-crossing, outputs at minimal distance",
+        equal_energy_inputs=True)
+
+
+def ladder_maj3_device() -> SpinWaveDevice:
+    """The ladder MAJ3 baseline [22]: 4 + 2 = 6 ME cells."""
+    return SpinWaveDevice(
+        name="ladder MAJ3 FO2 [22]",
+        transducers=_cells(("I1", "I2", "I3a", "I3b"), ("O1", "O2")),
+        detection=DetectionMethod.PHASE,
+        fan_out=2,
+        functional_region="two-rail ladder, I3 replicated",
+        equal_energy_inputs=False)
+
+
+def ladder_xor_device() -> SpinWaveDevice:
+    """The ladder XOR baseline [23]: 4 + 2 = 6 ME cells."""
+    return SpinWaveDevice(
+        name="ladder XOR FO2 [23]",
+        transducers=_cells(("I1a", "I1b", "I2a", "I2b"), ("O1", "O2")),
+        detection=DetectionMethod.THRESHOLD,
+        fan_out=2,
+        functional_region="two-rail ladder, both inputs replicated",
+        equal_energy_inputs=False)

@@ -1,0 +1,425 @@
+"""The paper's gates: triangle FO2 Majority and XOR (plus derived gates).
+
+Two evaluation backends are built in:
+
+* ``"network"`` -- the analytic complex-envelope model
+  (:mod:`repro.core.network`); instantaneous, used for logic-level work
+  and, in its *calibrated* form, for the Table I / II reproduction;
+* ``"fdtd"`` -- the 2-D wave solver on the rasterised geometry
+  (:mod:`repro.core.fabric`), producing the Figure-5-style field maps.
+
+The full micromagnetic (LLG) backend lives at a lower level
+(:mod:`repro.micromag`) because its runtime budget demands explicit
+control; ``examples/micromagnetic_interference.py`` shows the pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..physics.attenuation import LOSSLESS, AttenuationModel
+from ..physics.waves import Wave
+from .calibration import PAPER_ARRIVAL_MODEL, ArrivalModel
+from .detection import DetectionResult, PhaseDetector, ThresholdDetector
+from .fabric import FabricatedGate, build_wave_simulator, fabricate, settle_periods_for
+from .layout import (
+    GateDimensions,
+    GateLayout,
+    maj3_layout,
+    paper_maj3_dimensions,
+    paper_xor_dimensions,
+    xor_layout,
+)
+from .logic import (
+    MAJORITY_DERIVED_FUNCTIONS,
+    check_bits,
+    input_patterns,
+    majority,
+    xor,
+)
+from .network import WaveNetwork, network_from_layout
+
+
+@dataclass
+class GateResult:
+    """Outcome of one gate evaluation.
+
+    Attributes
+    ----------
+    inputs:
+        The applied input bits, keyed "I1"...
+    outputs:
+        Output name -> :class:`DetectionResult`.
+    expected:
+        The boolean-reference output bit.
+    backend:
+        Which tier produced it.
+    """
+
+    inputs: Dict[str, int]
+    outputs: Dict[str, DetectionResult]
+    expected: int
+    backend: str
+
+    @property
+    def correct(self) -> bool:
+        """True if every output decoded to the reference value."""
+        return all(r.logic_value == self.expected
+                   for r in self.outputs.values())
+
+    @property
+    def fanout_matched(self) -> bool:
+        """True if O1 and O2 agree (the FO2 property)."""
+        values = {r.logic_value for r in self.outputs.values()}
+        return len(values) == 1
+
+
+class _TriangleGateBase:
+    """Shared machinery of the triangle gates (layout, backends, cache)."""
+
+    def __init__(self, layout: GateLayout, frequency: float,
+                 attenuation: AttenuationModel,
+                 junction_transmission: float):
+        self.layout = layout
+        self.frequency = frequency
+        self.attenuation = attenuation
+        self.junction_transmission = junction_transmission
+        self.network: WaveNetwork = network_from_layout(
+            layout, frequency, attenuation, junction_transmission)
+        self._fabricated: Optional[FabricatedGate] = None
+        self._fdtd_cache: Dict[Tuple[int, ...], Dict[str, complex]] = {}
+        self._fdtd_maps: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def input_names(self) -> Sequence[str]:
+        return self.layout.input_names
+
+    @property
+    def output_names(self) -> Sequence[str]:
+        return self.layout.output_names
+
+    @property
+    def fabricated(self) -> FabricatedGate:
+        """Rasterised geometry (built lazily, cached)."""
+        if self._fabricated is None:
+            self._fabricated = fabricate(self.layout)
+        return self._fabricated
+
+    #: Transducer-count bookkeeping for the energy model (Table III).
+    @property
+    def n_excitation_cells(self) -> int:
+        return len(self.input_names)
+
+    @property
+    def n_detection_cells(self) -> int:
+        return len(self.output_names)
+
+    @property
+    def n_cells(self) -> int:
+        """Total ME cells -- the paper's "Used cell No." row."""
+        return self.n_excitation_cells + self.n_detection_cells
+
+    # -- backends ---------------------------------------------------------------
+
+    def _network_envelopes(self, bits: Sequence[int]) -> Dict[str, complex]:
+        injections = {
+            name: Wave.logic(bit, self.frequency).envelope
+            for name, bit in zip(self.input_names, check_bits(bits))}
+        env = self.network.propagate(injections)
+        return {name: env[name] for name in self.output_names}
+
+    def _fdtd_envelopes(self, bits: Sequence[int],
+                        keep_map: bool = False) -> Dict[str, complex]:
+        from ..fdtd.scalar import run_steady_state
+
+        key = tuple(check_bits(bits))
+        if key not in self._fdtd_cache:
+            fab = self.fabricated
+            input_bits = dict(zip(self.input_names, key))
+            sim = build_wave_simulator(fab, self.frequency, input_bits)
+            envelope = run_steady_state(sim, settle_periods_for(fab))
+            self._fdtd_cache[key] = {
+                name: sim.region_envelope(fab.terminal_masks[name], envelope)
+                for name in self.output_names}
+            if keep_map:
+                self._fdtd_maps[key] = envelope
+        return self._fdtd_cache[key]
+
+    def output_envelopes(self, bits: Sequence[int],
+                         backend: str = "network") -> Dict[str, complex]:
+        """Raw complex envelopes at O1/O2 for an input pattern."""
+        if backend == "network":
+            return self._network_envelopes(bits)
+        if backend == "fdtd":
+            return self._fdtd_envelopes(bits)
+        raise ValueError(f"unknown backend {backend!r}; use 'network' or "
+                         "'fdtd' (LLG runs live in repro.micromag)")
+
+    def field_map(self, bits: Sequence[int]) -> np.ndarray:
+        """Steady-state complex envelope map (Figure 5 raw data).
+
+        Runs the FDTD backend for the pattern and returns the per-cell
+        complex envelope ``(ny, nx)``; ``.real`` of it is the snapshot
+        rendering the paper colour-codes blue/red.
+        """
+        key = tuple(check_bits(bits))
+        if key not in self._fdtd_maps:
+            self._fdtd_cache.pop(key, None)
+            self._fdtd_envelopes(bits, keep_map=True)
+        return self._fdtd_maps[key]
+
+    def clear_caches(self) -> None:
+        """Drop FDTD steady states (e.g. after mutating the layout)."""
+        self._fdtd_cache.clear()
+        self._fdtd_maps.clear()
+
+    def as_device(self):
+        """This gate as a generic 4-stage :class:`SpinWaveDevice`."""
+        from .device import (
+            DetectionMethod,
+            SpinWaveDevice,
+            Transducer,
+        )
+
+        detection = (DetectionMethod.PHASE
+                     if self.layout.kind == "maj3"
+                     else DetectionMethod.THRESHOLD)
+        transducers = ([Transducer(n, "excite") for n in self.input_names]
+                       + [Transducer(n, "detect")
+                          for n in self.output_names])
+        return SpinWaveDevice(
+            name=f"triangle {self.layout.kind.upper()} FO2",
+            transducers=transducers,
+            detection=detection,
+            fan_out=len(self.output_names),
+            functional_region="merge-stem-split triangle, paths n*lambda",
+            equal_energy_inputs=True)
+
+
+class TriangleMajorityGate(_TriangleGateBase):
+    """Fan-out-of-2 triangle 3-input Majority gate (Section III-A).
+
+    Phase-encoded inputs, phase detection at both outputs.  With
+    ``invert_output=True`` the output arms are lengthened by half a
+    wavelength (d4 rule), yielding the inverted majority.
+
+    Parameters
+    ----------
+    dimensions:
+        Gate dimension set; defaults to the paper's
+        (d1, d2, d3, d4) = (330, 880, 220, 55) nm at lambda = 55 nm.
+    frequency:
+        Operating frequency [Hz] (10 GHz in the paper).
+    attenuation / junction_transmission:
+        Loss configuration of the network backend; the defaults are the
+        ideal lossless gate.
+    calibration:
+        Optional :class:`ArrivalModel` -- when given,
+        :meth:`normalized_output_table` uses the calibrated amplitude
+        model (reproducing Table I exactly) instead of raw network
+        amplitudes.
+    """
+
+    def __init__(self, dimensions: Optional[GateDimensions] = None,
+                 frequency: float = 10e9,
+                 invert_output: bool = False,
+                 attenuation: AttenuationModel = LOSSLESS,
+                 junction_transmission: float = 1.0,
+                 calibration: Optional[ArrivalModel] = None):
+        dims = dimensions if dimensions is not None else \
+            paper_maj3_dimensions(invert_output=invert_output)
+        super().__init__(maj3_layout(dims), frequency, attenuation,
+                         junction_transmission)
+        self.invert_output = invert_output
+        self.calibration = calibration
+        self._reference_phase: Dict[str, Dict[str, float]] = {}
+
+    # -- detection ---------------------------------------------------------------
+
+    def _references(self, backend: str) -> Dict[str, float]:
+        """Reference phases per output: the all-zeros pattern defines
+        logic 0 (the paper's "predefined phase")."""
+        if backend not in self._reference_phase:
+            zeros = self.output_envelopes([0] * len(self.input_names), backend)
+            self._reference_phase[backend] = {
+                name: float(np.angle(env)) for name, env in zeros.items()}
+        return self._reference_phase[backend]
+
+    def evaluate(self, bits: Sequence[int],
+                 backend: str = "network") -> GateResult:
+        """Apply an input pattern and phase-detect both outputs."""
+        bits = check_bits(bits)
+        if len(bits) != 3:
+            raise ValueError(f"MAJ3 takes 3 inputs, got {len(bits)}")
+        envelopes = self.output_envelopes(bits, backend)
+        references = self._references(backend)
+        outputs = {}
+        for name, env in envelopes.items():
+            # The inversion is implemented geometrically (d4 rule):
+            # the half-wavelength of an inverted gate flips the arriving
+            # phase relative to the *non-inverted* reference, so the
+            # detector reference is shifted back by pi.
+            ref = references[name] - (math.pi if self.invert_output else 0.0)
+            detector = PhaseDetector(reference_phase=ref)
+            outputs[name] = detector.detect_envelope(env, self.frequency)
+        expected = majority(*bits)
+        if self.invert_output:
+            expected = 1 - expected
+        return GateResult(inputs=dict(zip(self.input_names, bits)),
+                          outputs=outputs, expected=expected, backend=backend)
+
+    def truth_table(self, backend: str = "network"
+                    ) -> Dict[Tuple[int, ...], GateResult]:
+        """Evaluate all 8 patterns."""
+        return {bits: self.evaluate(bits, backend)
+                for bits in input_patterns(3)}
+
+    def normalized_output_table(self, backend: str = "network"
+                                ) -> Dict[Tuple[int, ...], Tuple[float, float]]:
+        """Reproduce Table I: normalised output amplitude per pattern.
+
+        Amplitudes are normalised to the all-zeros (unanimous) case.
+        With a ``calibration`` model attached and the network backend,
+        the calibrated arrival amplitudes are used -- this is the
+        configuration that matches the paper's numbers.
+        """
+        if self.calibration is not None and backend == "network":
+            return {bits: (self.calibration.normalized_output(bits),) * 2
+                    for bits in input_patterns(3)}
+        table = {}
+        zeros = self.output_envelopes((0, 0, 0), backend)
+        refs = {name: abs(env) for name, env in zeros.items()}
+        for bits in input_patterns(3):
+            env = self.output_envelopes(bits, backend)
+            table[bits] = tuple(abs(env[name]) / refs[name]
+                                for name in self.output_names)
+        return table
+
+
+class TriangleXorGate(_TriangleGateBase):
+    """Fan-out-of-2 triangle 2-input X(N)OR gate (Section III-B).
+
+    Same X-skeleton as the Majority gate with the third input removed;
+    outputs are read by *threshold* detection: amplitude above 0.5 of
+    the unanimous reference decodes as 0 (XOR) or 1 (XNOR).
+    """
+
+    def __init__(self, dimensions: Optional[GateDimensions] = None,
+                 frequency: float = 10e9,
+                 xnor: bool = False,
+                 threshold: float = 0.5,
+                 attenuation: AttenuationModel = LOSSLESS,
+                 junction_transmission: float = 1.0):
+        dims = dimensions if dimensions is not None else paper_xor_dimensions()
+        super().__init__(xor_layout(dims), frequency, attenuation,
+                         junction_transmission)
+        self.xnor = xnor
+        self.threshold = threshold
+        self._reference_amp: Dict[str, Dict[str, float]] = {}
+
+    def _references(self, backend: str) -> Dict[str, float]:
+        """Unanimous-case amplitudes: the normalisation of Table II."""
+        if backend not in self._reference_amp:
+            zeros = self.output_envelopes((0, 0), backend)
+            self._reference_amp[backend] = {
+                name: abs(env) for name, env in zeros.items()}
+        return self._reference_amp[backend]
+
+    def evaluate(self, bits: Sequence[int],
+                 backend: str = "network") -> GateResult:
+        """Apply an input pattern and threshold-detect both outputs."""
+        bits = check_bits(bits)
+        if len(bits) != 2:
+            raise ValueError(f"XOR takes 2 inputs, got {len(bits)}")
+        envelopes = self.output_envelopes(bits, backend)
+        references = self._references(backend)
+        outputs = {}
+        for name, env in envelopes.items():
+            detector = ThresholdDetector(
+                threshold=self.threshold,
+                reference_amplitude=references[name],
+                invert=self.xnor)
+            outputs[name] = detector.detect_envelope(env, self.frequency)
+        expected = xor(*bits)
+        if self.xnor:
+            expected = 1 - expected
+        return GateResult(inputs=dict(zip(self.input_names, bits)),
+                          outputs=outputs, expected=expected, backend=backend)
+
+    def truth_table(self, backend: str = "network"
+                    ) -> Dict[Tuple[int, ...], GateResult]:
+        """Evaluate all 4 patterns."""
+        return {bits: self.evaluate(bits, backend)
+                for bits in input_patterns(2)}
+
+    def normalized_output_table(self, backend: str = "network"
+                                ) -> Dict[Tuple[int, ...], Tuple[float, float]]:
+        """Reproduce Table II: normalised output amplitudes."""
+        refs = self._references(backend)
+        table = {}
+        for bits in input_patterns(2):
+            env = self.output_envelopes(bits, backend)
+            table[bits] = tuple(abs(env[name]) / refs[name]
+                                for name in self.output_names)
+        return table
+
+
+class DerivedTriangleGate:
+    """2-input (N)AND / (N)OR built from the MAJ3 with a control input.
+
+    Section III-A: fixing I3 = 0 yields AND, I3 = 1 yields OR; the
+    inverted variants use the inverted-output majority gate (d4 =
+    (n+1/2) lambda).  The control wave is excited at the same energy as
+    the data inputs -- one of the triangle design's selling points.
+    """
+
+    def __init__(self, function: str,
+                 dimensions: Optional[GateDimensions] = None,
+                 frequency: float = 10e9, **gate_kwargs):
+        key = function.upper()
+        if key not in MAJORITY_DERIVED_FUNCTIONS:
+            raise KeyError(f"unknown derived function {function!r}; "
+                           f"options: {sorted(MAJORITY_DERIVED_FUNCTIONS)}")
+        self.function = key
+        self.control_value, inverted = MAJORITY_DERIVED_FUNCTIONS[key]
+        if dimensions is None:
+            dimensions = paper_maj3_dimensions(invert_output=inverted)
+        self.majority_gate = TriangleMajorityGate(
+            dimensions=dimensions, frequency=frequency,
+            invert_output=inverted, **gate_kwargs)
+
+    @property
+    def n_cells(self) -> int:
+        return self.majority_gate.n_cells
+
+    def evaluate(self, a: int, b: int,
+                 backend: str = "network") -> GateResult:
+        """Evaluate the derived function on data bits (a, b).
+
+        The triangle's data inputs are I1 and I2; I3 carries the
+        control value.
+        """
+        return self.majority_gate.evaluate((a, b, self.control_value),
+                                           backend=backend)
+
+    def truth_table(self, backend: str = "network"
+                    ) -> Dict[Tuple[int, int], GateResult]:
+        """All four (a, b) patterns."""
+        return {(a, b): self.evaluate(a, b, backend)
+                for a, b in input_patterns(2)}
+
+
+def paper_table_i_gate() -> TriangleMajorityGate:
+    """The exact configuration reproducing Table I (calibrated model)."""
+    return TriangleMajorityGate(calibration=PAPER_ARRIVAL_MODEL)
+
+
+def paper_table_ii_gate() -> TriangleXorGate:
+    """The exact configuration reproducing Table II."""
+    return TriangleXorGate()

@@ -1,0 +1,250 @@
+"""Ladder-shape FO2 gates -- the state-of-the-art baseline [22], [23].
+
+The paper compares its triangle gates against the earlier *ladder
+shape* fan-out-enabled gates (Mahmoud et al., AIP Advances 10, 035119
+(2020) and ISVLSI 2020).  The relevant structural facts, all taken from
+Section I and IV-D of the paper:
+
+* the ladder gate achieves FO2 by **replicating one input** through an
+  extra excitation transducer (4 excitation cells for both MAJ and XOR
+  instead of 3 / 2), plus the two output cells -- 6 cells total;
+* inputs may have to be excited at **different energy levels**
+  depending on whether their path to the outputs is straight or passes
+  bent regions -- an energy and design-complexity overhead;
+* delay is transducer-dominated and therefore identical (0.4 ns).
+
+This module models the ladder gates at the same level as the triangle
+gates: a propagation network for functionality plus the transducer
+bookkeeping the Table III energy comparison needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..physics.attenuation import LOSSLESS, AttenuationModel
+from ..physics.waves import Wave
+from .detection import DetectionResult, PhaseDetector, ThresholdDetector
+from .layout import PAPER_WAVELENGTH, segment_length
+from .logic import check_bits, input_patterns, majority, xor
+from .network import WaveNetwork
+
+
+@dataclass(frozen=True)
+class LadderDimensions:
+    """Ladder-gate segment lengths (all n * lambda by design)."""
+
+    wavelength: float = PAPER_WAVELENGTH
+    rung_length: float = 0.0       # vertical connector segments
+    rail_length: float = 0.0       # horizontal propagation segments
+    output_length: float = 0.0     # junction-to-output segments
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rung_length",
+                           self.rung_length or segment_length(
+                               4, self.wavelength))
+        object.__setattr__(self, "rail_length",
+                           self.rail_length or segment_length(
+                               6, self.wavelength))
+        object.__setattr__(self, "output_length",
+                           self.output_length or segment_length(
+                               1, self.wavelength))
+
+
+class LadderMajorityGate:
+    """FO2 ladder MAJ3 [22]: 3 logical inputs, one replicated -> 4 cells.
+
+    Topology (our reconstruction of the ladder of ref. [22]): two
+    horizontal rails ending at outputs O1 (top) and O2 (bottom).  I1
+    feeds the top rail, I2 feeds the bottom rail, and the third input
+    must reach *both* rails -- the ladder does this by exciting I3
+    twice (transducers I3a, I3b), one per rail.  Each rail therefore
+    carries a two-wave interference of (data, replicated I3) and the
+    two rails are tied by a rung carrying I1's and I2's contribution to
+    the opposite rail.
+
+    The functional model keeps the exact majority interference: each
+    output superposes all three logical inputs, with the replicated
+    input contributing through its own transducer on that rail.
+    """
+
+    #: Excitation-energy multipliers per transducer relative to the
+    #: triangle gate's uniform level: the paper notes inputs facing bent
+    #: regions must be excited harder (Section IV-D).  Straight-path
+    #: transducers run at 1.0; bent-path ones at this factor.
+    BENT_PATH_EXCITATION_FACTOR = 1.5
+
+    def __init__(self, dimensions: Optional[LadderDimensions] = None,
+                 frequency: float = 10e9,
+                 attenuation: AttenuationModel = LOSSLESS):
+        self.dimensions = dimensions or LadderDimensions()
+        self.frequency = frequency
+        self.attenuation = attenuation
+        self.network = self._build_network()
+        self._reference: Optional[Dict[str, float]] = None
+
+    def _build_network(self) -> WaveNetwork:
+        d = self.dimensions
+        net = WaveNetwork(self.frequency, d.wavelength, self.attenuation)
+        # Top rail: I1 and I3a interfere at J1, then out to O1.
+        net.add_edge("I1", "J1", d.rail_length)
+        net.add_edge("I3a", "J1", d.rung_length)
+        net.add_edge("J1", "O1", d.output_length)
+        # Bottom rail: I2 and I3b interfere at J2, then out to O2.
+        net.add_edge("I2", "J2", d.rail_length)
+        net.add_edge("I3b", "J2", d.rung_length)
+        net.add_edge("J2", "O2", d.output_length)
+        # Rungs: each data input also reaches the opposite rail junction
+        # (path through the ladder rung; n*lambda, bent region).
+        net.add_edge("I1", "J2", d.rail_length + d.rung_length)
+        net.add_edge("I2", "J1", d.rail_length + d.rung_length)
+        return net
+
+    # -- transducer bookkeeping (Table III) ----------------------------------------
+
+    @property
+    def n_excitation_cells(self) -> int:
+        return 4  # I1, I2, I3a, I3b -- the replication costs one cell
+
+    @property
+    def n_detection_cells(self) -> int:
+        return 2
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_excitation_cells + self.n_detection_cells
+
+    @property
+    def requires_unequal_excitation(self) -> bool:
+        """The ladder needs per-input drive levels; the triangle does not."""
+        return True
+
+    def excitation_levels(self) -> Dict[str, float]:
+        """Relative drive amplitude per transducer.
+
+        The rung paths of I1/I2 traverse bends; for equal arrival
+        amplitudes at both junctions those transducers are driven
+        harder.
+        """
+        f = self.BENT_PATH_EXCITATION_FACTOR
+        return {"I1": f, "I2": f, "I3a": 1.0, "I3b": 1.0}
+
+    # -- functional model -----------------------------------------------------------
+
+    def evaluate(self, bits: Sequence[int]) -> Dict[str, DetectionResult]:
+        """Phase-detect both outputs for (I1, I2, I3)."""
+        b1, b2, b3 = check_bits(bits)
+        injections = {
+            "I1": Wave.logic(b1, self.frequency).envelope,
+            "I2": Wave.logic(b2, self.frequency).envelope,
+            "I3a": Wave.logic(b3, self.frequency).envelope,
+            "I3b": Wave.logic(b3, self.frequency).envelope,
+        }
+        env = self.network.propagate(injections)
+        if self._reference is None:
+            zeros = self.network.propagate(
+                {k: Wave.logic(0, self.frequency).envelope
+                 for k in injections})
+            self._reference = {o: Wave.from_complex(
+                zeros[o], self.frequency).phase for o in ("O1", "O2")}
+        out = {}
+        for name in ("O1", "O2"):
+            detector = PhaseDetector(reference_phase=self._reference[name])
+            out[name] = detector.detect_envelope(env[name], self.frequency)
+        return out
+
+    def truth_table(self) -> Dict[Tuple[int, ...], Dict[str, DetectionResult]]:
+        """All 8 input patterns."""
+        return {bits: self.evaluate(bits) for bits in input_patterns(3)}
+
+    def is_functionally_correct(self) -> bool:
+        """Check MAJ3 behaviour on every pattern at both outputs."""
+        for bits, outputs in self.truth_table().items():
+            expected = majority(*bits)
+            if any(r.logic_value != expected for r in outputs.values()):
+                return False
+        return True
+
+
+class LadderXorGate:
+    """FO2 ladder XOR [23]: 2 logical inputs, both replicated -> 4 cells.
+
+    Per Table III of the paper the ladder XOR also uses 6 cells total
+    (4 excitation + 2 detection): each of the two inputs is excited on
+    both rails, and each output reads the two-wave interference of its
+    rail by threshold detection.
+    """
+
+    def __init__(self, dimensions: Optional[LadderDimensions] = None,
+                 frequency: float = 10e9,
+                 attenuation: AttenuationModel = LOSSLESS,
+                 threshold: float = 0.5):
+        self.dimensions = dimensions or LadderDimensions()
+        self.frequency = frequency
+        self.attenuation = attenuation
+        self.threshold = threshold
+        self.network = self._build_network()
+        self._reference: Optional[Dict[str, float]] = None
+
+    def _build_network(self) -> WaveNetwork:
+        d = self.dimensions
+        net = WaveNetwork(self.frequency, d.wavelength, self.attenuation)
+        for rail, (a, b) in (("J1", ("I1a", "I2a")), ("J2", ("I1b", "I2b"))):
+            net.add_edge(a, rail, d.rail_length)
+            net.add_edge(b, rail, d.rung_length)
+        net.add_edge("J1", "O1", d.output_length)
+        net.add_edge("J2", "O2", d.output_length)
+        return net
+
+    @property
+    def n_excitation_cells(self) -> int:
+        return 4  # both inputs replicated per rail
+
+    @property
+    def n_detection_cells(self) -> int:
+        return 2
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_excitation_cells + self.n_detection_cells
+
+    @property
+    def requires_unequal_excitation(self) -> bool:
+        return True
+
+    def evaluate(self, bits: Sequence[int]) -> Dict[str, DetectionResult]:
+        """Threshold-detect both outputs for (I1, I2)."""
+        b1, b2 = check_bits(bits)
+        injections = {
+            "I1a": Wave.logic(b1, self.frequency).envelope,
+            "I1b": Wave.logic(b1, self.frequency).envelope,
+            "I2a": Wave.logic(b2, self.frequency).envelope,
+            "I2b": Wave.logic(b2, self.frequency).envelope,
+        }
+        env = self.network.propagate(injections)
+        if self._reference is None:
+            zeros = self.network.propagate(
+                {k: Wave.logic(0, self.frequency).envelope
+                 for k in injections})
+            self._reference = {o: abs(zeros[o]) for o in ("O1", "O2")}
+        out = {}
+        for name in ("O1", "O2"):
+            detector = ThresholdDetector(
+                threshold=self.threshold,
+                reference_amplitude=self._reference[name])
+            out[name] = detector.detect_envelope(env[name], self.frequency)
+        return out
+
+    def truth_table(self) -> Dict[Tuple[int, ...], Dict[str, DetectionResult]]:
+        """All 4 input patterns."""
+        return {bits: self.evaluate(bits) for bits in input_patterns(2)}
+
+    def is_functionally_correct(self) -> bool:
+        """Check XOR behaviour on every pattern at both outputs."""
+        for bits, outputs in self.truth_table().items():
+            expected = xor(*bits)
+            if any(r.logic_value != expected for r in outputs.values()):
+                return False
+        return True

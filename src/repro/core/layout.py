@@ -1,0 +1,391 @@
+"""Geometric layout of the triangle FO2 gates (Figures 3 and 4).
+
+Section III of the paper gives the dimensioning rules:
+
+* the waveguide width must satisfy ``w <= lambda`` (clean interference);
+* segments ``d1, d2, d3`` must be ``n * lambda`` for same-phase
+  constructive interference (or ``(n + 1/2) * lambda`` for the inverted
+  behaviour);
+* the output distance ``d4`` is ``n * lambda`` for a non-inverting
+  output and ``(n + 1/2) * lambda`` for logic inversion;
+* for the XOR's threshold detection the output distance should be as
+  small as possible (the paper uses 40 nm, *not* a lambda multiple,
+  because only amplitude matters there).
+
+With lambda = 55 nm the paper selects d1 = 330 nm (6 lambda),
+d2 = 880 nm (16 lambda), d3 = 220 nm (4 lambda), d4 = 55 nm (1 lambda)
+for MAJ3, and d1 = 330 nm, d2 = 40 nm for XOR.
+
+The figures in the published PDF do not pin down every vertex
+coordinate, so this module reconstructs a concrete symmetric layout
+with exactly the paper's path-length semantics (documented in
+DESIGN.md):
+
+* I1 and I2 launch waves along diagonal input arms of length d1 that
+  *merge* at node ``M`` -- "the excited SWs at I1 and I2 propagate
+  diagonally until reaching the crossing points where they interfere";
+* the superposition travels a short axial stem ``M -> C`` (length
+  ``stem``, an integer number of wavelengths; the published figure does
+  not dimension the junction region, so this is a reconstruction
+  parameter) and *splits* symmetrically into two diagonal arms of
+  length d1 ending at the second-stage junctions K1/K2 -- the split is
+  what makes the fan-out free;
+* I3 feeds both K1 and K2 through two arms of length d2 each, so the
+  I1/I2 result interferes with I3's wave "at both interfering points";
+* the outputs sit d3 + d4 beyond K1/K2 for MAJ3 (phase readout) and at
+  the small distance d2_xor beyond the corner points for XOR
+  (threshold readout).
+
+A plain 4-port X-crossing was rejected during cross-validation against
+the wave-FDTD tier: at 90 degrees the beams pass through each other
+with little modal mixing, so the outputs would carry the individual
+waves instead of their superposition.  The merge-stem-split topology
+forces complete interference in the single-mode stem while keeping
+every path length at the paper's lambda multiples.
+
+All interference-relevant path lengths are integer multiples of lambda,
+so the phase logic is identical to the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+Point = Tuple[float, float]
+
+#: Design wavelength of the paper [m].
+PAPER_WAVELENGTH = 55e-9
+#: Waveguide width of the paper [m].
+PAPER_WIDTH = 50e-9
+#: Operating frequency the paper quotes [Hz].
+PAPER_FREQUENCY = 10e9
+
+
+def segment_length(n_wavelengths: float, wavelength: float,
+                   inverted: bool = False) -> float:
+    """Length of a phase-design segment.
+
+    ``n * lambda`` preserves phase; ``(n + 1/2) * lambda`` inverts it
+    (Section III-A).
+    """
+    if n_wavelengths < 0:
+        raise ValueError("n_wavelengths must be non-negative")
+    if wavelength <= 0:
+        raise ValueError("wavelength must be positive")
+    n = n_wavelengths + (0.5 if inverted else 0.0)
+    return n * wavelength
+
+
+def is_phase_preserving(length: float, wavelength: float,
+                        tolerance: float = 1e-3) -> bool:
+    """True if ``length`` is an integer number of wavelengths."""
+    ratio = length / wavelength
+    return abs(ratio - round(ratio)) < tolerance
+
+
+def is_phase_inverting(length: float, wavelength: float,
+                       tolerance: float = 1e-3) -> bool:
+    """True if ``length`` is a half-integer number of wavelengths."""
+    ratio = length / wavelength - 0.5
+    return abs(ratio - round(ratio)) < tolerance
+
+
+@dataclass(frozen=True)
+class GateDimensions:
+    """The d1...d4 dimension set of Figure 3 / Figure 4.
+
+    Attributes (all [m]):
+        d1: diagonal arm length (input arms and split arms).
+        d2: I3 feed-arm length (MAJ3) -- phase-critical.
+        d3: output-arm first segment (MAJ3) -- phase-critical.
+        d4: final output distance; n*lambda = buffer, (n+1/2)*lambda =
+            inverter (MAJ3).  For XOR, ``d2_xor`` replaces d2..d4.
+        stem: axial merge-to-split segment (reconstruction parameter,
+            must be n*lambda; 2*lambda by default).
+    """
+
+    wavelength: float
+    width: float
+    d1: float
+    d2: float = 0.0
+    d3: float = 0.0
+    d4: float = 0.0
+    d2_xor: float = 0.0
+    stem: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wavelength <= 0:
+            raise ValueError("wavelength must be positive")
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if self.width > self.wavelength:
+            raise ValueError(
+                f"waveguide width ({self.width * 1e9:.1f} nm) must not exceed "
+                f"the wavelength ({self.wavelength * 1e9:.1f} nm) -- "
+                "Section III-A's interference-pattern condition")
+
+
+def paper_maj3_dimensions(wavelength: float = PAPER_WAVELENGTH,
+                          width: float = PAPER_WIDTH,
+                          invert_output: bool = False) -> GateDimensions:
+    """The paper's MAJ3 dimension set, rescalable to any wavelength.
+
+    The lambda-multiples (6, 16, 4, 1) are those of Section IV-A:
+    330/880/220/55 nm at lambda = 55 nm.  ``invert_output`` adds half a
+    wavelength to d4, turning the gate into NMAJ (and its derived gates
+    into NAND/NOR).
+    """
+    return GateDimensions(
+        wavelength=wavelength,
+        width=width,
+        d1=segment_length(6, wavelength),
+        d2=segment_length(16, wavelength),
+        d3=segment_length(4, wavelength),
+        d4=segment_length(1, wavelength, inverted=invert_output),
+        stem=segment_length(2, wavelength),
+    )
+
+
+def paper_xor_dimensions(wavelength: float = PAPER_WAVELENGTH,
+                         width: float = PAPER_WIDTH,
+                         output_distance: Optional[float] = None
+                         ) -> GateDimensions:
+    """The paper's XOR dimension set: d1 = 6 lambda, output at 40 nm.
+
+    ``output_distance`` overrides the 40 nm detector offset (the paper:
+    "d2 must be as small as possible to capture stronger spin wave").
+    """
+    d2_xor = 40e-9 * (wavelength / PAPER_WAVELENGTH) \
+        if output_distance is None else output_distance
+    return GateDimensions(
+        wavelength=wavelength,
+        width=width,
+        d1=segment_length(6, wavelength),
+        d2_xor=d2_xor,
+        stem=segment_length(2, wavelength),
+    )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A straight waveguide segment between two named nodes."""
+
+    start_node: str
+    end_node: str
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        return math.hypot(self.end[0] - self.start[0],
+                          self.end[1] - self.start[1])
+
+
+@dataclass
+class GateLayout:
+    """Concrete coordinates of a gate: nodes, segments, terminals.
+
+    Attributes
+    ----------
+    kind:
+        "maj3" or "xor".
+    dimensions:
+        The d-set this layout realises.
+    nodes:
+        name -> (x, y) [m].  Input terminals are "I1", "I2" (and "I3"),
+        outputs "O1"/"O2", junctions "C" (X-crossing), "K1"/"K2"
+        (second-stage), "B1"/"B2" (output-arm bends, MAJ3 only).
+    segments:
+        The waveguide strips composing the gate.
+    """
+
+    kind: str
+    dimensions: GateDimensions
+    nodes: Dict[str, Point]
+    segments: List[Segment]
+
+    @property
+    def input_names(self) -> List[str]:
+        return sorted(n for n in self.nodes if n.startswith("I"))
+
+    @property
+    def output_names(self) -> List[str]:
+        return sorted(n for n in self.nodes if n.startswith("O"))
+
+    def bounding_box(self, margin: float = 0.0
+                     ) -> Tuple[float, float, float, float]:
+        """``(x_min, y_min, x_max, y_max)`` over all nodes, plus margin."""
+        xs = [p[0] for p in self.nodes.values()]
+        ys = [p[1] for p in self.nodes.values()]
+        return (min(xs) - margin, min(ys) - margin,
+                max(xs) + margin, max(ys) + margin)
+
+    def translated(self, dx: float, dy: float) -> "GateLayout":
+        """A copy shifted by ``(dx, dy)`` (to place on a canvas)."""
+        nodes = {k: (x + dx, y + dy) for k, (x, y) in self.nodes.items()}
+        segments = [Segment(s.start_node, s.end_node,
+                            (s.start[0] + dx, s.start[1] + dy),
+                            (s.end[0] + dx, s.end[1] + dy))
+                    for s in self.segments]
+        return GateLayout(self.kind, self.dimensions, nodes, segments)
+
+    def path_length(self, *node_names: str) -> float:
+        """Total straight-line path length through the listed nodes."""
+        if len(node_names) < 2:
+            raise ValueError("need at least two nodes for a path")
+        total = 0.0
+        for a, b in zip(node_names, node_names[1:]):
+            pa, pb = self.nodes[a], self.nodes[b]
+            total += math.hypot(pb[0] - pa[0], pb[1] - pa[1])
+        return total
+
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _skeleton(dims: GateDimensions) -> Dict[str, Point]:
+    """Common merge-stem-split skeleton node positions.
+
+    ``M`` at the origin; I1/I2 up-left / down-left at 45 degrees (arm
+    length d1); ``C`` (the split) a stem-length to the right of M;
+    K1/K2 up-right / down-right of C at 45 degrees (arm length d1).
+    """
+    if dims.stem <= 0:
+        raise ValueError("the merge-stem-split reconstruction needs stem > 0")
+    h = dims.d1 / _SQRT2  # 45-degree projections of the diagonal arms
+    m = (0.0, 0.0)
+    c = (dims.stem, 0.0)
+    return {
+        "M": m,
+        "C": c,
+        "I1": (-h, +h),
+        "I2": (-h, -h),
+        "K1": (c[0] + h, +h),
+        "K2": (c[0] + h, -h),
+    }
+
+
+def maj3_layout(dimensions: Optional[GateDimensions] = None) -> GateLayout:
+    """Build the triangle FO2 MAJ3 layout (Figure 3 reconstruction).
+
+    Geometry (x to the right, y upward, all lengths from ``dimensions``):
+
+    * input arms I1 -> M and I2 -> M (length d1, 45 degrees) merging at
+      ``M``, then the stem M -> C;
+    * split arms C -> K1 and C -> K2 (length d1, 45 degrees);
+    * ``I3`` on the symmetry axis right of C, placed so that
+      |I3 K1| = |I3 K2| = d2;
+    * output arms K1 -> B1 -> O1 (and mirrored K2 -> B2 -> O2): d3 from
+      K to the bend B continuing outward at 45 degrees, then d4 to O.
+    """
+    dims = dimensions if dimensions is not None else paper_maj3_dimensions()
+    if dims.d2 <= 0 or dims.d3 <= 0 or dims.d4 <= 0:
+        raise ValueError("MAJ3 needs d2, d3 and d4 > 0; did you pass XOR "
+                         "dimensions?")
+    nodes = _skeleton(dims)
+    h = dims.d1 / _SQRT2
+    k1, k2 = nodes["K1"], nodes["K2"]
+    if dims.d2 <= h:
+        raise ValueError("d2 must exceed d1/sqrt(2) for I3 to sit on the "
+                         "symmetry axis")
+    i3 = (k1[0] + math.sqrt(dims.d2 ** 2 - h ** 2), 0.0)
+    # Output arms continue outward at 45 degrees away from the axis.
+    db3 = dims.d3 / _SQRT2
+    b1 = (k1[0] + db3, k1[1] + db3)
+    b2 = (k2[0] + db3, k2[1] - db3)
+    db4 = dims.d4 / _SQRT2
+    o1 = (b1[0] + db4, b1[1] + db4)
+    o2 = (b2[0] + db4, b2[1] - db4)
+    nodes.update({"I3": i3, "B1": b1, "B2": b2, "O1": o1, "O2": o2})
+
+    segments = [
+        Segment("I1", "M", nodes["I1"], nodes["M"]),
+        Segment("I2", "M", nodes["I2"], nodes["M"]),
+        Segment("M", "C", nodes["M"], nodes["C"]),
+        Segment("C", "K1", nodes["C"], k1),
+        Segment("C", "K2", nodes["C"], k2),
+        Segment("I3", "K1", i3, k1),
+        Segment("I3", "K2", i3, k2),
+        Segment("K1", "B1", k1, b1),
+        Segment("K2", "B2", k2, b2),
+        Segment("B1", "O1", b1, o1),
+        Segment("B2", "O2", b2, o2),
+    ]
+    return GateLayout("maj3", dims, nodes, segments)
+
+
+def xor_layout(dimensions: Optional[GateDimensions] = None) -> GateLayout:
+    """Build the triangle FO2 XOR layout (Figure 4 reconstruction).
+
+    The MAJ3 structure with the third input removed: the merge-stem-
+    split skeleton with its four d1 arms remains, and the outputs sit a
+    short distance ``d2_xor`` beyond the far corner points (threshold
+    detection wants maximum amplitude, so the detectors hug the
+    structure).
+    """
+    dims = dimensions if dimensions is not None else paper_xor_dimensions()
+    if dims.d2_xor <= 0:
+        raise ValueError("XOR needs d2_xor > 0; did you pass MAJ3 dimensions?")
+    nodes = _skeleton(dims)
+    k1, k2 = nodes["K1"], nodes["K2"]
+    dd = dims.d2_xor / _SQRT2
+    o1 = (k1[0] + dd, k1[1] + dd)
+    o2 = (k2[0] + dd, k2[1] - dd)
+    nodes.update({"O1": o1, "O2": o2})
+
+    segments = [
+        Segment("I1", "M", nodes["I1"], nodes["M"]),
+        Segment("I2", "M", nodes["I2"], nodes["M"]),
+        Segment("M", "C", nodes["M"], nodes["C"]),
+        Segment("C", "K1", nodes["C"], k1),
+        Segment("C", "K2", nodes["C"], k2),
+        Segment("K1", "O1", k1, o1),
+        Segment("K2", "O2", k2, o2),
+    ]
+    return GateLayout("xor", dims, nodes, segments)
+
+
+def validate_phase_design(layout: GateLayout,
+                          tolerance: float = 1e-3) -> Dict[str, bool]:
+    """Check the lambda-multiple conditions of Section III-A on a layout.
+
+    Returns a dict of named checks -> pass/fail.  For MAJ3 all
+    interference paths must be phase-preserving; for XOR only the d1
+    symmetry matters (threshold detection ignores absolute phase).
+    """
+    lam = layout.dimensions.wavelength
+    checks: Dict[str, bool] = {}
+    if layout.kind == "maj3":
+        checks["I1->M is n*lambda"] = is_phase_preserving(
+            layout.path_length("I1", "M"), lam, tolerance)
+        checks["I2->M is n*lambda"] = is_phase_preserving(
+            layout.path_length("I2", "M"), lam, tolerance)
+        checks["M->C (stem) is n*lambda"] = is_phase_preserving(
+            layout.path_length("M", "C"), lam, tolerance)
+        checks["C->K1 is n*lambda"] = is_phase_preserving(
+            layout.path_length("C", "K1"), lam, tolerance)
+        checks["I3->K1 is n*lambda"] = is_phase_preserving(
+            layout.path_length("I3", "K1"), lam, tolerance)
+        out_path = layout.path_length("K1", "B1", "O1")
+        checks["K->O is n*lambda or (n+1/2)*lambda"] = (
+            is_phase_preserving(out_path, lam, tolerance)
+            or is_phase_inverting(out_path, lam, tolerance))
+        checks["symmetry O1/O2"] = abs(
+            layout.path_length("K1", "B1", "O1")
+            - layout.path_length("K2", "B2", "O2")) < tolerance * lam
+        checks["symmetry I3 arms"] = abs(
+            layout.path_length("I3", "K1")
+            - layout.path_length("I3", "K2")) < tolerance * lam
+    elif layout.kind == "xor":
+        checks["I1->M == I2->M"] = abs(
+            layout.path_length("I1", "M")
+            - layout.path_length("I2", "M")) < tolerance * lam
+        checks["C->O1 == C->O2"] = abs(
+            layout.path_length("C", "K1", "O1")
+            - layout.path_length("C", "K2", "O2")) < tolerance * lam
+    else:
+        raise ValueError(f"unknown layout kind {layout.kind!r}")
+    checks["width <= lambda"] = layout.dimensions.width <= lam
+    return checks

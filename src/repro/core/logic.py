@@ -1,0 +1,134 @@
+"""Boolean reference functions and truth-table utilities.
+
+Every gate in the library is checked against these plain-Python
+references; they are the ground truth for all functional tests.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+Bit = int
+InputPattern = Tuple[Bit, ...]
+
+
+def check_bits(bits: Sequence[int]) -> Tuple[int, ...]:
+    """Validate and normalise a bit sequence.
+
+    Raises
+    ------
+    ValueError
+        If any element is not 0 or 1.
+    """
+    out = []
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"logic values must be 0 or 1, got {b!r}")
+        out.append(int(b))
+    return tuple(out)
+
+
+def majority(*bits: int) -> int:
+    """n-input majority (n odd).  MAJ3 is the paper's workhorse.
+
+    >>> majority(0, 1, 1)
+    1
+    """
+    bits = check_bits(bits)
+    if len(bits) % 2 == 0:
+        raise ValueError("majority needs an odd number of inputs")
+    return int(sum(bits) > len(bits) // 2)
+
+
+def xor(*bits: int) -> int:
+    """n-input parity."""
+    bits = check_bits(bits)
+    return int(sum(bits) % 2)
+
+
+def xnor(*bits: int) -> int:
+    """Complement of parity."""
+    return 1 - xor(*bits)
+
+
+def and_(*bits: int) -> int:
+    """n-input AND."""
+    bits = check_bits(bits)
+    return int(all(bits))
+
+
+def or_(*bits: int) -> int:
+    """n-input OR."""
+    bits = check_bits(bits)
+    return int(any(bits))
+
+
+def nand(*bits: int) -> int:
+    """n-input NAND."""
+    return 1 - and_(*bits)
+
+
+def nor(*bits: int) -> int:
+    """n-input NOR."""
+    return 1 - or_(*bits)
+
+
+def not_(bit: int) -> int:
+    """Inverter."""
+    (bit,) = check_bits([bit])
+    return 1 - bit
+
+
+#: The derived 2-input functions obtainable from MAJ3 with a control input
+#: (Section III-A: I3 = 0 gives AND, I3 = 1 gives OR; inverted variants
+#: come from reading the output at d4 = (n+1/2) lambda).
+MAJORITY_DERIVED_FUNCTIONS: Dict[str, Tuple[int, bool]] = {
+    # name: (control value for I3, invert output?)
+    "AND": (0, False),
+    "NAND": (0, True),
+    "OR": (1, False),
+    "NOR": (1, True),
+}
+
+
+def majority_derived(name: str, a: int, b: int) -> int:
+    """Evaluate a 2-input function via its MAJ3 embedding.
+
+    >>> majority_derived("AND", 1, 1)
+    1
+    """
+    key = name.upper()
+    if key not in MAJORITY_DERIVED_FUNCTIONS:
+        raise KeyError(f"unknown derived function {name!r}; "
+                       f"options: {sorted(MAJORITY_DERIVED_FUNCTIONS)}")
+    control, inverted = MAJORITY_DERIVED_FUNCTIONS[key]
+    value = majority(a, b, control)
+    return 1 - value if inverted else value
+
+
+def truth_table(function: Callable[..., int], n_inputs: int
+                ) -> Dict[InputPattern, int]:
+    """Full truth table of a boolean function.
+
+    >>> truth_table(xor, 2)[(0, 1)]
+    1
+    """
+    if n_inputs < 1:
+        raise ValueError("need at least one input")
+    return {bits: function(*bits) for bits in product((0, 1), repeat=n_inputs)}
+
+
+def input_patterns(n_inputs: int) -> List[InputPattern]:
+    """All 2^n input patterns in canonical (counting) order."""
+    return list(product((0, 1), repeat=n_inputs))
+
+
+def full_adder(a: int, b: int, carry_in: int) -> Tuple[int, int]:
+    """Reference full adder: ``(sum, carry_out)``.
+
+    The paper motivates MAJ3 with exactly this: carry-out *is* a 3-input
+    majority and sum is a 3-input parity (Section II-B).
+    """
+    a, b, carry_in = check_bits((a, b, carry_in))
+    return xor(a, b, carry_in), majority(a, b, carry_in)

@@ -1,0 +1,191 @@
+"""Analytic wave-propagation network: the fast gate-evaluation tier.
+
+A gate layout is a feed-forward graph of waveguide segments.  Spin-wave
+logic at the design point is a *linear, monochromatic* phenomenon, so
+the steady state at every node is fully described by a complex envelope
+-- waves entering a junction superpose (Section II-B), each segment
+multiplies the envelope by ``exp(-i k L)`` and an attenuation factor,
+and splitting into several onward arms applies the junction's
+transmission coefficient per arm.
+
+This is the model used by the Table I / Table II benchmarks in its
+*calibrated* configuration and by the functional test-suite in its
+*ideal* configuration (lossless, transmission 1).  Its predictions are
+cross-validated against the FDTD and LLG tiers in the integration
+tests.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..physics.attenuation import LOSSLESS, AttenuationModel
+from ..physics.waves import Wave, superpose
+from .layout import GateLayout
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed waveguide segment of the propagation graph.
+
+    Attributes
+    ----------
+    source, target:
+        Node names.
+    length:
+        Physical length [m].
+    transmission:
+        Extra amplitude factor for this edge (junction insertion loss,
+        splitter ratio); 1.0 is ideal.
+    """
+
+    source: str
+    target: str
+    length: float
+    transmission: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("edge length must be non-negative")
+        if not 0.0 <= self.transmission <= 1.0:
+            raise ValueError("edge transmission must be in [0, 1]")
+
+
+class WaveNetwork:
+    """Feed-forward complex-envelope propagation over a gate graph.
+
+    Parameters
+    ----------
+    frequency:
+        Operating frequency [Hz].
+    wavelength:
+        Operating wavelength [m]; fixes ``k = 2 pi / lambda``.
+    attenuation:
+        Viscous-loss model applied along edge lengths.
+    """
+
+    def __init__(self, frequency: float, wavelength: float,
+                 attenuation: AttenuationModel = LOSSLESS):
+        if frequency <= 0 or wavelength <= 0:
+            raise ValueError("frequency and wavelength must be positive")
+        self.frequency = frequency
+        self.wavelength = wavelength
+        self.wavenumber = 2.0 * math.pi / wavelength
+        self.attenuation = attenuation
+        self._edges: List[Edge] = []
+        self._nodes: Dict[str, None] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Declare a node (sources/sinks are added implicitly by edges)."""
+        self._nodes[name] = None
+
+    def add_edge(self, source: str, target: str, length: float,
+                 transmission: float = 1.0) -> None:
+        """Add a directed segment.  The graph must stay acyclic."""
+        self._nodes[source] = None
+        self._nodes[target] = None
+        self._edges.append(Edge(source, target, length, transmission))
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm; raises on cycles (waveguide loops need the
+        full solvers, not this feed-forward model)."""
+        indegree = {n: 0 for n in self._nodes}
+        for e in self._edges:
+            indegree[e.target] += 1
+        ready = [n for n, d in indegree.items() if d == 0]
+        order: List[str] = []
+        remaining = dict(indegree)
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for e in self._edges:
+                if e.source == node:
+                    remaining[e.target] -= 1
+                    if remaining[e.target] == 0:
+                        ready.append(e.target)
+        if len(order) != len(self._nodes):
+            raise ValueError("propagation graph has a cycle; the "
+                             "feed-forward network model cannot evaluate it")
+        return order
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def propagate(self, injections: Mapping[str, complex]
+                  ) -> Dict[str, complex]:
+        """Steady-state complex envelope at every node.
+
+        Parameters
+        ----------
+        injections:
+            node name -> injected complex envelope (the source waves).
+
+        Returns
+        -------
+        dict
+            node -> total envelope (sum of all arriving partial waves
+            plus any injection), i.e. the interference result at that
+            point.
+        """
+        unknown = set(injections) - set(self._nodes)
+        if unknown:
+            raise KeyError(f"injection at unknown node(s) {sorted(unknown)}")
+        envelope: Dict[str, complex] = {
+            n: complex(injections.get(n, 0.0)) for n in self._nodes}
+        order = self._topological_order()
+        for node in order:
+            value = envelope[node]
+            if value == 0:
+                continue
+            for e in self._edges:
+                if e.source != node:
+                    continue
+                factor = (e.transmission
+                          * self.attenuation.path_factor(e.length)
+                          * cmath.exp(-1j * self.wavenumber * e.length))
+                envelope[e.target] += value * factor
+        return envelope
+
+    def output_wave(self, injections: Mapping[str, complex],
+                    output: str) -> Wave:
+        """Convenience: the arriving wave at a single output node."""
+        env = self.propagate(injections)
+        return Wave.from_complex(env[output], self.frequency)
+
+
+def network_from_layout(layout: GateLayout, frequency: float,
+                        attenuation: AttenuationModel = LOSSLESS,
+                        junction_transmission: float = 1.0) -> WaveNetwork:
+    """Build the propagation graph of a triangle-gate layout.
+
+    Edges follow the physical wave flow of Section III-A:
+
+    * input arms merging at ``M``, then the stem M -> C;
+    * C splits into both far arms (K1, K2) -- the interference result
+      continues into *both* arms, which is what makes the fan-out free;
+    * I3's feed arms into K1/K2 (MAJ3 only);
+    * output arms K -> (B) -> O.
+
+    ``junction_transmission`` is applied to every edge leaving a
+    junction node (M, C, K1, K2): it models the scattering/insertion
+    loss of a waveguide junction; 1.0 gives the ideal textbook gate.
+    """
+    net = WaveNetwork(frequency, layout.dimensions.wavelength, attenuation)
+    junction_nodes = {"M", "C", "K1", "K2"}
+    for seg in layout.segments:
+        transmission = (junction_transmission
+                        if seg.start_node in junction_nodes else 1.0)
+        net.add_edge(seg.start_node, seg.end_node, seg.length, transmission)
+    return net

@@ -1,0 +1,174 @@
+"""Spin-wave amplitude normalization (the ref [8] building block).
+
+The triangle gates emit *data-dependent* amplitudes: the MAJ3 output is
+~3x stronger for unanimous inputs than for 2-1 majorities, and the XOR
+output is the data itself (large/small).  Phase-detected gates tolerate
+this, but a threshold-detected gate downstream mis-reads a weak
+phase-correct wave.  The authors' companion work (Mahmoud et al.,
+"Spin wave normalization toward all magnonic circuits", IEEE TCAS-I
+2020 -- ref [8] of the paper) inserts a *normalizer* between stages:
+a block that outputs a standard-amplitude wave carrying the input's
+phase.
+
+This module models such a normalizer at the network tier and provides
+the cascade helper that decides where normalizers are required, making
+multi-stage threshold logic well-defined in the circuit layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..evaluation.transducers import PAPER_ME_CELL, METransducer
+from ..physics.waves import Wave
+
+
+@dataclass(frozen=True)
+class NormalizerSpec:
+    """Operating window and cost of an amplitude normalizer.
+
+    Attributes
+    ----------
+    output_amplitude:
+        The standardised amplitude emitted for any in-window input.
+    min_input / max_input:
+        Amplitude window the block can lock onto; inputs below
+        ``min_input`` are treated as absent (no wave, an error for
+        phase logic) rather than normalised noise.
+    transducer:
+        The ME cell pair implementing the block (detect + re-excite);
+        sets the energy/delay cost.
+    """
+
+    output_amplitude: float = 1.0
+    min_input: float = 0.05
+    max_input: float = 10.0
+    transducer: METransducer = PAPER_ME_CELL
+
+    def __post_init__(self) -> None:
+        if self.output_amplitude <= 0:
+            raise ValueError("output amplitude must be positive")
+        if not 0.0 < self.min_input < self.max_input:
+            raise ValueError("need 0 < min_input < max_input")
+
+    @property
+    def energy(self) -> float:
+        """One re-excitation per pass [J]."""
+        return self.transducer.excitation_energy
+
+    @property
+    def delay(self) -> float:
+        """One transducer response [s]."""
+        return self.transducer.delay
+
+
+class AmplitudeNormalizer:
+    """Phase-preserving amplitude standardisation block."""
+
+    def __init__(self, spec: Optional[NormalizerSpec] = None):
+        self.spec = spec if spec is not None else NormalizerSpec()
+
+    def normalize(self, wave: Wave) -> Wave:
+        """Emit the standard-amplitude wave with the input's phase.
+
+        Raises
+        ------
+        ValueError
+            If the input lies outside the lockable window.
+        """
+        spec = self.spec
+        if wave.amplitude < spec.min_input:
+            raise ValueError(
+                f"input amplitude {wave.amplitude:.3g} below the "
+                f"normalizer window ({spec.min_input:.3g}); the wave "
+                "was lost upstream")
+        if wave.amplitude > spec.max_input:
+            raise ValueError(
+                f"input amplitude {wave.amplitude:.3g} above the "
+                f"normalizer window ({spec.max_input:.3g})")
+        return Wave(amplitude=spec.output_amplitude, phase=wave.phase,
+                    frequency=wave.frequency)
+
+    def normalize_many(self, waves: Sequence[Wave]) -> List[Wave]:
+        """Normalise a bundle (e.g. both FO2 outputs)."""
+        return [self.normalize(w) for w in waves]
+
+
+def needs_normalizer(producer_detection: str,
+                     consumer_detection: str) -> bool:
+    """Does a producer->consumer gate link need a normalizer?
+
+    The rule of ref [8] as used here:
+
+    * into a *phase*-detected consumer: no -- phase survives amplitude
+      variation (as long as the wave stays detectable);
+    * into a *threshold*-detected consumer: yes, unless the producer is
+      itself threshold-style with a standardised output.  Majority
+      gates emit 1x or 3x amplitudes (data-dependent), and XOR gates
+      emit the data as amplitude -- both would corrupt a downstream
+      threshold decision.
+    """
+    producer = producer_detection.lower()
+    consumer = consumer_detection.lower()
+    for value in (producer, consumer):
+        if value not in ("phase", "threshold"):
+            raise ValueError(f"unknown detection scheme {value!r}")
+    return consumer == "threshold"
+
+
+#: Gate types whose outputs are read by phase downstream.
+_PHASE_TYPES = {"MAJ3", "NMAJ3", "AND", "NAND", "OR", "NOR"}
+#: Gate types read by threshold.
+_THRESHOLD_TYPES = {"XOR", "XNOR", "NOT"}
+
+
+def plan_normalizers(netlist) -> List[Tuple[str, str]]:
+    """Find the producer->consumer links of a netlist needing normalizers.
+
+    Returns
+    -------
+    list
+        ``(net, consumer_gate_name)`` pairs where an
+        :class:`AmplitudeNormalizer` must be inserted for the
+        downstream threshold detection to be reliable.
+    """
+    detection_of = {}
+    for gate in netlist.gates.values():
+        if gate.gate_type in _PHASE_TYPES:
+            detection_of[gate.name] = "phase"
+        elif gate.gate_type in _THRESHOLD_TYPES:
+            detection_of[gate.name] = "threshold"
+        else:
+            detection_of[gate.name] = "passive"
+    drivers = netlist.net_drivers()
+    required: List[Tuple[str, str]] = []
+    for gate in netlist.gates.values():
+        if detection_of[gate.name] != "threshold":
+            continue
+        for net in gate.inputs:
+            owners = drivers.get(net, [])
+            if not owners:
+                continue  # primary input: freshly excited, standard level
+            producer = owners[0]
+            if detection_of[producer] == "passive":
+                continue  # splitters keep the (already normal) level
+            required.append((net, gate.name))
+    return required
+
+
+def normalization_cost(netlist,
+                       spec: Optional[NormalizerSpec] = None
+                       ) -> Tuple[int, float, float]:
+    """Count and price the normalizers a netlist needs.
+
+    Returns
+    -------
+    tuple
+        ``(count, total_energy, worst_case_added_delay)``.
+    """
+    spec = spec if spec is not None else NormalizerSpec()
+    links = plan_normalizers(netlist)
+    return len(links), len(links) * spec.energy, \
+        (spec.delay if links else 0.0)

@@ -1,0 +1,88 @@
+"""CMOS reference gate data for the Table III comparison.
+
+The paper benchmarks against 16 nm CMOS [40] and 7 nm CMOS [41] gate
+realisations, assuming a 3-input Majority gate built from 4 NAND gates
+(16 transistors) and the XOR figures quoted in those references.  The
+published Table III numbers are encoded verbatim; derived quantities
+(per-NAND energy, energy-delay product) are computed, not stored, so
+the arithmetic is visible and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CmosGateData:
+    """One CMOS gate entry of Table III.
+
+    Attributes
+    ----------
+    technology:
+        Node label ("16nm CMOS", "7nm CMOS").
+    function:
+        "MAJ" or "XOR".
+    device_count:
+        Transistor count ("Used cell No." row).
+    delay:
+        Propagation delay [s].
+    energy:
+        Switching energy [J].
+    """
+
+    technology: str
+    function: str
+    device_count: int
+    delay: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.device_count <= 0:
+            raise ValueError("device count must be positive")
+        if self.delay <= 0 or self.energy <= 0:
+            raise ValueError("delay and energy must be positive")
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP [J s]."""
+        return self.energy * self.delay
+
+
+#: Table III, columns "16nm CMOS" and "7nm CMOS" (refs [40], [41]).
+#: MAJ = 4 NAND gates = 16 transistors; XOR = 8 transistors.
+CMOS_TABLE: Dict[Tuple[str, str], CmosGateData] = {
+    ("16nm", "MAJ"): CmosGateData("16nm CMOS", "MAJ", 16, 0.03e-9, 466e-18),
+    ("16nm", "XOR"): CmosGateData("16nm CMOS", "XOR", 8, 0.03e-9, 303e-18),
+    ("7nm", "MAJ"): CmosGateData("7nm CMOS", "MAJ", 16, 0.02e-9, 16.4e-18),
+    ("7nm", "XOR"): CmosGateData("7nm CMOS", "XOR", 8, 0.01e-9, 5.4e-18),
+}
+
+#: Number of NAND gates composing the CMOS 3-input majority.
+NANDS_PER_MAJ = 4
+#: Transistors per (2-input) NAND in static CMOS.
+TRANSISTORS_PER_NAND = 4
+
+
+def cmos_gate(technology: str, function: str) -> CmosGateData:
+    """Look up a CMOS reference gate.
+
+    Parameters
+    ----------
+    technology:
+        "16nm" or "7nm".
+    function:
+        "MAJ" or "XOR".
+    """
+    key = (technology.lower().replace(" cmos", ""), function.upper())
+    if key not in CMOS_TABLE:
+        options = sorted({k[0] for k in CMOS_TABLE})
+        raise KeyError(f"no CMOS data for {technology!r}/{function!r}; "
+                       f"technologies: {options}, functions: MAJ, XOR")
+    return CMOS_TABLE[key]
+
+
+def maj_transistor_count() -> int:
+    """16 transistors: 4 NAND gates of 4 transistors each."""
+    return NANDS_PER_MAJ * TRANSISTORS_PER_NAND

@@ -1,0 +1,146 @@
+"""Energy and delay estimation for spin-wave gates.
+
+Implements the paper's evaluation methodology (Section IV-D):
+
+* energy = sum over *excitation* cells of ``P_ME * t_pulse`` (detection
+  cells read passively in this accounting; their cost is charged when
+  they excite the next stage, consistent with assumption (v));
+* the ladder baseline is re-evaluated at the same 100 ps pulse ("the
+  energy consumption in [23] are re-evaluated based on 100 ps pulse
+  signal excitation in order to make a fair comparison");
+* delay = ME cell response delay, waveguide propagation neglected
+  (assumption (iii)); the paper rounds 0.42 ns to 0.4 ns in Table III
+  and we keep that convention through ``TABLE_DELAY``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from .transducers import PAPER_ME_CELL, METransducer
+
+#: The delay value Table III reports for every SW gate [s].
+TABLE_DELAY = 0.4e-9
+
+
+@dataclass(frozen=True)
+class GateEnergyReport:
+    """Energy/delay estimate of one spin-wave gate.
+
+    Attributes
+    ----------
+    name:
+        Gate identifier.
+    n_excitation_cells / n_detection_cells:
+        Transducer counts.
+    energy:
+        Total excitation energy per evaluation [J].
+    delay:
+        Input-to-output delay [s].
+    excitation_levels:
+        Relative drive level per excitation cell that produced
+        ``energy`` (all 1.0 for the triangle gates).
+    """
+
+    name: str
+    n_excitation_cells: int
+    n_detection_cells: int
+    energy: float
+    delay: float
+    excitation_levels: Mapping[str, float]
+
+    @property
+    def n_cells(self) -> int:
+        """Total transducers -- Table III's "Used cell No."."""
+        return self.n_excitation_cells + self.n_detection_cells
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP [J s]."""
+        return self.energy * self.delay
+
+
+def estimate_gate_energy(name: str, n_excitation_cells: int,
+                         n_detection_cells: int,
+                         transducer: METransducer = PAPER_ME_CELL,
+                         excitation_levels: Optional[Mapping[str, float]] = None,
+                         delay: float = TABLE_DELAY) -> GateEnergyReport:
+    """Apply the paper's energy model to a gate.
+
+    Parameters
+    ----------
+    name:
+        Label for the report.
+    n_excitation_cells / n_detection_cells:
+        Transducer counts of the gate.
+    transducer:
+        ME cell parameters.
+    excitation_levels:
+        Optional per-cell relative drive levels; by default every cell
+        runs at the nominal level 1.0.  **Table III's accounting** uses
+        nominal levels for all designs (the ladder's unequal-level
+        requirement is reported as a complexity penalty, not priced
+        in); pass the ladder's real levels to quantify that penalty
+        (see the ablation bench).
+    delay:
+        Gate delay [s]; the transducer-dominated 0.4 ns by default.
+    """
+    if n_excitation_cells < 1:
+        raise ValueError("a gate needs at least one excitation cell")
+    if n_detection_cells < 1:
+        raise ValueError("a gate needs at least one detection cell")
+    if excitation_levels is None:
+        excitation_levels = {f"I{i + 1}": 1.0
+                             for i in range(n_excitation_cells)}
+    if len(excitation_levels) != n_excitation_cells:
+        raise ValueError(
+            f"{len(excitation_levels)} excitation levels given for "
+            f"{n_excitation_cells} cells")
+    energy = sum(transducer.excitation_energy_at_level(level)
+                 for level in excitation_levels.values())
+    return GateEnergyReport(
+        name=name,
+        n_excitation_cells=n_excitation_cells,
+        n_detection_cells=n_detection_cells,
+        energy=energy,
+        delay=delay,
+        excitation_levels=dict(excitation_levels))
+
+
+# -- the four SW rows of Table III -------------------------------------------------
+
+def triangle_maj3_report(transducer: METransducer = PAPER_ME_CELL
+                         ) -> GateEnergyReport:
+    """This work, MAJ: 3 + 2 cells, 3 x 3.44 aJ = 10.3 aJ, 0.4 ns."""
+    return estimate_gate_energy("triangle MAJ3 FO2 (this work)", 3, 2,
+                                transducer)
+
+
+def triangle_xor_report(transducer: METransducer = PAPER_ME_CELL
+                        ) -> GateEnergyReport:
+    """This work, XOR: 2 + 2 cells, 2 x 3.44 aJ = 6.9 aJ, 0.4 ns."""
+    return estimate_gate_energy("triangle XOR FO2 (this work)", 2, 2,
+                                transducer)
+
+
+def ladder_maj3_report(transducer: METransducer = PAPER_ME_CELL,
+                       real_levels: bool = False) -> GateEnergyReport:
+    """SW baseline [22/23], MAJ: 4 + 2 cells, 13.7 aJ at nominal levels.
+
+    With ``real_levels=True`` the bent-path inputs are driven at the
+    elevated level the ladder needs (quantifying the penalty Table III
+    footnotes qualitatively).
+    """
+    levels = None
+    if real_levels:
+        from ..core.ladder import LadderMajorityGate
+        levels = LadderMajorityGate().excitation_levels()
+    return estimate_gate_energy("ladder MAJ3 FO2 [22]", 4, 2, transducer,
+                                excitation_levels=levels)
+
+
+def ladder_xor_report(transducer: METransducer = PAPER_ME_CELL
+                      ) -> GateEnergyReport:
+    """SW baseline [23], XOR: 4 + 2 cells, 13.7 aJ at nominal levels."""
+    return estimate_gate_energy("ladder XOR FO2 [23]", 4, 2, transducer)

@@ -1,0 +1,17 @@
+"""Fast linear-wave tier: 2-D damped scalar FDTD on gate geometry masks."""
+
+from .scalar import ScalarWaveSimulator, WaveSource, run_steady_state
+from .calibration import (
+    CalibrationResult,
+    calibrate_wavelength,
+    measure_guide_wavelength,
+)
+
+__all__ = [
+    "ScalarWaveSimulator",
+    "WaveSource",
+    "run_steady_state",
+    "CalibrationResult",
+    "calibrate_wavelength",
+    "measure_guide_wavelength",
+]

@@ -1,0 +1,7 @@
+"""I/O: OVF interchange with OOMMF/MuMax3 tooling and table rendering."""
+
+from .ovf import OvfField, read_ovf, write_ovf
+from .tables import format_table, format_truth_table
+
+__all__ = ["OvfField", "read_ovf", "write_ovf", "format_table",
+           "format_truth_table"]

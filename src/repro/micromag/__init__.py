@@ -1,0 +1,89 @@
+"""From-scratch finite-difference micromagnetics (the MuMax3 substitute).
+
+Solves the Landau-Lifshitz-Gilbert equation (eq. (1) of the paper) on a
+regular mesh with exchange, demagnetisation (Newell tensor / FFT or
+thin-film local), uniaxial anisotropy, Zeeman + local excitation fields
+and an optional stochastic thermal term.
+"""
+
+from .mesh import Mesh, mesh_for_region, normalize_field
+from .geometry import (
+    difference,
+    disk,
+    edge_damping_profile,
+    intersection,
+    polygon,
+    rasterize,
+    rectangle,
+    roughen_edges,
+    strip,
+    union,
+)
+from .fields import (
+    DemagField,
+    ExchangeField,
+    ThermalField,
+    ThinFilmDemagField,
+    UniaxialAnisotropyField,
+    ZeemanField,
+    demag_tensor,
+)
+from .llg import HeunIntegrator, RK4Integrator, RK45Integrator, cross, llg_rhs
+from .excitation import Envelope, ExcitationSource
+from .probes import Probe, TimeTrace
+from .sim import RunResult, Simulation
+from .analysis import (
+    DispersionMap,
+    centerline_signal,
+    dominant_frequency,
+    precession_amplitude_map,
+    ringdown_spectrum,
+    space_time_fft,
+)
+from .minimize import MinimizeResult, minimize
+from .experiments import DispersionExperiment, SincSource, extract_dispersion
+
+__all__ = [
+    "Mesh",
+    "mesh_for_region",
+    "normalize_field",
+    "difference",
+    "disk",
+    "edge_damping_profile",
+    "intersection",
+    "polygon",
+    "rasterize",
+    "rectangle",
+    "roughen_edges",
+    "strip",
+    "union",
+    "DemagField",
+    "ExchangeField",
+    "ThermalField",
+    "ThinFilmDemagField",
+    "UniaxialAnisotropyField",
+    "ZeemanField",
+    "demag_tensor",
+    "HeunIntegrator",
+    "RK4Integrator",
+    "RK45Integrator",
+    "cross",
+    "llg_rhs",
+    "Envelope",
+    "ExcitationSource",
+    "Probe",
+    "TimeTrace",
+    "RunResult",
+    "Simulation",
+    "DispersionMap",
+    "centerline_signal",
+    "dominant_frequency",
+    "precession_amplitude_map",
+    "ringdown_spectrum",
+    "space_time_fft",
+    "MinimizeResult",
+    "minimize",
+    "DispersionExperiment",
+    "SincSource",
+    "extract_dispersion",
+]

@@ -1,0 +1,23 @@
+"""Effective-field terms entering the LLG equation.
+
+``H_eff = H_exchange + H_demag + H_anisotropy + H_zeeman (+ H_thermal)``
+-- exactly the decomposition below eq. (1) of the paper.
+"""
+
+from .exchange import ExchangeField
+from .anisotropy import UniaxialAnisotropyField
+from .zeeman import ZeemanField
+from .demag import DemagField, ThinFilmDemagField, demag_tensor, newell_f, newell_g
+from .thermal import ThermalField
+
+__all__ = [
+    "ExchangeField",
+    "UniaxialAnisotropyField",
+    "ZeemanField",
+    "DemagField",
+    "ThinFilmDemagField",
+    "demag_tensor",
+    "newell_f",
+    "newell_g",
+    "ThermalField",
+]

@@ -1,0 +1,103 @@
+"""Stochastic thermal field (finite-temperature micromagnetics).
+
+Brown's thermal fluctuation field: a Gaussian white-noise field with
+variance chosen so the fluctuation-dissipation theorem holds on the
+discrete mesh,
+
+``sigma_H = sqrt(2 alpha k_B T / (mu0 Ms gamma V dt))``  per component,
+
+where ``V`` is the cell volume and ``dt`` the integrator step (the noise
+must be redrawn each step and scaled with ``1/sqrt(dt)``; we follow the
+MuMax3 convention).  The paper defers thermal analysis to refs [36][43]
+and to future work -- our thermal ablation bench exercises exactly this
+term.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ...constants import KB, MU0
+from ..mesh import Mesh
+
+
+class ThermalField:
+    """Brown thermal field, redrawn once per integrator step.
+
+    Parameters
+    ----------
+    mesh:
+        The finite-difference mesh.
+    ms:
+        Saturation magnetisation [A/m].
+    alpha:
+        Gilbert damping used in the fluctuation-dissipation relation.
+    gamma:
+        Gyromagnetic ratio [rad/(T s)].
+    temperature:
+        Temperature [K]; 0 disables the field.
+    rng:
+        NumPy generator; pass a seeded generator for reproducible runs.
+    mask:
+        Geometry mask -- vacuum cells get no noise.
+    """
+
+    def __init__(self, mesh: Mesh, ms: float, alpha: float, gamma: float,
+                 temperature: float, rng: Optional[np.random.Generator] = None,
+                 mask: np.ndarray = None):
+        if temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if alpha <= 0 and temperature > 0:
+            raise ValueError("thermal field requires positive damping")
+        self.mesh = mesh
+        self.ms = ms
+        self.alpha = alpha
+        self.gamma = gamma
+        self.temperature = temperature
+        self.rng = rng if rng is not None else np.random.default_rng()
+        if mask is None:
+            mask = np.ones(mesh.scalar_shape, dtype=bool)
+        self.mask = mask.astype(bool)
+        self._current: Optional[np.ndarray] = None
+        self._current_step = -1
+
+    def standard_deviation(self, dt: float) -> float:
+        """Per-component noise amplitude [A/m] for a step of ``dt`` [s]."""
+        if self.temperature == 0.0:
+            return 0.0
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        volume = self.mesh.cell_volume
+        variance = (2.0 * self.alpha * KB * self.temperature
+                    / (MU0 * self.ms * self.gamma * volume * dt))
+        return math.sqrt(variance)
+
+    def refresh(self, dt: float, step: int) -> None:
+        """Draw the noise realisation for integrator step ``step``.
+
+        The same realisation must be used for every RHS evaluation within
+        one step (Heun / RK schemes evaluate the RHS several times), so
+        the driver calls ``refresh`` once per step and ``field`` is then
+        deterministic until the next refresh.
+        """
+        sigma = self.standard_deviation(dt)
+        if sigma == 0.0:
+            self._current = None
+        else:
+            noise = self.rng.standard_normal(self.mesh.field_shape) * sigma
+            noise *= self.mask[None, ...]
+            self._current = noise
+        self._current_step = step
+
+    def field(self, m: np.ndarray = None, out: np.ndarray = None) -> np.ndarray:
+        """Current thermal field [A/m]; zero when T = 0 or before refresh."""
+        if out is None:
+            out = np.zeros(self.mesh.field_shape)
+        else:
+            out[...] = 0.0
+        if self._current is not None:
+            out += self._current
+        return out

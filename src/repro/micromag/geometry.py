@@ -1,0 +1,226 @@
+"""Geometry masks: carve waveguide shapes out of a finite-difference mesh.
+
+MuMax3 expresses device geometry through shape functions; we do the same
+with boolean cell masks built from a tiny constructive-solid-geometry
+(CSG) layer.  The triangle gates of the paper are unions of rotated
+rectangular strips (waveguides) whose endpoints come from
+:mod:`repro.core.layout`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from .mesh import Mesh
+
+#: A shape is a predicate over physical (x, y) coordinates -> bool array.
+Shape = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+Point = Tuple[float, float]
+
+
+# ---------------------------------------------------------------------------
+# Primitive shapes (2-D: the films are a single cell thick)
+# ---------------------------------------------------------------------------
+
+def rectangle(x0: float, y0: float, x1: float, y1: float) -> Shape:
+    """Axis-aligned rectangle with corners ``(x0, y0)`` and ``(x1, y1)``."""
+    xa, xb = min(x0, x1), max(x0, x1)
+    ya, yb = min(y0, y1), max(y0, y1)
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return (x >= xa) & (x <= xb) & (y >= ya) & (y <= yb)
+
+    return predicate
+
+
+def disk(cx: float, cy: float, radius: float) -> Shape:
+    """Filled circle of ``radius`` centred at ``(cx, cy)``."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return (x - cx) ** 2 + (y - cy) ** 2 <= radius ** 2
+
+    return predicate
+
+
+def strip(start: Point, end: Point, width: float,
+          extend_ends: bool = True) -> Shape:
+    """Rectangular waveguide of ``width`` from ``start`` to ``end``.
+
+    This is the workhorse of the gate geometry: an arbitrarily rotated
+    strip.  With ``extend_ends`` the strip is lengthened by half a width
+    at both ends so that strips meeting at an angle overlap cleanly at
+    junctions (no wedge-shaped gaps at the triangle corners).
+    """
+    if width <= 0:
+        raise ValueError("strip width must be positive")
+    sx, sy = start
+    ex, ey = end
+    length = math.hypot(ex - sx, ey - sy)
+    if length == 0:
+        raise ValueError("strip endpoints coincide")
+    ux, uy = (ex - sx) / length, (ey - sy) / length
+    margin = width / 2.0 if extend_ends else 0.0
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        rx = x - sx
+        ry = y - sy
+        along = rx * ux + ry * uy
+        across = -rx * uy + ry * ux
+        return ((along >= -margin) & (along <= length + margin)
+                & (np.abs(across) <= width / 2.0))
+
+    return predicate
+
+
+def polygon(vertices: Sequence[Point]) -> Shape:
+    """Filled simple polygon via the even-odd (crossing number) rule."""
+    pts = [(float(px), float(py)) for px, py in vertices]
+    if len(pts) < 3:
+        raise ValueError("polygon needs at least 3 vertices")
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        inside = np.zeros(np.broadcast(x, y).shape, dtype=bool)
+        n = len(pts)
+        for i in range(n):
+            x0, y0 = pts[i]
+            x1, y1 = pts[(i + 1) % n]
+            crosses = ((y0 > y) != (y1 > y))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x_at = x0 + (y - y0) * (x1 - x0) / (y1 - y0 + 1e-300)
+            inside ^= crosses & (x < x_at)
+        return inside
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# CSG combinators
+# ---------------------------------------------------------------------------
+
+def union(*shapes: Shape) -> Shape:
+    """Logical OR of shapes."""
+    if not shapes:
+        raise ValueError("union of zero shapes")
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        result = shapes[0](x, y)
+        for shape in shapes[1:]:
+            result = result | shape(x, y)
+        return result
+
+    return predicate
+
+
+def intersection(*shapes: Shape) -> Shape:
+    """Logical AND of shapes."""
+    if not shapes:
+        raise ValueError("intersection of zero shapes")
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        result = shapes[0](x, y)
+        for shape in shapes[1:]:
+            result = result & shape(x, y)
+        return result
+
+    return predicate
+
+
+def difference(base: Shape, *cut: Shape) -> Shape:
+    """``base`` minus the union of ``cut`` shapes."""
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        result = base(x, y)
+        for shape in cut:
+            result = result & ~shape(x, y)
+        return result
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Rasterisation onto a mesh
+# ---------------------------------------------------------------------------
+
+def rasterize(mesh: Mesh, shape: Shape) -> np.ndarray:
+    """Boolean mask ``(nz, ny, nx)``: cell centres inside the 2-D shape."""
+    _, y, x = mesh.coordinate_grids()
+    mask2d = shape(x, y)  # broadcasts to (1, ny, nx)
+    return np.broadcast_to(mask2d, mesh.scalar_shape).copy()
+
+
+def roughen_edges(mask: np.ndarray, probability: float,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Randomly remove boundary cells -- a simple edge-roughness model.
+
+    Used by the variability ablation (Section IV-D discusses edge
+    roughness per ref [36]).  Each cell of the mask that touches vacuum
+    is deleted with the given probability.
+
+    Parameters
+    ----------
+    mask:
+        Input boolean mask ``(nz, ny, nx)``; not modified.
+    probability:
+        Removal probability for each edge cell, in [0, 1].
+    rng:
+        NumPy random generator (determinism is the caller's business).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    result = mask.copy()
+    interior = mask.copy()
+    # A cell is edge if any 4-neighbour (in plane) is outside.
+    for axis, shift in ((1, 1), (1, -1), (2, 1), (2, -1)):
+        interior &= np.roll(mask, shift, axis=axis)
+    edge = mask & ~interior
+    remove = edge & (rng.random(mask.shape) < probability)
+    result[remove] = False
+    return result
+
+
+def edge_damping_profile(mesh: Mesh, mask: np.ndarray, base_alpha: float,
+                         ramp_width: float, max_alpha: float = 0.5,
+                         axes: Tuple[int, ...] = (0,)) -> np.ndarray:
+    """Spatially varying Gilbert damping with absorbing boundary ramps.
+
+    Reflections from the ends of finite waveguides would corrupt the
+    interference pattern, so -- like MuMax3 scripts do -- we ramp the
+    damping up quadratically within ``ramp_width`` of the mesh boundary
+    along the chosen axes (0 = x, 1 = y).
+
+    Returns
+    -------
+    numpy.ndarray
+        Scalar damping field ``(nz, ny, nx)``; ``base_alpha`` in the
+        bulk, rising to ``max_alpha`` at the boundary, zero outside the
+        mask.
+    """
+    if ramp_width < 0:
+        raise ValueError("ramp width must be non-negative")
+    if max_alpha < base_alpha:
+        raise ValueError("max_alpha must be >= base_alpha")
+    alpha = np.full(mesh.scalar_shape, base_alpha)
+    if ramp_width > 0:
+        z, y, x = mesh.coordinate_grids()
+        lx, ly, _ = mesh.extent
+        for axis in axes:
+            if axis == 0:
+                coord, size = x, lx
+            elif axis == 1:
+                coord, size = y, ly
+            else:
+                raise ValueError("absorbing ramps supported along x and y only")
+            dist = np.minimum(coord - mesh.origin[axis],
+                              mesh.origin[axis] + size - coord)
+            t = np.clip(1.0 - dist / ramp_width, 0.0, 1.0)
+            ramp = base_alpha + (max_alpha - base_alpha) * t ** 2
+            alpha = np.maximum(alpha, np.broadcast_to(ramp, mesh.scalar_shape))
+    alpha = np.where(mask, alpha, 0.0)
+    return alpha

@@ -1,0 +1,45 @@
+"""Analytic spin-wave physics: materials, dispersion, wave algebra, losses."""
+
+from .materials import FECOB, PERMALLOY, YIG, Material, get_material, register_material
+from .dispersion import (
+    DispersionRelation,
+    FilmStack,
+    SpinWaveGeometry,
+    dipole_form_factor,
+    paper_operating_point,
+)
+from .waves import (
+    PHASE_TOLERANCE,
+    Wave,
+    interference_kind,
+    phase_distance,
+    standing_pattern,
+    superpose,
+    wrap_phase,
+)
+from .attenuation import LOSSLESS, AttenuationModel, calibrated_paper_model, from_dispersion
+
+__all__ = [
+    "FECOB",
+    "PERMALLOY",
+    "YIG",
+    "Material",
+    "get_material",
+    "register_material",
+    "DispersionRelation",
+    "FilmStack",
+    "SpinWaveGeometry",
+    "dipole_form_factor",
+    "paper_operating_point",
+    "PHASE_TOLERANCE",
+    "Wave",
+    "interference_kind",
+    "phase_distance",
+    "standing_pattern",
+    "superpose",
+    "wrap_phase",
+    "LOSSLESS",
+    "AttenuationModel",
+    "calibrated_paper_model",
+    "from_dispersion",
+]

@@ -1,0 +1,158 @@
+"""Magnetic material parameter sets.
+
+The paper simulates a Fe60Co20B20 waveguide with perpendicular magnetic
+anisotropy (PMA); the parameters below (``FECOB``) are quoted directly
+from Section IV-A of the paper (originally from Devolder et al.,
+Phys. Rev. B 93, 024420 (2016)).  A couple of other standard magnonic
+materials are included for the examples and for cross-checks of the
+dispersion module against literature values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..constants import GAMMA_LL, MU0
+
+
+@dataclass(frozen=True)
+class Material:
+    """Continuum micromagnetic parameters of a ferromagnet.
+
+    Attributes
+    ----------
+    name:
+        Human readable identifier.
+    ms:
+        Saturation magnetisation [A/m].
+    aex:
+        Exchange stiffness [J/m].
+    alpha:
+        Dimensionless Gilbert damping.
+    ku:
+        First-order uniaxial anisotropy constant [J/m^3].  Positive with
+        ``anisotropy_axis = (0, 0, 1)`` means perpendicular (out-of-plane)
+        easy axis, as for the CoFeB/MgO system in the paper.
+    anisotropy_axis:
+        Unit vector of the uniaxial easy axis.
+    gamma:
+        Gyromagnetic ratio [rad/(T s)].
+    """
+
+    name: str
+    ms: float
+    aex: float
+    alpha: float
+    ku: float = 0.0
+    anisotropy_axis: Tuple[float, float, float] = (0.0, 0.0, 1.0)
+    gamma: float = GAMMA_LL
+
+    def __post_init__(self) -> None:
+        if self.ms <= 0:
+            raise ValueError(f"saturation magnetisation must be > 0, got {self.ms}")
+        if self.aex <= 0:
+            raise ValueError(f"exchange stiffness must be > 0, got {self.aex}")
+        if self.alpha < 0:
+            raise ValueError(f"Gilbert damping must be >= 0, got {self.alpha}")
+        norm = math.sqrt(sum(c * c for c in self.anisotropy_axis))
+        if not math.isclose(norm, 1.0, rel_tol=1e-9):
+            raise ValueError("anisotropy_axis must be a unit vector")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def exchange_length(self) -> float:
+        """Magnetostatic exchange length ``sqrt(2 A / (mu0 Ms^2))`` [m].
+
+        Finite-difference cells should not be (much) larger than this for
+        the exchange field to be resolved; for the paper's CoFeB it is
+        about 4.9 nm.
+        """
+        return math.sqrt(2.0 * self.aex / (MU0 * self.ms ** 2))
+
+    @property
+    def anisotropy_field(self) -> float:
+        """Uniaxial anisotropy field ``2 Ku / (mu0 Ms)`` [A/m]."""
+        return 2.0 * self.ku / (MU0 * self.ms)
+
+    @property
+    def effective_pma_field(self) -> float:
+        """Net internal field for out-of-plane magnetisation [A/m].
+
+        For a thin film magnetised out of plane the demagnetising field is
+        ``-Ms``; the film stays perpendicular without external bias when
+        ``anisotropy_field > Ms``, i.e. this quantity is positive.  The
+        paper's FeCoB satisfies this (approximately +104 kA/m).
+        """
+        return self.anisotropy_field - self.ms
+
+    @property
+    def is_perpendicular(self) -> bool:
+        """True if the film self-stabilises out of plane (PMA wins demag)."""
+        return self.effective_pma_field > 0.0
+
+    def with_damping(self, alpha: float) -> "Material":
+        """Return a copy with a different Gilbert damping."""
+        return replace(self, alpha=alpha)
+
+    def with_ms(self, ms: float) -> "Material":
+        """Return a copy with a different saturation magnetisation."""
+        return replace(self, ms=ms)
+
+
+#: Fe60Co20B20 parameters used in the paper (Section IV-A).
+FECOB = Material(
+    name="Fe60Co20B20",
+    ms=1100e3,            # 1100 kA/m
+    aex=18.5e-12,         # 18.5 pJ/m
+    alpha=0.004,
+    ku=0.832e6,           # 0.832 MJ/m^3 perpendicular anisotropy
+)
+
+#: Yttrium iron garnet -- the workhorse low-damping magnonic insulator.
+YIG = Material(
+    name="YIG",
+    ms=140e3,
+    aex=3.5e-12,
+    alpha=2e-4,
+)
+
+#: Ni80Fe20 (permalloy), the classic metallic test material.
+PERMALLOY = Material(
+    name="Permalloy",
+    ms=800e3,
+    aex=13e-12,
+    alpha=0.008,
+)
+
+_REGISTRY: Dict[str, Material] = {
+    "fecob": FECOB,
+    "fe60co20b20": FECOB,
+    "yig": YIG,
+    "permalloy": PERMALLOY,
+    "py": PERMALLOY,
+}
+
+
+def get_material(name: str) -> Material:
+    """Look up a material by (case-insensitive) name.
+
+    Raises
+    ------
+    KeyError
+        With a helpful message listing the available materials.
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        available = ", ".join(sorted(set(m.name for m in _REGISTRY.values())))
+        raise KeyError(f"unknown material {name!r}; available: {available}")
+    return _REGISTRY[key]
+
+
+def register_material(material: Material, *aliases: str) -> None:
+    """Add a custom material to the registry under its name and aliases."""
+    _REGISTRY[material.name.strip().lower()] = material
+    for alias in aliases:
+        _REGISTRY[alias.strip().lower()] = material

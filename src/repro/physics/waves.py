@@ -1,0 +1,203 @@
+"""Plane-wave algebra: the linear-superposition backbone of SW logic.
+
+Spin-wave computing encodes logic values in the *phase* of coherent
+waves (phase 0 -> logic 0, phase pi -> logic 1) and evaluates functions
+through interference (Section II-B of the paper).  This module gives a
+small, exact complex-amplitude representation of monochromatic waves on
+which the gate network model (:mod:`repro.core.network`) is built.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Two waves are "in phase" / "out of phase" within this tolerance [rad].
+PHASE_TOLERANCE = 1e-9
+
+
+def wrap_phase(phase: float) -> float:
+    """Wrap a phase into the half-open interval ``(-pi, pi]``.
+
+    >>> wrap_phase(3 * math.pi)
+    3.141592653589793
+    """
+    wrapped = math.remainder(phase, 2.0 * math.pi)
+    # math.remainder returns values in [-pi, pi]; map -pi to +pi so the
+    # representative of "logic 1" is unique.
+    if wrapped <= -math.pi + PHASE_TOLERANCE:
+        wrapped = math.pi
+    return wrapped
+
+
+def phase_distance(a: float, b: float) -> float:
+    """Smallest absolute angular distance between two phases [rad]."""
+    return abs(math.remainder(a - b, 2.0 * math.pi))
+
+
+@dataclass(frozen=True)
+class Wave:
+    """A monochromatic spin wave at a fixed point of the circuit.
+
+    The full space-time field is ``A cos(2 pi f t - k x + phi)``; the
+    network model only ever needs the complex envelope at discrete
+    reference planes, so a wave is ``(amplitude, phase, frequency)`` with
+    the propagation handled by :meth:`propagate`.
+
+    Attributes
+    ----------
+    amplitude:
+        Non-negative envelope amplitude (normalised units).
+    phase:
+        Phase [rad], wrapped to ``(-pi, pi]``.
+    frequency:
+        Linear frequency [Hz].  Superposition requires equal frequencies.
+    """
+
+    amplitude: float
+    phase: float
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ValueError("amplitude must be non-negative; flip the phase "
+                             "by pi instead of using a negative amplitude")
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+        object.__setattr__(self, "phase", wrap_phase(self.phase))
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_complex(cls, envelope: complex, frequency: float) -> "Wave":
+        """Build a wave from its complex envelope."""
+        return cls(amplitude=abs(envelope),
+                   phase=cmath.phase(envelope) if envelope != 0 else 0.0,
+                   frequency=frequency)
+
+    @classmethod
+    def logic(cls, value: int, frequency: float, amplitude: float = 1.0) -> "Wave":
+        """Encode a logic value: phase 0 for 0, phase pi for 1."""
+        if value not in (0, 1):
+            raise ValueError(f"logic value must be 0 or 1, got {value!r}")
+        return cls(amplitude=amplitude,
+                   phase=math.pi if value else 0.0,
+                   frequency=frequency)
+
+    # -- representation --------------------------------------------------------
+
+    @property
+    def envelope(self) -> complex:
+        """Complex envelope ``A exp(i phi)``."""
+        return self.amplitude * cmath.exp(1j * self.phase)
+
+    @property
+    def wavelength_in(self) -> None:
+        raise AttributeError("a Wave does not know the medium; use "
+                             "DispersionRelation.wavelength(frequency)")
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Real field ``A cos(2 pi f t + phi)`` at the given times [s]."""
+        t = np.asarray(times, dtype=float)
+        return self.amplitude * np.cos(
+            2.0 * math.pi * self.frequency * t + self.phase)
+
+    # -- transformations --------------------------------------------------------
+
+    def propagate(self, distance: float, wavenumber: float,
+                  attenuation_length: float = math.inf) -> "Wave":
+        """Advance the wave by ``distance`` [m] along a waveguide.
+
+        Accumulates phase ``-k * distance`` (the paper's convention that a
+        path of n lambda preserves phase and (n+1/2) lambda inverts it) and
+        attenuates the amplitude by ``exp(-distance / L_att)``.
+        """
+        if distance < 0:
+            raise ValueError("propagation distance must be non-negative")
+        decay = math.exp(-distance / attenuation_length) \
+            if math.isfinite(attenuation_length) else 1.0
+        return Wave(amplitude=self.amplitude * decay,
+                    phase=wrap_phase(self.phase - wavenumber * distance),
+                    frequency=self.frequency)
+
+    def attenuate(self, factor: float) -> "Wave":
+        """Scale the amplitude by ``factor`` in [0, 1] (insertion loss)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("attenuation factor must lie in [0, 1]")
+        return replace(self, amplitude=self.amplitude * factor)
+
+    def shifted(self, phase_shift: float) -> "Wave":
+        """Return a copy with ``phase_shift`` added."""
+        return Wave(self.amplitude, self.phase + phase_shift, self.frequency)
+
+    def split(self, n_arms: int) -> "Wave":
+        """Power-split into ``n_arms`` equal arms (amplitude / sqrt(n)).
+
+        Models an ideal directional coupler used to extend fan-out beyond
+        2 (Section III-A, last paragraph).
+        """
+        if n_arms < 1:
+            raise ValueError("need at least one arm")
+        return replace(self, amplitude=self.amplitude / math.sqrt(n_arms))
+
+    # -- queries ----------------------------------------------------------------
+
+    def is_in_phase_with(self, other: "Wave",
+                         tolerance: float = 1e-6) -> bool:
+        """True if the phase difference is ~0 (mod 2 pi)."""
+        return phase_distance(self.phase, other.phase) < tolerance
+
+    def is_out_of_phase_with(self, other: "Wave",
+                             tolerance: float = 1e-6) -> bool:
+        """True if the phase difference is ~pi (mod 2 pi)."""
+        return abs(phase_distance(self.phase, other.phase) - math.pi) < tolerance
+
+
+def superpose(waves: Sequence[Wave]) -> Wave:
+    """Coherently sum equal-frequency waves (constructive/destructive).
+
+    This is the physical interference of Section II-B: the complex
+    envelopes add.  Same-phase waves add amplitudes; opposite-phase waves
+    cancel.
+
+    Raises
+    ------
+    ValueError
+        If the list is empty or the frequencies differ.
+    """
+    if not waves:
+        raise ValueError("cannot superpose zero waves")
+    f0 = waves[0].frequency
+    for wave in waves[1:]:
+        if not math.isclose(wave.frequency, f0, rel_tol=1e-12):
+            raise ValueError(
+                "interference-based SW logic requires equal frequencies; "
+                f"got {wave.frequency} Hz vs {f0} Hz")
+    total = sum((w.envelope for w in waves), 0j)
+    return Wave.from_complex(total, f0)
+
+
+def interference_kind(a: Wave, b: Wave, tolerance: float = 1e-6) -> str:
+    """Classify two-wave interference: 'constructive', 'destructive', 'partial'.
+
+    Matches Figure 2b of the paper: equal-amplitude in-phase waves double,
+    opposite-phase waves cancel.
+    """
+    if a.is_in_phase_with(b, tolerance):
+        return "constructive"
+    if a.is_out_of_phase_with(b, tolerance):
+        return "destructive"
+    return "partial"
+
+
+def standing_pattern(waves: Iterable[Wave], times: np.ndarray) -> np.ndarray:
+    """Time-domain sum of several waves at one point (for plotting)."""
+    t = np.asarray(times, dtype=float)
+    total = np.zeros_like(t)
+    for wave in waves:
+        total += wave.sample(t)
+    return total

@@ -1,0 +1,174 @@
+"""Small SI-unit helper layer.
+
+The spin-wave literature mixes nanometres, GHz, aJ, rad/um and A/m freely;
+keeping raw floats in base SI units but *constructing* and *formatting*
+them through this module removes an entire class of power-of-ten bugs.
+
+The helpers are deliberately plain functions over floats rather than a
+quantity class: the numerical kernels (LLG right-hand sides, FDTD update
+loops) must stay allocation-free NumPy code, so values inside the solvers
+are bare SI floats/arrays and units only appear at the API boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+# ---------------------------------------------------------------------------
+# SI prefixes
+# ---------------------------------------------------------------------------
+
+#: Multiplier for each supported SI prefix symbol.
+SI_PREFIXES = {
+    "y": 1e-24,
+    "z": 1e-21,
+    "a": 1e-18,
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "m": 1e-3,
+    "": 1.0,
+    "k": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+}
+
+_PREFIX_BY_EXPONENT = {
+    -24: "y", -21: "z", -18: "a", -15: "f", -12: "p", -9: "n",
+    -6: "u", -3: "m", 0: "", 3: "k", 6: "M", 9: "G", 12: "T",
+}
+
+
+def nm(value: float) -> float:
+    """Nanometres to metres."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Micrometres to metres."""
+    return value * 1e-6
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return value * 1e-12
+
+def fs(value: float) -> float:
+    """Femtoseconds to seconds."""
+    return value * 1e-15
+
+
+def ghz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * 1e9
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * 1e6
+
+
+def aj(value: float) -> float:
+    """Attojoules to joules."""
+    return value * 1e-18
+
+
+def nw(value: float) -> float:
+    """Nanowatts to watts."""
+    return value * 1e-9
+
+
+def rad_per_um(value: float) -> float:
+    """rad/um to rad/m (wave numbers)."""
+    return value * 1e6
+
+
+def ka_per_m(value: float) -> float:
+    """kA/m to A/m (magnetisation, fields)."""
+    return value * 1e3
+
+
+def mj_per_m3(value: float) -> float:
+    """MJ/m^3 to J/m^3 (anisotropy constants)."""
+    return value * 1e6
+
+
+def pj_per_m(value: float) -> float:
+    """pJ/m to J/m (exchange stiffness)."""
+    return value * 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Formatting / parsing
+# ---------------------------------------------------------------------------
+
+def to_engineering(value: float) -> Tuple[float, str]:
+    """Split ``value`` into mantissa and SI prefix.
+
+    >>> to_engineering(5.5e-8)
+    (55.0, 'n')
+
+    Returns
+    -------
+    tuple
+        ``(mantissa, prefix)`` such that ``mantissa * SI_PREFIXES[prefix]``
+        reconstructs ``value`` (up to floating point rounding).
+    """
+    if value == 0.0 or not math.isfinite(value):
+        return value, ""
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
+    exponent = max(-24, min(12, exponent))
+    prefix = _PREFIX_BY_EXPONENT[exponent]
+    return value / (10.0 ** exponent), prefix
+
+
+def format_quantity(value: float, unit: str, digits: int = 3) -> str:
+    """Format a raw SI value with an automatic engineering prefix.
+
+    >>> format_quantity(5.5e-8, 'm')
+    '55 nm'
+    """
+    mantissa, prefix = to_engineering(value)
+    text = f"{mantissa:.{digits}g}"
+    return f"{text} {prefix}{unit}"
+
+
+def parse_quantity(text: str) -> float:
+    """Parse a string such as ``"55 nm"`` or ``"10GHz"`` into base SI.
+
+    Only the single-character prefixes from :data:`SI_PREFIXES` are
+    understood.  The unit itself is not validated -- callers know which
+    dimension they expect.
+
+    Raises
+    ------
+    ValueError
+        If no leading number can be parsed.
+    """
+    stripped = text.strip()
+    index = 0
+    while index < len(stripped) and (stripped[index].isdigit()
+                                     or stripped[index] in "+-.eE"):
+        # Guard against consuming the exponent marker of a unit like 'eV'.
+        if stripped[index] in "eE":
+            remainder = stripped[index + 1:index + 2]
+            if not (remainder.isdigit() or remainder in "+-"):
+                break
+        index += 1
+    number_part = stripped[:index]
+    unit_part = stripped[index:].strip()
+    if not number_part:
+        raise ValueError(f"no numeric part in quantity {text!r}")
+    value = float(number_part)
+    if unit_part and unit_part[0] in SI_PREFIXES and len(unit_part) > 1:
+        value *= SI_PREFIXES[unit_part[0]]
+    return value

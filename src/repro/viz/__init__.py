@@ -1,0 +1,8 @@
+"""Rendering helpers: MuMax3-style colour maps, PPM/PGM writers, SVG
+layout drawings."""
+
+from .colormap import amplitude_gray, diverging_rgb, snapshot_grid, write_pgm, write_ppm
+from .svg import layout_to_svg, save_layout_svg
+
+__all__ = ["amplitude_gray", "diverging_rgb", "snapshot_grid",
+           "write_pgm", "write_ppm", "layout_to_svg", "save_layout_svg"]

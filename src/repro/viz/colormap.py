@@ -1,0 +1,131 @@
+"""Colour mapping and image export for field snapshots.
+
+Figure 5 of the paper renders the dynamic magnetisation with "blue
+represents logic 0 and red logic 1"; this module provides the matching
+diverging blue-white-red colormap, plus dependency-free PPM/PGM
+writers so the benches can save genuine image files without
+matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+#: Anchor colours of the diverging map (negative, zero, positive).
+_BLUE = np.array([33, 74, 185], dtype=float)
+_WHITE = np.array([247, 247, 247], dtype=float)
+_RED = np.array([187, 28, 38], dtype=float)
+
+
+def diverging_rgb(values: np.ndarray, vmax: Optional[float] = None,
+                  background: Tuple[int, int, int] = (20, 20, 20),
+                  mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Map signed values to a blue-white-red RGB image.
+
+    Parameters
+    ----------
+    values:
+        2-D signed field (e.g. ``field_map(...).real``).
+    vmax:
+        Symmetric colour range; defaults to ``max(|values|)``.
+    background:
+        RGB for cells outside ``mask`` (vacuum).
+    mask:
+        Optional boolean 2-D mask of valid cells.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(ny, nx, 3)`` uint8 image.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("values must be 2-D")
+    limit = vmax if vmax is not None else float(np.max(np.abs(values)))
+    if limit <= 0:
+        limit = 1.0
+    t = np.clip(values / limit, -1.0, 1.0)
+
+    image = np.empty(values.shape + (3,), dtype=float)
+    negative = t < 0
+    # Interpolate white -> blue for negatives, white -> red for positives.
+    for c in range(3):
+        image[..., c] = np.where(
+            negative,
+            _WHITE[c] + (-t) * (_BLUE[c] - _WHITE[c]),
+            _WHITE[c] + t * (_RED[c] - _WHITE[c]))
+    if mask is not None:
+        for c in range(3):
+            channel = image[..., c]
+            channel[~mask] = background[c]
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def amplitude_gray(values: np.ndarray, vmax: Optional[float] = None,
+                   mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Map non-negative amplitudes to an 8-bit grayscale image."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("values must be 2-D")
+    if np.any(values < 0):
+        raise ValueError("amplitudes must be non-negative")
+    limit = vmax if vmax is not None else float(values.max())
+    if limit <= 0:
+        limit = 1.0
+    image = np.clip(values / limit, 0.0, 1.0) * 255.0
+    if mask is not None:
+        image = np.where(mask, image, 0.0)
+    return image.astype(np.uint8)
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write an ``(ny, nx, 3)`` uint8 array as binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise ValueError("image must be (ny, nx, 3) uint8")
+    ny, nx, _ = image.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{nx} {ny}\n255\n".encode("ascii"))
+        # PPM rows run top to bottom; our y axis points up.
+        handle.write(image[::-1, :, :].tobytes())
+
+
+def write_pgm(path: str, image: np.ndarray) -> None:
+    """Write an ``(ny, nx)`` uint8 array as binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2 or image.dtype != np.uint8:
+        raise ValueError("image must be (ny, nx) uint8")
+    ny, nx = image.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{nx} {ny}\n255\n".encode("ascii"))
+        handle.write(image[::-1, :].tobytes())
+
+
+def snapshot_grid(images: "list[np.ndarray]", columns: int = 4,
+                  gap: int = 4,
+                  background: Tuple[int, int, int] = (0, 0, 0)
+                  ) -> np.ndarray:
+    """Tile equally sized RGB snapshots into one contact-sheet image.
+
+    Used by the Figure 5 bench to compose the a)-h) panels.
+    """
+    if not images:
+        raise ValueError("no images to tile")
+    shape = images[0].shape
+    for img in images:
+        if img.shape != shape:
+            raise ValueError("all snapshots must share one shape")
+    ny, nx, _ = shape
+    rows = (len(images) + columns - 1) // columns
+    sheet = np.zeros((rows * ny + (rows - 1) * gap,
+                      columns * nx + (columns - 1) * gap, 3), dtype=np.uint8)
+    for c in range(3):
+        sheet[..., c] = background[c]
+    for index, img in enumerate(images):
+        r, c = divmod(index, columns)
+        y0 = r * (ny + gap)
+        x0 = c * (nx + gap)
+        sheet[y0:y0 + ny, x0:x0 + nx, :] = img
+    return sheet

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite.
+
+The micromagnetic and FDTD fixtures are deliberately tiny -- validation
+physics does not need the paper's full device sizes, and the suite must
+stay fast enough to run on every change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.micromag import Mesh
+from repro.physics import FECOB, DispersionRelation, FilmStack
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator."""
+    return np.random.default_rng(20210948)
+
+
+@pytest.fixture
+def small_mesh():
+    """8 x 8 x 1 mesh with 5 nm cells, 1 nm thick (paper film scale)."""
+    return Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(8, 8, 1))
+
+
+@pytest.fixture
+def single_cell_mesh():
+    """One cubic cell -- macrospin problems."""
+    return Mesh(cell_size=(2e-9, 2e-9, 2e-9), shape=(1, 1, 1))
+
+
+@pytest.fixture
+def paper_film():
+    """The paper's 1 nm FeCoB film."""
+    return FilmStack(material=FECOB, thickness=1e-9)
+
+
+@pytest.fixture
+def paper_dispersion(paper_film):
+    """FVSW dispersion of the paper's film."""
+    return DispersionRelation(paper_film)

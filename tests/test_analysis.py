@@ -1,0 +1,117 @@
+"""Post-processing tests: spectra and dispersion extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.micromag import (
+    Mesh,
+    centerline_signal,
+    dominant_frequency,
+    precession_amplitude_map,
+    ringdown_spectrum,
+    space_time_fft,
+)
+
+
+class TestRingdown:
+    def test_single_tone(self):
+        f0 = 12e9
+        dt = 1e-12
+        t = np.arange(2048) * dt
+        signal = np.cos(2 * math.pi * f0 * t) * np.exp(-t / 1e-9)
+        assert dominant_frequency(signal, dt) == pytest.approx(f0, rel=0.01)
+
+    def test_two_tones_picks_stronger(self):
+        dt = 1e-12
+        t = np.arange(4096) * dt
+        signal = (1.0 * np.cos(2 * math.pi * 8e9 * t)
+                  + 0.3 * np.cos(2 * math.pi * 14e9 * t))
+        assert dominant_frequency(signal, dt) == pytest.approx(8e9, rel=0.01)
+
+    def test_spectrum_output_shapes(self):
+        freqs, amps = ringdown_spectrum(np.random.default_rng(0)
+                                        .standard_normal(256), 1e-12)
+        assert len(freqs) == len(amps) == 129
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            ringdown_spectrum(np.zeros(4), 1e-12)
+
+    def test_parabolic_refinement_beats_bin_width(self):
+        # Off-bin frequency: refinement should land within half a bin.
+        dt = 1e-12
+        n = 1024
+        df = 1.0 / (n * dt)
+        f0 = 10e9 + 0.3 * df
+        t = np.arange(n) * dt
+        signal = np.cos(2 * math.pi * f0 * t)
+        f_est = dominant_frequency(signal, dt)
+        assert abs(f_est - f0) < 0.5 * df
+
+
+class TestSpaceTimeFft:
+    def test_plane_wave_ridge(self):
+        # A single rightward plane wave must produce a ridge at (k0, f0).
+        f0, lam = 10e9, 80e-9
+        k0 = 2 * math.pi / lam
+        dx, dt = 5e-9, 2e-12
+        nx, nt = 256, 512
+        x = np.arange(nx) * dx
+        t = np.arange(nt) * dt
+        signal = np.cos(2 * math.pi * f0 * t[:, None] - k0 * x[None, :])
+        dmap = space_time_fft(signal, dx, dt)
+        ks, fs = dmap.ridge(k_min=k0 / 4)
+        idx = np.argmin(np.abs(ks - k0))
+        assert fs[idx] == pytest.approx(f0, rel=0.05)
+
+    def test_dispersive_pair_of_waves(self):
+        # Two plane waves at different (k, f): ridge hits both.
+        dx, dt = 5e-9, 2e-12
+        nx, nt = 256, 512
+        x = np.arange(nx) * dx
+        t = np.arange(nt) * dt
+        comps = [(10e9, 2 * math.pi / 100e-9), (20e9, 2 * math.pi / 50e-9)]
+        signal = sum(np.cos(2 * math.pi * f * t[:, None] - k * x[None, :])
+                     for f, k in comps)
+        dmap = space_time_fft(signal, dx, dt)
+        ks, fs = dmap.ridge(k_min=1e7)
+        for f, k in comps:
+            idx = np.argmin(np.abs(ks - k))
+            assert fs[idx] == pytest.approx(f, rel=0.1)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            space_time_fft(np.zeros(16), 1e-9, 1e-12)
+
+
+class TestHelpers:
+    def test_centerline_extraction(self):
+        mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(16, 9, 1))
+        snaps = np.zeros((3, 3, 1, 9, 16))
+        snaps[1, 0, 0, 4, :] = 7.0  # centre row, mx at t=1
+        signal = centerline_signal(snaps, mesh, component=0)
+        assert signal.shape == (3, 16)
+        assert np.all(signal[1] == 7.0)
+        assert np.all(signal[0] == 0.0)
+
+    def test_centerline_validates_shape(self):
+        mesh = Mesh(cell_size=(5e-9,) * 2 + (1e-9,), shape=(4, 4, 1))
+        with pytest.raises(ValueError):
+            centerline_signal(np.zeros((3, 4, 4)), mesh)
+
+    def test_precession_amplitude(self):
+        m = np.zeros((3, 1, 2, 2))
+        m[0, 0, 0, 0] = 0.3
+        m[1, 0, 0, 0] = 0.4
+        amp = precession_amplitude_map(m)
+        assert amp[0, 0, 0] == pytest.approx(0.5)
+
+    def test_precession_amplitude_with_reference(self):
+        m0 = np.zeros((3, 1, 1, 1))
+        m0[0] = 0.1
+        m = m0.copy()
+        m[0] += 0.2
+        amp = precession_amplitude_map(m, m0)
+        assert amp[0, 0, 0] == pytest.approx(0.2)

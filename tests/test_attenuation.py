@@ -1,0 +1,75 @@
+"""Attenuation-model tests."""
+
+import math
+
+import pytest
+
+from repro.physics import (
+    FECOB,
+    LOSSLESS,
+    AttenuationModel,
+    DispersionRelation,
+    FilmStack,
+    calibrated_paper_model,
+    from_dispersion,
+)
+
+
+class TestModelBasics:
+    def test_lossless_passes_everything(self):
+        assert LOSSLESS.path_factor(1.0) == 1.0
+        assert LOSSLESS.through_junctions(10) == 1.0
+
+    def test_exponential_decay(self):
+        model = AttenuationModel(decay_length=1e-6)
+        assert model.path_factor(1e-6) == pytest.approx(math.exp(-1.0))
+        assert model.path_factor(2e-6) == pytest.approx(math.exp(-2.0))
+
+    def test_junction_loss_compounds(self):
+        model = AttenuationModel(junction_loss=0.5)
+        assert model.through_junctions(3) == pytest.approx(0.125)
+
+    def test_zero_distance_is_unity(self):
+        model = AttenuationModel(decay_length=1e-6)
+        assert model.path_factor(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttenuationModel(decay_length=0.0)
+        with pytest.raises(ValueError):
+            AttenuationModel(junction_loss=0.0)
+        with pytest.raises(ValueError):
+            AttenuationModel(junction_loss=1.5)
+        with pytest.raises(ValueError):
+            AttenuationModel().path_factor(-1.0)
+        with pytest.raises(ValueError):
+            AttenuationModel().through_junctions(-1)
+
+
+class TestFromDispersion:
+    def test_decay_length_matches_vg_tau(self):
+        disp = DispersionRelation(FilmStack(material=FECOB, thickness=1e-9))
+        f = 12e9
+        model = from_dispersion(disp, f)
+        k = disp.wavenumber(f)
+        assert model.decay_length == pytest.approx(
+            float(disp.attenuation_length(k)), rel=1e-6)
+
+    def test_damping_shortens_decay(self):
+        lossy = FilmStack(material=FECOB.with_damping(0.016), thickness=1e-9)
+        clean = FilmStack(material=FECOB, thickness=1e-9)
+        f = 12e9
+        l_lossy = from_dispersion(DispersionRelation(lossy), f).decay_length
+        l_clean = from_dispersion(DispersionRelation(clean), f).decay_length
+        assert l_clean / l_lossy == pytest.approx(4.0, rel=0.01)
+
+
+class TestCalibratedModel:
+    def test_default_junction_loss(self):
+        model = calibrated_paper_model()
+        assert 0.0 < model.junction_loss < 1.0
+        assert math.isinf(model.decay_length)
+
+    def test_override(self):
+        model = calibrated_paper_model(junction_loss=0.8)
+        assert model.junction_loss == pytest.approx(0.8)

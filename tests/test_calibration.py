@@ -1,0 +1,96 @@
+"""Calibration tests: the Table I inversion must be exact."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PAPER_ARRIVAL_MODEL, PAPER_TABLE_I, ArrivalModel, fit_arrival_model
+from repro.core.calibration import PAPER_TABLE_II, xor_asymmetry_model
+from repro.core.logic import input_patterns, majority
+
+
+class TestFit:
+    def test_paper_fit_reproduces_table_i(self):
+        model = PAPER_ARRIVAL_MODEL
+        for bits, (o1, _o2) in PAPER_TABLE_I.items():
+            assert model.normalized_output(bits) == pytest.approx(
+                o1, abs=1e-9), bits
+
+    def test_fitted_parameters(self):
+        model = PAPER_ARRIVAL_MODEL
+        assert model.overlap_penalty == pytest.approx(0.407)
+        e1, e2, e3 = model.efficiencies
+        assert e1 == pytest.approx(0.398, abs=1e-3)
+        assert e2 == pytest.approx(0.303, abs=1e-3)
+        assert e3 == pytest.approx(0.299, abs=1e-3)
+        assert e1 + e2 + e3 == pytest.approx(1.0)
+
+    def test_majority_phase_preserved(self):
+        # The calibrated gate must still decode correctly: the losing
+        # input never flips the interference sign.
+        model = PAPER_ARRIVAL_MODEL
+        for bits in input_patterns(3):
+            assert model.output_phase_is_majority(bits), bits
+
+    @given(st.floats(min_value=0.02, max_value=0.3),
+           st.floats(min_value=0.02, max_value=0.3),
+           st.floats(min_value=0.02, max_value=0.3))
+    @settings(max_examples=50)
+    def test_fit_round_trip(self, p1, p2, p3):
+        model = fit_arrival_model({1: p1, 2: p2, 3: p3})
+        assert model.normalized_output((1, 0, 0)) == pytest.approx(p1)
+        assert model.normalized_output((0, 1, 0)) == pytest.approx(p2)
+        assert model.normalized_output((0, 0, 1)) == pytest.approx(p3)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError, match="keys 1, 2, 3"):
+            fit_arrival_model({1: 0.1, 2: 0.1})
+        with pytest.raises(ValueError, match="positive"):
+            fit_arrival_model({1: 0.0, 2: 0.1, 3: 0.1})
+        with pytest.raises(ValueError, match="sum above 1"):
+            fit_arrival_model({1: 0.5, 2: 0.4, 3: 0.3})
+
+
+class TestArrivalModel:
+    def test_complement_symmetry(self):
+        # Table I shows identical values for complementary patterns.
+        model = PAPER_ARRIVAL_MODEL
+        for bits in input_patterns(3):
+            flipped = tuple(1 - b for b in bits)
+            assert model.normalized_output(bits) == pytest.approx(
+                model.normalized_output(flipped))
+
+    def test_unanimous_normalised_to_one(self):
+        model = PAPER_ARRIVAL_MODEL
+        assert model.normalized_output((0, 0, 0)) == pytest.approx(1.0)
+        assert model.normalized_output((1, 1, 1)) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalModel(efficiencies=(0.5, 0.5), overlap_penalty=0.4)
+        with pytest.raises(ValueError):
+            ArrivalModel(efficiencies=(0.5, 0.3, 0.3), overlap_penalty=0.4)
+        with pytest.raises(ValueError):
+            ArrivalModel(efficiencies=(0.4, 0.3, 0.3), overlap_penalty=0.0)
+
+
+class TestTableData:
+    def test_table_i_has_all_patterns(self):
+        assert set(PAPER_TABLE_I) == set(input_patterns(3))
+
+    def test_table_i_consistent_with_majority(self):
+        # Unanimous rows are 1.0; the rest are small (logic via phase).
+        for bits, (o1, o2) in PAPER_TABLE_I.items():
+            if len(set(bits)) == 1:
+                assert o1 == o2 == 1.0
+            else:
+                assert o1 < 0.2 and o2 < 0.2
+
+    def test_table_ii_xor_contrast(self):
+        model = xor_asymmetry_model()
+        assert model[(0, 0)] > 0.9
+        assert model[(1, 1)] > 0.9
+        assert model[(0, 1)] < 0.1
+        assert model[(1, 0)] < 0.1

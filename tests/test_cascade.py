@@ -1,0 +1,114 @@
+"""Cascade-depth / repeater-planning tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.cascade import CascadeAnalyzer, StageModel, triangle_stage_model
+from repro.circuits.components import Repeater
+from repro.physics import AttenuationModel
+
+
+@pytest.fixture
+def analyzer():
+    return CascadeAnalyzer(AttenuationModel(decay_length=3.3e-6),
+                           min_detectable=0.05)
+
+
+class TestStageModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageModel(transmission=0.0)
+        with pytest.raises(ValueError):
+            StageModel(transmission=1.5)
+        with pytest.raises(ValueError):
+            StageModel(transmission=0.5, path_length=-1.0)
+
+    def test_triangle_models(self):
+        worst = triangle_stage_model(worst_case=True)
+        best = triangle_stage_model(worst_case=False)
+        assert worst.transmission == pytest.approx(0.083)
+        assert best.transmission == pytest.approx(1.0)
+
+
+class TestBudget:
+    def test_stage_factor_combines_losses(self, analyzer):
+        stage = StageModel(transmission=0.5, path_length=3.3e-6)
+        assert analyzer.stage_factor(stage) == pytest.approx(
+            0.5 * math.exp(-1.0))
+
+    def test_amplitude_after_chain(self, analyzer):
+        stage = StageModel(transmission=0.5)
+        assert analyzer.amplitude_after([stage] * 3) == pytest.approx(0.125)
+
+    def test_max_depth_formula(self, analyzer):
+        stage = StageModel(transmission=0.5)
+        # 0.5^n >= 0.05 -> n <= 4.32 -> 4 stages.
+        assert analyzer.max_depth(stage) == 4
+
+    def test_lossless_chain_unbounded(self):
+        analyzer = CascadeAnalyzer(AttenuationModel(), min_detectable=0.05)
+        assert analyzer.max_depth(StageModel(transmission=1.0)) >= 10 ** 6
+
+    def test_dead_input(self, analyzer):
+        assert analyzer.max_depth(StageModel(transmission=0.5),
+                                  input_amplitude=0.01) == 0
+
+
+class TestRepeaterPlanning:
+    def test_no_repeaters_when_in_budget(self, analyzer):
+        stage = StageModel(transmission=0.9)
+        report = analyzer.plan([stage] * 3)
+        assert report.repeater_positions == ()
+        assert report.total_repeater_energy == 0.0
+        assert report.final_amplitude == pytest.approx(0.9 ** 3)
+
+    def test_repeaters_inserted_when_needed(self, analyzer):
+        stage = StageModel(transmission=0.5)
+        report = analyzer.plan([stage] * 10)
+        assert len(report.repeater_positions) > 0
+        assert report.final_amplitude >= analyzer.min_detectable
+
+    def test_amplitude_never_dips_below_threshold(self, analyzer):
+        stage = StageModel(transmission=0.45)
+        stages = [stage] * 12
+        report = analyzer.plan(stages)
+        # Re-simulate the plan and verify the invariant.
+        amplitude = 1.0
+        for index, s in enumerate(stages):
+            if index in report.repeater_positions:
+                amplitude = analyzer.repeater.nominal_amplitude
+            amplitude *= analyzer.stage_factor(s)
+            assert amplitude >= analyzer.min_detectable - 1e-12
+
+    def test_infeasible_stage_detected(self, analyzer):
+        lethal = StageModel(transmission=0.01)
+        with pytest.raises(ValueError, match="infeasible"):
+            analyzer.plan([StageModel(transmission=0.9), lethal])
+
+    def test_energy_and_delay_scale_with_repeaters(self, analyzer):
+        stage = StageModel(transmission=0.4)
+        report = analyzer.plan([stage] * 15)
+        n = len(report.repeater_positions)
+        assert report.total_repeater_energy == pytest.approx(
+            n * analyzer.repeater.energy)
+        assert report.added_delay == pytest.approx(
+            n * analyzer.repeater.delay)
+
+    @given(st.floats(min_value=0.3, max_value=0.95),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_always_ends_detectable(self, transmission, depth):
+        analyzer = CascadeAnalyzer(AttenuationModel(),
+                                   min_detectable=0.05)
+        report = analyzer.plan([StageModel(transmission=transmission)]
+                               * depth)
+        assert report.final_amplitude >= analyzer.min_detectable - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CascadeAnalyzer(AttenuationModel(), min_detectable=0.0)
+        with pytest.raises(ValueError):
+            CascadeAnalyzer(AttenuationModel(), min_detectable=1.0)

@@ -1,0 +1,81 @@
+"""Circuit-level figure-of-merit tests (the ref. [42] comparison style)."""
+
+import pytest
+
+from repro.circuits import full_adder_netlist, ripple_carry_adder_netlist
+from repro.evaluation.circuit_level import (
+    CircuitFigures,
+    adder_comparison,
+    cmos_adder_figures,
+    format_comparison,
+    spin_wave_circuit_figures,
+)
+
+
+class TestSpinWaveFigures:
+    def test_full_adder_figures(self):
+        fig = spin_wave_circuit_figures(full_adder_netlist())
+        # 2 XOR x 4 cells + 1 MAJ3 x 5 cells = 13 transducers.
+        assert fig.device_count == 13
+        assert fig.energy == pytest.approx(7 * 3.44e-18, rel=1e-6)
+        assert fig.delay == pytest.approx(0.8e-9)
+        assert fig.area > 0
+
+    def test_energy_scales_with_width(self):
+        e4 = spin_wave_circuit_figures(ripple_carry_adder_netlist(4)).energy
+        e8 = spin_wave_circuit_figures(ripple_carry_adder_netlist(8)).energy
+        assert e8 == pytest.approx(2 * e4, rel=1e-6)
+
+    def test_delay_scales_with_width(self):
+        d4 = spin_wave_circuit_figures(ripple_carry_adder_netlist(4)).delay
+        d8 = spin_wave_circuit_figures(ripple_carry_adder_netlist(8)).delay
+        assert d8 > d4
+
+
+class TestCmosFigures:
+    def test_transistor_count(self):
+        fig = cmos_adder_figures(4, "16nm")
+        # 4 x (16 + 2 x 8) = 128 transistors.
+        assert fig.device_count == 128
+
+    def test_energy_from_table_iii(self):
+        fig = cmos_adder_figures(1, "7nm")
+        assert fig.energy == pytest.approx(16.4e-18 + 2 * 5.4e-18)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            cmos_adder_figures(0, "16nm")
+
+
+class TestComparison:
+    def test_all_three_technologies(self):
+        figures = adder_comparison(4)
+        assert set(figures) == {"SW (this work)", "16nm CMOS", "7nm CMOS"}
+
+    def test_sw_beats_16nm_on_energy(self):
+        figures = adder_comparison(8)
+        assert figures["SW (this work)"].energy \
+            < figures["16nm CMOS"].energy
+
+    def test_cmos_beats_sw_on_delay(self):
+        figures = adder_comparison(8)
+        assert figures["7nm CMOS"].delay < figures["SW (this work)"].delay
+
+    def test_sw_wins_area_energy_product_vs_16nm(self):
+        # The circuit-level story of ref [42]: energy/area products
+        # favour SW against mature CMOS despite the delay deficit.
+        figures = adder_comparison(8)
+        sw = figures["SW (this work)"].area_delay_power_product
+        c16 = figures["16nm CMOS"].area_delay_power_product
+        assert c16 / sw > 10
+
+    def test_format_contains_rows(self):
+        text = format_comparison(adder_comparison(2))
+        assert "SW (this work)" in text
+        assert "EDP" in text
+
+    def test_derived_products(self):
+        fig = CircuitFigures(name="x", technology="SW", device_count=1,
+                             energy=2.0, delay=3.0, area=5.0)
+        assert fig.energy_delay_product == pytest.approx(6.0)
+        assert fig.area_delay_power_product == pytest.approx(10.0)

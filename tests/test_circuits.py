@@ -1,0 +1,286 @@
+"""Circuit-layer tests: netlists, components, simulator, synthesis."""
+
+import math
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CircuitSimulator,
+    DirectionalCoupler,
+    Netlist,
+    Repeater,
+    fanout_chain,
+    full_adder_netlist,
+    majority_tree_netlist,
+    parity_chain_netlist,
+    ripple_carry_adder_netlist,
+)
+from repro.core.logic import full_adder, majority, xor
+from repro.physics import Wave
+
+F = 10e9
+
+
+class TestNetlist:
+    def test_duplicate_gate_rejected(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g", "REPEATER", ["a"], ["b"])
+        with pytest.raises(ValueError, match="duplicate gate"):
+            net.add_gate("g", "REPEATER", ["b"], ["c"])
+
+    def test_unknown_gate_type(self):
+        net = Netlist()
+        with pytest.raises(ValueError, match="unknown gate type"):
+            net.add_gate("g", "FLUX_CAPACITOR", ["a"], ["b"])
+
+    def test_port_count_enforced(self):
+        net = Netlist()
+        with pytest.raises(ValueError, match="takes 3 inputs"):
+            net.add_gate("g", "MAJ3", ["a", "b"], ["o", None])
+
+    def test_multiple_drivers_rejected(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g1", "REPEATER", ["a"], ["x"])
+        with pytest.raises(ValueError, match="driven by multiple"):
+            net.add_gate("g2", "REPEATER", ["a"], ["x"])
+
+    def test_dangling_input_detected(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g", "XOR", ["a", "ghost"], ["o", None])
+        with pytest.raises(ValueError, match="no driver"):
+            net.validate()
+
+    def test_fanout_budget_enforced(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("g1", "XOR", ["a", "b"], ["x", None])
+        net.add_gate("g2", "REPEATER", ["x"], ["y1"])
+        net.add_gate("g3", "REPEATER", ["x"], ["y2"])  # second consumer
+        with pytest.raises(ValueError, match="SPLITTER"):
+            net.validate()
+
+    def test_loop_detected(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g1", "XOR", ["a", "y"], ["x", None])
+        net.add_gate("g2", "REPEATER", ["x"], ["y"])
+        with pytest.raises(ValueError, match="loop"):
+            net.topological_order()
+
+    def test_count_by_type(self):
+        net = full_adder_netlist()
+        counts = net.count_by_type()
+        assert counts["XOR"] == 2
+        assert counts["MAJ3"] == 1
+        assert counts["SPLITTER2"] == 3
+
+
+class TestComponents:
+    def test_coupler_power_conserved(self):
+        coupler = DirectionalCoupler(n_arms=2)
+        arms = coupler.split(Wave(1.0, 0.3, F))
+        total_power = sum(a.amplitude ** 2 for a in arms)
+        assert total_power == pytest.approx(1.0)
+        for arm in arms:
+            assert arm.phase == pytest.approx(0.3)
+
+    def test_coupler_excess_loss(self):
+        coupler = DirectionalCoupler(n_arms=2, excess_loss=0.9)
+        arms = coupler.split(Wave(1.0, 0.0, F))
+        assert arms[0].amplitude == pytest.approx(0.9 / math.sqrt(2))
+
+    def test_coupler_validation(self):
+        with pytest.raises(ValueError):
+            DirectionalCoupler(n_arms=1)
+        with pytest.raises(ValueError):
+            DirectionalCoupler(excess_loss=0.0)
+
+    def test_repeater_restores_amplitude(self):
+        repeater = Repeater()
+        weak = Wave(0.3, math.pi, F)
+        fresh = repeater.regenerate(weak)
+        assert fresh.amplitude == pytest.approx(1.0)
+        assert fresh.phase == pytest.approx(math.pi)
+
+    def test_repeater_rejects_lost_signal(self):
+        repeater = Repeater(minimum_input=0.1)
+        with pytest.raises(ValueError, match="below"):
+            repeater.regenerate(Wave(0.05, 0.0, F))
+
+    def test_repeater_cost(self):
+        repeater = Repeater()
+        assert repeater.energy == pytest.approx(3.44e-18)
+        assert repeater.delay == pytest.approx(0.42e-9)
+
+    def test_fanout_chain_plan(self):
+        assert fanout_chain(2) == (1, 2)
+        assert fanout_chain(4) == (3, 4)
+        assert fanout_chain(8) == (7, 8)
+        assert fanout_chain(3, coupler_arms=3) == (1, 3)
+
+    def test_fanout_chain_validation(self):
+        with pytest.raises(ValueError):
+            fanout_chain(1)
+
+
+class TestFullAdder:
+    def test_exhaustive(self):
+        sim = CircuitSimulator(full_adder_netlist())
+        for a, b, c in product((0, 1), repeat=3):
+            report = sim.run({"a": a, "b": b, "cin": c})
+            s, carry = full_adder(a, b, c)
+            assert report.outputs == {"sum": s, "carry": carry}
+
+    def test_energy_accounting(self):
+        # 2 XOR gates (2 cells each) + 1 MAJ3 (3 cells) = 7 excitations
+        # at 3.44 aJ each; splitters are passive.
+        sim = CircuitSimulator(full_adder_netlist())
+        report = sim.run({"a": 1, "b": 0, "cin": 1})
+        assert report.energy == pytest.approx(7 * 3.44e-18, rel=1e-6)
+
+    def test_critical_path(self):
+        # sum goes through two cascaded XORs -> 2 stages.
+        sim = CircuitSimulator(full_adder_netlist())
+        report = sim.run({"a": 1, "b": 1, "cin": 0})
+        assert report.stage_count == 2
+        assert report.delay == pytest.approx(2 * 0.4e-9)
+
+    def test_network_model_agrees(self):
+        boolean = CircuitSimulator(full_adder_netlist(), model="boolean")
+        physical = CircuitSimulator(full_adder_netlist(), model="network")
+        for a, b, c in product((0, 1), repeat=3):
+            inputs = {"a": a, "b": b, "cin": c}
+            assert boolean.run(inputs).outputs \
+                == physical.run(inputs).outputs
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_exhaustive(self, width):
+        sim = CircuitSimulator(ripple_carry_adder_netlist(width))
+        for a in range(2 ** width):
+            for b in range(2 ** width):
+                for cin in (0, 1):
+                    inputs = {f"a{i}": (a >> i) & 1 for i in range(width)}
+                    inputs.update(
+                        {f"b{i}": (b >> i) & 1 for i in range(width)})
+                    inputs["cin"] = cin
+                    out = sim.run(inputs).outputs
+                    total = sum(out[f"s{i}"] << i for i in range(width)) \
+                        + (out["cout"] << width)
+                    assert total == a + b + cin
+
+    def test_delay_grows_with_width(self):
+        short = CircuitSimulator(ripple_carry_adder_netlist(2))
+        long = CircuitSimulator(ripple_carry_adder_netlist(6))
+        inputs2 = {f"{p}{i}": 1 for p in "ab" for i in range(2)}
+        inputs6 = {f"{p}{i}": 1 for p in "ab" for i in range(6)}
+        inputs2["cin"] = 1
+        inputs6["cin"] = 1
+        assert long.run(inputs6).delay > short.run(inputs2).delay
+
+
+class TestVotingAndParity:
+    def test_majority_tree_9(self):
+        sim = CircuitSimulator(majority_tree_netlist(9))
+        # 9 votes: tree of MAJ3 gates (approximate majority). Verify
+        # the tree agrees with the per-group majority reduction.
+        for pattern in range(2 ** 9):
+            bits = [(pattern >> i) & 1 for i in range(9)]
+            inputs = {f"v{i}": bits[i] for i in range(9)}
+            got = sim.run(inputs).outputs["vote"]
+            groups = [majority(*bits[j:j + 3]) for j in (0, 3, 6)]
+            assert got == majority(*groups)
+
+    def test_majority_tree_validation(self):
+        with pytest.raises(ValueError, match="power of 3"):
+            majority_tree_netlist(6)
+
+    @given(st.lists(st.sampled_from([0, 1]), min_size=2, max_size=7))
+    @settings(max_examples=25, deadline=None)
+    def test_parity_chain(self, bits):
+        sim = CircuitSimulator(parity_chain_netlist(len(bits)))
+        inputs = {f"d{i}": b for i, b in enumerate(bits)}
+        assert sim.run(inputs).outputs["p"] == xor(*bits)
+
+
+class TestNetworkModeGateTypes:
+    """Every wave-modelled gate type agrees with its boolean model."""
+
+    @pytest.mark.parametrize("gate_type,reference", [
+        ("MAJ3", majority),
+        ("NMAJ3", lambda a, b, c: 1 - majority(a, b, c)),
+    ])
+    def test_three_input_types(self, gate_type, reference):
+        net = Netlist("t3")
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_output("y")
+        net.add_gate("g", gate_type, ["a", "b", "c"], ["y", None])
+        sim = CircuitSimulator(net, model="network")
+        for bits in product((0, 1), repeat=3):
+            inputs = dict(zip(("a", "b", "c"), bits))
+            assert sim.run(inputs).outputs["y"] == reference(*bits), \
+                (gate_type, bits)
+
+    @pytest.mark.parametrize("gate_type,reference", [
+        ("XOR", xor),
+        ("XNOR", lambda a, b: 1 - xor(a, b)),
+        ("AND", lambda a, b: a & b),
+        ("NAND", lambda a, b: 1 - (a & b)),
+        ("OR", lambda a, b: a | b),
+        ("NOR", lambda a, b: 1 - (a | b)),
+    ])
+    def test_two_input_types(self, gate_type, reference):
+        net = Netlist("t2")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_output("y")
+        net.add_gate("g", gate_type, ["a", "b"], ["y", None])
+        sim = CircuitSimulator(net, model="network")
+        for bits in product((0, 1), repeat=2):
+            inputs = dict(zip(("a", "b"), bits))
+            assert sim.run(inputs).outputs["y"] == reference(*bits), \
+                (gate_type, bits)
+
+
+class TestSimulatorValidation:
+    def test_missing_inputs(self):
+        sim = CircuitSimulator(full_adder_netlist())
+        with pytest.raises(ValueError, match="missing primary inputs"):
+            sim.run({"a": 0})
+
+    def test_unknown_inputs(self):
+        sim = CircuitSimulator(full_adder_netlist())
+        with pytest.raises(ValueError, match="unknown primary inputs"):
+            sim.run({"a": 0, "b": 0, "cin": 0, "zz": 1})
+
+    def test_non_binary_input(self):
+        sim = CircuitSimulator(full_adder_netlist())
+        with pytest.raises(ValueError, match="must be 0 or 1"):
+            sim.run({"a": 2, "b": 0, "cin": 0})
+
+    def test_bad_model(self):
+        with pytest.raises(ValueError):
+            CircuitSimulator(full_adder_netlist(), model="quantum")
+
+    def test_exhaustive_check_helper(self):
+        sim = CircuitSimulator(full_adder_netlist())
+
+        def reference(assign):
+            s, c = full_adder(assign["a"], assign["b"], assign["cin"])
+            return {"sum": s, "carry": c}
+
+        assert sim.exhaustive_check(reference)
+
+        def wrong(assign):
+            return {"sum": 0, "carry": 0}
+
+        assert not sim.exhaustive_check(wrong)

@@ -1,0 +1,68 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTruthTable:
+    @pytest.mark.parametrize("gate", ["maj3", "nmaj3", "xor", "xnor",
+                                      "and", "or", "nand", "nor", "maj5"])
+    def test_gate_prints_table(self, gate, capsys):
+        assert main(["truth-table", gate]) == 0
+        out = capsys.readouterr().out
+        assert "O1" in out and "O2" in out
+
+    def test_unknown_gate(self, capsys):
+        assert main(["truth-table", "flux"]) == 2
+        assert "unknown gate" in capsys.readouterr().err
+
+    def test_maj3_values_correct(self, capsys):
+        main(["truth-table", "maj3"])
+        out = capsys.readouterr().out
+        # (1,1,0) row must decode to 1 at both outputs.
+        for line in out.splitlines():
+            if line.startswith("1  | 1  | 0"):
+                assert line.strip().endswith("1  | 1")
+                break
+        else:
+            pytest.fail("pattern row not found")
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.083" in out and "0.164" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "This work" in out
+        assert "10.3" in out
+
+
+class TestDesign:
+    def test_default_design_point(self, capsys):
+        assert main(["design"]) == 0
+        out = capsys.readouterr().out
+        assert "d1 = 330 nm" in out
+        assert "d2 = 880 nm" in out
+
+    def test_rescaled(self, capsys):
+        assert main(["design", "--wavelength-nm", "110"]) == 0
+        out = capsys.readouterr().out
+        assert "d1 = 660 nm" in out
+
+
+class TestAdder:
+    def test_adder_comparison(self, capsys):
+        assert main(["adder", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "SW (this work)" in out
+        assert "7nm CMOS" in out

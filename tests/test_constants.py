@@ -1,0 +1,53 @@
+"""Physical-constant sanity checks."""
+
+import math
+
+from repro.constants import (
+    GAMMA_LL,
+    GAMMA_MU0_OVER_2PI,
+    G_E,
+    HBAR,
+    KB,
+    MU0,
+    MU_B,
+    gyromagnetic_ratio,
+)
+
+
+def test_mu0_value():
+    assert math.isclose(MU0, 1.25663706e-6, rel_tol=1e-6)
+
+
+def test_gamma_ll_matches_mumax3():
+    # MuMax3 hardcodes 1.7595e11 rad/(T s).
+    assert GAMMA_LL == 1.7595e11
+
+
+def test_gyromagnetic_ratio_free_electron():
+    gamma = gyromagnetic_ratio()
+    # g mu_B / hbar for the free electron: ~1.760859e11.
+    assert math.isclose(gamma, 1.76085963e11, rel_tol=1e-6)
+    # MuMax3's rounded value is within 0.1 %.
+    assert math.isclose(gamma, GAMMA_LL, rel_tol=1e-3)
+
+
+def test_gamma_in_frequency_units():
+    # gamma mu0 / 2pi should be ~28 GHz per tesla; in A/m units,
+    # multiply by mu0 H.  Check 1 T -> ~28.0 GHz.
+    f_per_tesla = GAMMA_LL / (2.0 * math.pi)
+    assert math.isclose(f_per_tesla, 28.0e9, rel_tol=0.01)
+    # And GAMMA_MU0_OVER_2PI converts H in A/m directly.
+    h_one_tesla = 1.0 / MU0
+    assert math.isclose(GAMMA_MU0_OVER_2PI * h_one_tesla, f_per_tesla,
+                        rel_tol=1e-12)
+
+
+def test_thermal_energy_scale():
+    # kT at 300 K ~ 4.14e-21 J (sanity for the thermal-field module).
+    assert math.isclose(KB * 300.0, 4.1419e-21, rel_tol=1e-3)
+
+
+def test_bohr_magneton_relation():
+    # mu_B = e hbar / 2 m_e -- consistency via the g-factor identity.
+    assert math.isclose(gyromagnetic_ratio(G_E) * HBAR / MU_B, G_E,
+                        rel_tol=1e-12)

@@ -1,0 +1,148 @@
+"""Demagnetisation tests: Newell tensor identities and field limits."""
+
+import numpy as np
+import pytest
+
+from repro.micromag import DemagField, Mesh, ThinFilmDemagField, demag_tensor
+from repro.micromag.fields.demag import newell_f, newell_g
+from repro.physics import FECOB
+
+
+class TestNewellFunctions:
+    def test_f_even_in_all_arguments(self, rng):
+        pts = rng.uniform(0.5, 3.0, size=(10, 3))
+        for x, y, z in pts:
+            base = newell_f(np.array(x), np.array(y), np.array(z))
+            assert newell_f(np.array(-x), np.array(y), np.array(z)) \
+                == pytest.approx(float(base))
+            assert newell_f(np.array(x), np.array(-y), np.array(z)) \
+                == pytest.approx(float(base))
+
+    def test_f_symmetric_in_y_z(self, rng):
+        pts = rng.uniform(0.5, 3.0, size=(10, 3))
+        for x, y, z in pts:
+            a = float(newell_f(np.array(x), np.array(y), np.array(z)))
+            b = float(newell_f(np.array(x), np.array(z), np.array(y)))
+            assert a == pytest.approx(b)
+
+    def test_g_symmetric_in_x_y(self, rng):
+        pts = rng.uniform(0.5, 3.0, size=(10, 3))
+        for x, y, z in pts:
+            a = float(newell_g(np.array(x), np.array(y), np.array(z)))
+            b = float(newell_g(np.array(y), np.array(x), np.array(z)))
+            assert a == pytest.approx(b)
+
+    def test_origin_finite(self):
+        assert np.isfinite(newell_f(np.array(0.0), np.array(0.0),
+                                    np.array(0.0)))
+        assert np.isfinite(newell_g(np.array(0.0), np.array(0.0),
+                                    np.array(0.0)))
+
+
+class TestDemagTensor:
+    def test_self_term_trace_is_one(self, small_mesh):
+        t = demag_tensor(small_mesh)
+        trace = t["nxx"][0, 0, 0] + t["nyy"][0, 0, 0] + t["nzz"][0, 0, 0]
+        assert trace == pytest.approx(1.0, abs=1e-10)
+
+    def test_cube_self_term_is_isotropic(self):
+        mesh = Mesh(cell_size=(2e-9, 2e-9, 2e-9), shape=(2, 2, 1))
+        t = demag_tensor(mesh)
+        assert t["nxx"][0, 0, 0] == pytest.approx(1.0 / 3.0, abs=1e-10)
+        assert t["nyy"][0, 0, 0] == pytest.approx(1.0 / 3.0, abs=1e-10)
+        assert t["nzz"][0, 0, 0] == pytest.approx(1.0 / 3.0, abs=1e-10)
+
+    def test_flat_cell_dominated_by_nzz(self, small_mesh):
+        # 5 x 5 x 1 nm cell: the out-of-plane factor dominates.
+        t = demag_tensor(small_mesh)
+        assert t["nzz"][0, 0, 0] > 0.6
+        assert t["nxx"][0, 0, 0] < 0.2
+
+    def test_off_diagonal_self_terms_vanish(self, small_mesh):
+        t = demag_tensor(small_mesh)
+        assert t["nxy"][0, 0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert t["nxz"][0, 0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert t["nyz"][0, 0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_interaction_decays_with_distance(self, small_mesh):
+        t = demag_tensor(small_mesh)
+        near = abs(t["nzz"][0, 0, 1])
+        far = abs(t["nzz"][0, 0, 5])
+        assert near > far
+
+
+class TestDemagField:
+    def test_thin_film_limit_hz_minus_mz(self):
+        # A wide, thin film magnetised out of plane: interior field
+        # approaches -Ms (N -> diag(0, 0, 1)).
+        mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(40, 40, 1))
+        demag = DemagField(mesh, FECOB.ms)
+        m = mesh.uniform_vector((0, 0, 1))
+        h = demag.field(m)
+        centre = h[2, 0, 20, 20]
+        assert centre == pytest.approx(-FECOB.ms, rel=0.05)
+        assert abs(h[0, 0, 20, 20]) < 0.01 * FECOB.ms
+
+    def test_in_plane_film_feels_little_demag(self):
+        mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(40, 40, 1))
+        demag = DemagField(mesh, FECOB.ms)
+        m = mesh.uniform_vector((1, 0, 0))
+        h = demag.field(m)
+        assert abs(h[0, 0, 20, 20]) < 0.05 * FECOB.ms
+
+    def test_energy_prefers_in_plane(self):
+        mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(16, 16, 1))
+        demag = DemagField(mesh, FECOB.ms)
+        out_of_plane = demag.energy(mesh.uniform_vector((0, 0, 1)))
+        in_plane = demag.energy(mesh.uniform_vector((1, 0, 0)))
+        assert out_of_plane > in_plane
+
+    def test_field_is_linear(self, small_mesh, rng):
+        demag = DemagField(small_mesh, FECOB.ms)
+        m1 = rng.standard_normal(small_mesh.field_shape)
+        m2 = rng.standard_normal(small_mesh.field_shape)
+        h_sum = demag.field(m1 + m2)
+        h_parts = demag.field(m1) + demag.field(m2)
+        assert np.allclose(h_sum, h_parts, rtol=1e-10, atol=1e-6)
+
+    def test_self_demag_property(self, small_mesh):
+        demag = DemagField(small_mesh, FECOB.ms)
+        factors = demag.self_demag_tensor
+        assert factors.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_mask_excludes_vacuum_sources(self, small_mesh):
+        mask = np.zeros(small_mesh.scalar_shape, dtype=bool)
+        mask[0, :, :4] = True
+        demag = DemagField(small_mesh, FECOB.ms, mask)
+        m = small_mesh.uniform_vector((0, 0, 1))
+        h = demag.field(m)
+        # Stray field exists outside, but is weaker than inside.
+        assert abs(h[2, 0, 4, 1]) > abs(h[2, 0, 4, 7])
+
+
+class TestThinFilmDemag:
+    def test_local_field(self, small_mesh):
+        demag = ThinFilmDemagField(small_mesh, FECOB.ms)
+        m = small_mesh.uniform_vector((0, 0, 1))
+        h = demag.field(m)
+        assert np.allclose(h[2][demag.mask], -FECOB.ms)
+        assert np.allclose(h[0], 0.0)
+
+    def test_in_plane_free(self, small_mesh):
+        demag = ThinFilmDemagField(small_mesh, FECOB.ms)
+        m = small_mesh.uniform_vector((1, 0, 0))
+        assert np.allclose(demag.field(m), 0.0)
+
+    def test_energy_density_quadratic_in_mz(self, small_mesh):
+        demag = ThinFilmDemagField(small_mesh, FECOB.ms)
+        m_full = small_mesh.uniform_vector((0, 0, 1))
+        tilted = small_mesh.uniform_vector((0.6, 0.0, 0.8))
+        ratio = demag.energy(tilted) / demag.energy(m_full)
+        assert ratio == pytest.approx(0.64, rel=1e-9)
+
+    def test_matches_full_solver_for_wide_film(self):
+        mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(48, 48, 1))
+        m = mesh.uniform_vector((0, 0, 1))
+        full = DemagField(mesh, FECOB.ms).field(m)[2, 0, 24, 24]
+        local = ThinFilmDemagField(mesh, FECOB.ms).field(m)[2, 0, 24, 24]
+        assert full == pytest.approx(local, rel=0.05)

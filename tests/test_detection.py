@@ -1,0 +1,108 @@
+"""Phase- and threshold-detector tests (Section III readout schemes)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PhaseDetector, ThresholdDetector
+from repro.physics import Wave
+
+F = 10e9
+
+
+class TestPhaseDetector:
+    def test_codewords(self):
+        det = PhaseDetector()
+        assert det.detect(Wave.logic(0, F)).logic_value == 0
+        assert det.detect(Wave.logic(1, F)).logic_value == 1
+
+    def test_margin_maximal_at_codewords(self):
+        det = PhaseDetector()
+        res = det.detect(Wave.logic(0, F))
+        assert res.margin == pytest.approx(math.pi / 2)
+
+    def test_margin_zero_at_boundary(self):
+        det = PhaseDetector()
+        res = det.detect(Wave(1.0, math.pi / 2, F))
+        assert res.margin == pytest.approx(0.0, abs=1e-12)
+
+    def test_invert_flag(self):
+        det = PhaseDetector(invert=True)
+        assert det.detect(Wave.logic(0, F)).logic_value == 1
+        assert det.detect(Wave.logic(1, F)).logic_value == 0
+
+    def test_reference_shift(self):
+        det = PhaseDetector(reference_phase=1.0)
+        assert det.detect(Wave(1.0, 1.0, F)).logic_value == 0
+        assert det.detect(Wave(1.0, 1.0 + math.pi, F)).logic_value == 1
+
+    def test_calibrate(self):
+        raw = PhaseDetector()
+        zero_wave = Wave(0.8, 0.7, F)  # gate's all-zeros output
+        calibrated = raw.calibrate(zero_wave)
+        assert calibrated.detect(zero_wave).logic_value == 0
+        assert calibrated.detect(zero_wave.shifted(math.pi)).logic_value == 1
+
+    @given(st.floats(min_value=-math.pi, max_value=math.pi),
+           st.sampled_from([0, 1]))
+    @settings(max_examples=50)
+    def test_reference_invariance(self, ref, bit):
+        # A wave at reference + bit*pi always decodes to bit.
+        det = PhaseDetector(reference_phase=ref)
+        wave = Wave(1.0, ref + bit * math.pi, F)
+        assert det.detect(wave).logic_value == bit
+
+    def test_detect_envelope(self):
+        det = PhaseDetector()
+        res = det.detect_envelope(complex(-1.0, 0.0), F)
+        assert res.logic_value == 1
+
+
+class TestThresholdDetector:
+    def test_xor_convention(self):
+        # Above threshold -> 0; below -> 1 (Section III-B).
+        det = ThresholdDetector(threshold=0.5, reference_amplitude=1.0)
+        assert det.detect(Wave(0.99, 0.0, F)).logic_value == 0
+        assert det.detect(Wave(0.01, 0.0, F)).logic_value == 1
+
+    def test_xnor_convention(self):
+        det = ThresholdDetector(threshold=0.5, reference_amplitude=1.0,
+                                invert=True)
+        assert det.detect(Wave(0.99, 0.0, F)).logic_value == 1
+        assert det.detect(Wave(0.01, 0.0, F)).logic_value == 0
+
+    def test_normalisation(self):
+        det = ThresholdDetector(threshold=0.5, reference_amplitude=2.0)
+        assert det.detect(Wave(1.8, 0.0, F)).logic_value == 0
+        assert det.detect(Wave(0.4, 0.0, F)).logic_value == 1
+
+    def test_margin(self):
+        det = ThresholdDetector(threshold=0.5, reference_amplitude=1.0)
+        assert det.detect(Wave(0.8, 0.0, F)).margin == pytest.approx(0.3)
+        assert det.detect(Wave(0.45, 0.0, F)).margin == pytest.approx(0.05)
+
+    def test_calibrate(self):
+        raw = ThresholdDetector()
+        unanimous = Wave(0.27, 0.0, F)  # the gate's (0,0) output
+        det = raw.calibrate(unanimous)
+        assert det.detect(unanimous).logic_value == 0
+        assert det.detect(Wave(0.02, 0.0, F)).logic_value == 1
+
+    def test_calibrate_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdDetector().calibrate(Wave(0.0, 0.0, F))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            ThresholdDetector(reference_amplitude=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=50)
+    def test_decision_consistent_with_threshold(self, amplitude):
+        det = ThresholdDetector(threshold=0.5, reference_amplitude=1.0)
+        result = det.detect(Wave(amplitude, 0.0, F))
+        assert result.logic_value == (0 if amplitude > 0.5 else 1)

@@ -1,0 +1,71 @@
+"""4-stage device-model tests (Figure 2a abstraction)."""
+
+import pytest
+
+from repro.core import (
+    DetectionMethod,
+    SpinWaveDevice,
+    Transducer,
+    ladder_maj3_device,
+    ladder_xor_device,
+    triangle_maj3_device,
+    triangle_xor_device,
+)
+
+
+class TestTransducer:
+    def test_roles(self):
+        assert Transducer("I1", "excite").role == "excite"
+        with pytest.raises(ValueError):
+            Transducer("X", "amplify")
+
+
+class TestDeviceInvariants:
+    def test_cell_counts_match_table_iii(self):
+        assert triangle_maj3_device().n_cells == 5
+        assert triangle_xor_device().n_cells == 4
+        assert ladder_maj3_device().n_cells == 6
+        assert ladder_xor_device().n_cells == 6
+
+    def test_excitation_split(self):
+        dev = triangle_maj3_device()
+        assert dev.n_excitation_cells == 3
+        assert dev.n_detection_cells == 2
+
+    def test_detection_methods(self):
+        assert triangle_maj3_device().detection is DetectionMethod.PHASE
+        assert triangle_xor_device().detection is DetectionMethod.THRESHOLD
+
+    def test_equal_energy_flags(self):
+        # The triangle's selling point vs the ladder (Section IV-D).
+        assert triangle_maj3_device().equal_energy_inputs
+        assert not ladder_maj3_device().equal_energy_inputs
+
+    def test_fanout_two_everywhere(self):
+        for device in (triangle_maj3_device(), triangle_xor_device(),
+                       ladder_maj3_device(), ladder_xor_device()):
+            assert device.fan_out == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SpinWaveDevice(
+                name="bad",
+                transducers=[Transducer("I1", "excite"),
+                             Transducer("I1", "excite"),
+                             Transducer("O1", "detect")],
+                detection=DetectionMethod.PHASE)
+
+    def test_fanout_needs_detectors(self):
+        with pytest.raises(ValueError, match="fan-out cannot exceed"):
+            SpinWaveDevice(
+                name="bad",
+                transducers=[Transducer("I1", "excite"),
+                             Transducer("O1", "detect")],
+                detection=DetectionMethod.PHASE,
+                fan_out=2)
+
+    def test_fanout_positive(self):
+        with pytest.raises(ValueError):
+            SpinWaveDevice(name="bad",
+                           transducers=[Transducer("O1", "detect")],
+                           detection=DetectionMethod.PHASE, fan_out=0)

@@ -1,0 +1,154 @@
+"""Kalinikos-Slavin dispersion tests (the design physics of the gates)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics import (
+    FECOB,
+    YIG,
+    DispersionRelation,
+    FilmStack,
+    SpinWaveGeometry,
+    dipole_form_factor,
+    paper_operating_point,
+)
+from repro.constants import GAMMA_LL, MU0
+
+
+class TestFormFactor:
+    def test_zero_limit(self):
+        assert dipole_form_factor(np.array(0.0), 1e-9) == pytest.approx(0.0)
+
+    def test_small_argument_series(self):
+        k = np.array(1e3)  # kd = 1e-6
+        exact = 1.0 - (1.0 - math.exp(-1e-6)) / 1e-6
+        assert dipole_form_factor(k, 1e-9) == pytest.approx(exact, rel=1e-6)
+
+    def test_large_argument_saturates_to_one(self):
+        assert dipole_form_factor(np.array(1e13), 1e-9) == pytest.approx(
+            1.0, rel=1e-3)
+
+    def test_monotonic_in_kd(self):
+        ks = np.linspace(0.0, 5e9, 200)
+        f = dipole_form_factor(ks, 1e-9)
+        assert np.all(np.diff(f) > 0)
+
+
+class TestFilmStack:
+    def test_internal_field_without_bias(self, paper_film):
+        expected = FECOB.anisotropy_field - FECOB.ms
+        assert paper_film.internal_field_fvsw == pytest.approx(expected)
+
+    def test_external_field_adds(self):
+        film = FilmStack(material=FECOB, thickness=1e-9,
+                         external_field=50e3)
+        assert film.internal_field_fvsw == pytest.approx(
+            FECOB.anisotropy_field - FECOB.ms + 50e3)
+
+    def test_rejects_zero_thickness(self):
+        with pytest.raises(ValueError):
+            FilmStack(material=FECOB, thickness=0.0)
+
+
+class TestFvswDispersion:
+    def test_gap_is_larmor_of_internal_field(self, paper_dispersion,
+                                             paper_film):
+        f0 = paper_dispersion.gap_frequency()
+        expected = (FECOB.gamma * MU0 * paper_film.internal_field_fvsw
+                    / (2.0 * math.pi))
+        assert f0 == pytest.approx(expected, rel=1e-9)
+
+    def test_monotonically_increasing(self, paper_dispersion):
+        ks = np.linspace(0.0, 5e8, 400)
+        fs = paper_dispersion.frequency(ks)
+        assert np.all(np.diff(fs) > 0)
+
+    @given(st.floats(min_value=1e6, max_value=5e8))
+    @settings(max_examples=25, deadline=None)
+    def test_wavenumber_inverts_frequency(self, k):
+        disp = DispersionRelation(FilmStack(material=FECOB, thickness=1e-9))
+        f = float(disp.frequency(k))
+        k_back = disp.wavenumber(f)
+        assert math.isclose(k_back, k, rel_tol=1e-4)
+
+    def test_below_gap_raises(self, paper_dispersion):
+        with pytest.raises(ValueError, match="below the spin-wave gap"):
+            paper_dispersion.wavenumber(
+                paper_dispersion.gap_frequency() * 0.5)
+
+    def test_group_velocity_positive(self, paper_dispersion):
+        ks = np.array([1e7, 5e7, 1e8, 3e8])
+        vg = paper_dispersion.group_velocity(ks)
+        assert np.all(vg > 0)
+
+    def test_exchange_regime_quadratic(self, paper_dispersion):
+        # At very large k, omega ~ k^2 (exchange waves): doubling k
+        # should roughly quadruple (omega - gap contribution).
+        k = 5e9
+        w1 = float(paper_dispersion.omega(k))
+        w2 = float(paper_dispersion.omega(2 * k))
+        assert w2 / w1 == pytest.approx(4.0, rel=0.1)
+
+    def test_fvsw_requires_perpendicular_film(self):
+        with pytest.raises(ValueError, match="positive internal"):
+            DispersionRelation(FilmStack(material=YIG, thickness=20e-9))
+
+    def test_yig_fvsw_with_bias(self):
+        # YIG becomes FVSW-capable with a strong out-of-plane field.
+        film = FilmStack(material=YIG, thickness=20e-9,
+                         external_field=300e3)
+        disp = DispersionRelation(film)
+        assert disp.gap_frequency() > 0
+        assert float(disp.frequency(1e7)) > disp.gap_frequency()
+
+
+class TestOtherGeometries:
+    def test_backward_volume_exists(self):
+        film = FilmStack(material=YIG, thickness=20e-9,
+                         external_field=50e3)
+        disp = DispersionRelation(film, SpinWaveGeometry.BACKWARD_VOLUME)
+        assert float(disp.frequency(1e7)) > 0
+
+    def test_surface_wave_above_bvsw(self):
+        film = FilmStack(material=YIG, thickness=20e-9,
+                         external_field=50e3)
+        de = DispersionRelation(film, SpinWaveGeometry.SURFACE)
+        bv = DispersionRelation(film, SpinWaveGeometry.BACKWARD_VOLUME)
+        k = 1e7
+        assert float(de.frequency(k)) > float(bv.frequency(k))
+
+
+class TestLifetimeAndAttenuation:
+    def test_lifetime_scales_inverse_damping(self, paper_film):
+        k = 1e8
+        tau_base = float(DispersionRelation(paper_film).lifetime(k))
+        lossy = FilmStack(material=FECOB.with_damping(0.008),
+                          thickness=1e-9)
+        tau_lossy = float(DispersionRelation(lossy).lifetime(k))
+        assert tau_base / tau_lossy == pytest.approx(2.0, rel=1e-6)
+
+    def test_attenuation_length_micron_scale(self, paper_dispersion):
+        # At the paper's operating point the decay length is a few um --
+        # large against the ~2 um gate, which is why the paper neglects
+        # propagation loss (assumption (iv)).
+        k = 2.0 * math.pi / 55e-9
+        l_att = float(paper_dispersion.attenuation_length(k))
+        assert 0.5e-6 < l_att < 20e-6
+
+
+class TestPaperOperatingPoint:
+    def test_reports_inconsistency(self):
+        op = paper_operating_point()
+        assert op["wavelength"] == pytest.approx(55e-9)
+        assert op["paper_frequency"] == pytest.approx(10e9)
+        # The dispersion-implied frequency differs from the quoted
+        # 10 GHz (documented inconsistency; see EXPERIMENTS.md).
+        assert op["frequency"] != pytest.approx(10e9, rel=0.2)
+
+    def test_group_velocity_order_km_s(self):
+        op = paper_operating_point()
+        assert 100 < op["group_velocity"] < 20e3

@@ -1,0 +1,159 @@
+"""Evaluation-layer tests: the Table III arithmetic must be exact."""
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    PAPER_ME_CELL,
+    METransducer,
+    build_table_iii,
+    cmos_gate,
+    estimate_gate_energy,
+    format_table_iii,
+    headline_ratios,
+    ladder_maj3_report,
+    ladder_xor_report,
+    maj_transistor_count,
+    triangle_maj3_report,
+    triangle_xor_report,
+)
+
+
+class TestTransducer:
+    def test_paper_cell_values(self):
+        assert PAPER_ME_CELL.power == pytest.approx(34.4e-9)
+        assert PAPER_ME_CELL.delay == pytest.approx(0.42e-9)
+        assert PAPER_ME_CELL.pulse_duration == pytest.approx(100e-12)
+
+    def test_excitation_energy_3_44_aj(self):
+        assert PAPER_ME_CELL.excitation_energy == pytest.approx(3.44e-18)
+
+    def test_energy_scales_quadratically_with_level(self):
+        assert PAPER_ME_CELL.excitation_energy_at_level(2.0) \
+            == pytest.approx(4 * 3.44e-18)
+
+    def test_with_pulse(self):
+        longer = PAPER_ME_CELL.with_pulse(200e-12)
+        assert longer.excitation_energy == pytest.approx(6.88e-18)
+        assert PAPER_ME_CELL.pulse_duration == pytest.approx(100e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            METransducer(power=0.0)
+        with pytest.raises(ValueError):
+            METransducer(delay=-1.0)
+        with pytest.raises(ValueError):
+            PAPER_ME_CELL.excitation_energy_at_level(-1.0)
+
+
+class TestCmosData:
+    def test_table_iii_values(self):
+        assert cmos_gate("16nm", "MAJ").energy == pytest.approx(466e-18)
+        assert cmos_gate("16nm", "XOR").energy == pytest.approx(303e-18)
+        assert cmos_gate("7nm", "MAJ").energy == pytest.approx(16.4e-18)
+        assert cmos_gate("7nm", "XOR").energy == pytest.approx(5.4e-18)
+        assert cmos_gate("7nm", "XOR").delay == pytest.approx(0.01e-9)
+
+    def test_transistor_counts(self):
+        assert cmos_gate("16nm", "MAJ").device_count == 16
+        assert cmos_gate("16nm", "XOR").device_count == 8
+        assert maj_transistor_count() == 16
+
+    def test_lookup_flexibility(self):
+        assert cmos_gate("16nm CMOS", "maj").energy == pytest.approx(466e-18)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            cmos_gate("3nm", "MAJ")
+
+
+class TestGateReports:
+    def test_triangle_maj_10_3_aj(self):
+        report = triangle_maj3_report()
+        assert report.energy == pytest.approx(10.32e-18, rel=1e-3)
+        assert report.n_cells == 5
+        assert report.delay == pytest.approx(0.4e-9)
+
+    def test_triangle_xor_6_9_aj(self):
+        report = triangle_xor_report()
+        assert report.energy == pytest.approx(6.88e-18, rel=1e-3)
+        assert report.n_cells == 4
+
+    def test_ladder_13_7_aj(self):
+        assert ladder_maj3_report().energy == pytest.approx(13.76e-18,
+                                                            rel=1e-3)
+        assert ladder_xor_report().energy == pytest.approx(13.76e-18,
+                                                           rel=1e-3)
+        assert ladder_maj3_report().n_cells == 6
+
+    def test_ladder_real_levels_cost_more(self):
+        nominal = ladder_maj3_report()
+        real = ladder_maj3_report(real_levels=True)
+        assert real.energy > nominal.energy
+
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            estimate_gate_energy("x", 0, 2)
+        with pytest.raises(ValueError):
+            estimate_gate_energy("x", 2, 0)
+        with pytest.raises(ValueError):
+            estimate_gate_energy("x", 2, 2,
+                                 excitation_levels={"I1": 1.0})
+
+    def test_energy_delay_product(self):
+        report = triangle_maj3_report()
+        assert report.energy_delay_product == pytest.approx(
+            report.energy * report.delay)
+
+
+class TestHeadlineRatios:
+    def test_energy_savings_vs_sw_25_and_50_percent(self):
+        ratios = headline_ratios()
+        assert ratios.energy_saving_vs_sw_maj == pytest.approx(0.25)
+        assert ratios.energy_saving_vs_sw_xor == pytest.approx(0.5)
+
+    def test_xor_energy_vs_cmos_43x_and_0_8x(self):
+        ratios = headline_ratios()
+        assert ratios.energy_vs_cmos16_xor == pytest.approx(44.0, rel=0.03)
+        assert ratios.energy_vs_cmos7_xor == pytest.approx(0.8, rel=0.03)
+
+    def test_maj_energy_vs_7nm_1_6x(self):
+        assert headline_ratios().energy_vs_cmos7_maj == pytest.approx(
+            1.6, rel=0.02)
+
+    def test_delay_overheads(self):
+        ratios = headline_ratios()
+        assert ratios.delay_overhead_cmos16_maj == pytest.approx(13.3,
+                                                                 rel=0.01)
+        assert ratios.delay_overhead_cmos7_maj == pytest.approx(20.0)
+        assert ratios.delay_overhead_cmos16_xor == pytest.approx(13.3,
+                                                                 rel=0.01)
+        assert ratios.delay_overhead_cmos7_xor == pytest.approx(40.0)
+
+    def test_as_dict_complete(self):
+        d = headline_ratios().as_dict()
+        assert len(d) == 10
+
+
+class TestTableRendering:
+    def test_eight_rows(self):
+        rows = build_table_iii()
+        assert len(rows) == 8
+        designs = {r.design for r in rows}
+        assert "This work" in designs
+        assert "SW [23]" in designs
+
+    def test_this_work_wins_sw_comparison(self):
+        rows = {(r.design, r.function): r for r in build_table_iii()}
+        assert rows[("This work", "MAJ")].energy \
+            < rows[("SW [23]", "MAJ")].energy
+        assert rows[("This work", "MAJ")].device_count \
+            < rows[("SW [23]", "MAJ")].device_count
+
+    def test_format_contains_key_numbers(self):
+        text = format_table_iii()
+        assert "10.3" in text
+        assert "6.9" in text
+        assert "466" in text
+        assert "This work" in text

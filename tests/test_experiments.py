@@ -1,0 +1,65 @@
+"""Tests for the turnkey micromagnetic experiments (sinc source; the
+full dispersion extraction runs in the validation bench)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.micromag import Mesh, SincSource, rectangle
+from repro.micromag.experiments import extract_dispersion
+from repro.physics import FECOB
+
+
+class TestSincSource:
+    def _source(self, f_max=20e9, t0=0.5e-9):
+        return SincSource(region=rectangle(0, 0, 10e-9, 10e-9),
+                          amplitude=1e3, f_max=f_max, t0=t0)
+
+    def test_peak_at_t0(self):
+        src = self._source()
+        assert src.waveform(0.5e-9) == pytest.approx(1e3)
+
+    def test_zeros_at_half_period_multiples(self):
+        src = self._source(f_max=20e9, t0=0.5e-9)
+        # sinc zeros at t0 + n / (2 f_max).
+        for n in (1, 2, 3):
+            t = 0.5e-9 + n / (2 * 20e9)
+            assert src.waveform(t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_spectrum_flat_below_cutoff(self):
+        src = self._source(f_max=20e9, t0=2e-9)
+        dt = 5e-12
+        t = np.arange(int(4e-9 / dt)) * dt
+        signal = np.array([src.waveform(ti) for ti in t])
+        spectrum = np.abs(np.fft.rfft(signal))
+        freqs = np.fft.rfftfreq(len(signal), d=dt)
+        in_band = spectrum[(freqs > 1e9) & (freqs < 15e9)]
+        out_band = spectrum[(freqs > 25e9) & (freqs < 40e9)]
+        assert in_band.min() > 5 * out_band.max()
+
+    def test_field_localised(self):
+        src = self._source()
+        mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(8, 8, 1))
+        field = src.field(mesh, 0.5e-9)
+        assert abs(field[0, 0, 0, 0]) > 0
+        assert field[0, 0, 7, 7] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SincSource(region=rectangle(0, 0, 1e-9, 1e-9),
+                       amplitude=1.0, f_max=0.0)
+
+
+class TestExtractDispersionSmoke:
+    """A heavily scaled-down extraction: just the plumbing, the physics
+    validation runs in benchmarks/bench_validation_dispersion.py."""
+
+    def test_small_run_produces_monotone_ridge(self):
+        experiment = extract_dispersion(
+            FECOB, length=0.8e-6, duration=1.2e-9, f_max=30e9,
+            dt=4e-14, sample_every=8, k_band=(5e7, 1.5e8))
+        assert len(experiment.k_values) >= 4
+        assert np.all(np.diff(experiment.f_measured) >= 0)
+        # Loose agreement at this resolution.
+        assert experiment.mean_relative_error < 0.3

@@ -1,0 +1,90 @@
+"""Fabrication-bridge tests: layout -> rasterised simulation geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core import fabricate, maj3_layout, xor_layout
+from repro.core.fabric import build_wave_simulator, settle_periods_for
+
+
+class TestFabricate:
+    def test_terminals_present(self):
+        fab = fabricate(xor_layout())
+        assert set(fab.terminal_masks) == {"I1", "I2", "O1", "O2"}
+
+    def test_maj_terminals(self):
+        fab = fabricate(maj3_layout())
+        assert set(fab.terminal_masks) == {"I1", "I2", "I3", "O1", "O2"}
+
+    def test_terminal_patches_inside_mask(self):
+        fab = fabricate(xor_layout())
+        for name, patch in fab.terminal_masks.items():
+            assert patch.any(), name
+            assert not (patch & ~fab.mask).any(), name
+
+    def test_mask_mirror_symmetric(self):
+        # The FO2 property requires exact raster symmetry about the
+        # gate axis (local y = 0 snapped to a cell boundary).
+        fab = fabricate(xor_layout())
+        axis_y = fab.layout.nodes["M"][1]
+        boundary = int(round(axis_y / fab.cell_size))
+        mask = fab.mask
+        n = min(boundary, mask.shape[0] - boundary)
+        lower = mask[boundary - n:boundary][::-1]
+        upper = mask[boundary:boundary + n]
+        assert np.array_equal(lower, upper)
+
+    def test_output_patches_symmetric_sizes(self):
+        fab = fabricate(maj3_layout())
+        assert fab.terminal_masks["O1"].sum() \
+            == fab.terminal_masks["O2"].sum()
+
+    def test_single_mode_width_applied(self):
+        fab = fabricate(xor_layout(), single_mode=True)
+        # Count mask cells across the stem: must be < lambda/2 wide.
+        m = fab.layout.nodes["M"]
+        c = fab.layout.nodes["C"]
+        ix = int(((m[0] + c[0]) / 2) / fab.cell_size)
+        column = fab.mask[:, ix]
+        width = column.sum() * fab.cell_size
+        assert width < 0.5 * fab.layout.dimensions.wavelength + fab.cell_size
+
+    def test_full_width_option(self):
+        fab = fabricate(xor_layout(), single_mode=False)
+        m = fab.layout.nodes["M"]
+        c = fab.layout.nodes["C"]
+        ix = int(((m[0] + c[0]) / 2) / fab.cell_size)
+        width = fab.mask[:, ix].sum() * fab.cell_size
+        assert width >= 45e-9  # the paper's 50 nm, up to rasterisation
+
+    def test_custom_cell_size(self):
+        fab = fabricate(xor_layout(), cell_size=5e-9)
+        assert fab.cell_size == pytest.approx(5e-9)
+
+    def test_terminations_reach_canvas_frame(self):
+        # Output guides must extend into the absorber zone: some mask
+        # cells of the extended arm lie within 1.5 lambda of the edge.
+        fab = fabricate(xor_layout())
+        lam = fab.layout.dimensions.wavelength
+        frame = int(1.5 * lam / fab.cell_size)
+        assert fab.mask[:, -frame:].any()
+
+
+class TestSimulatorFactory:
+    def test_builds_with_sources(self):
+        fab = fabricate(xor_layout())
+        sim = build_wave_simulator(fab, 10e9, {"I1": 0, "I2": 1})
+        assert len(sim.sources) == 2
+
+    def test_unknown_terminal_rejected(self):
+        fab = fabricate(xor_layout())
+        with pytest.raises(KeyError):
+            build_wave_simulator(fab, 10e9, {"I9": 0})
+
+    def test_settle_periods_covers_structure(self):
+        fab = fabricate(maj3_layout())
+        periods = settle_periods_for(fab)
+        lx, ly, _ = fab.mesh.extent
+        diagonal_wavelengths = (lx ** 2 + ly ** 2) ** 0.5 \
+            / fab.layout.dimensions.wavelength
+        assert periods > diagonal_wavelengths

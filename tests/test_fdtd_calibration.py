@@ -1,0 +1,41 @@
+"""Numerical-dispersion calibration tests for the wave tier."""
+
+import pytest
+
+from repro.fdtd.calibration import CalibrationResult, calibrate_wavelength, measure_guide_wavelength
+
+
+class TestMeasurement:
+    def test_measured_wavelength_close_to_nominal(self):
+        measured = measure_guide_wavelength(55e-9, 10e9)
+        assert measured == pytest.approx(55e-9, rel=0.02)
+
+    def test_finer_grid_reduces_error(self):
+        coarse = abs(measure_guide_wavelength(55e-9, 10e9,
+                                              dx=55e-9 / 8) - 55e-9)
+        fine = abs(measure_guide_wavelength(55e-9, 10e9,
+                                            dx=55e-9 / 24) - 55e-9)
+        assert fine < coarse
+
+
+class TestCalibration:
+    def test_compensation_hits_target(self):
+        result = calibrate_wavelength(55e-9, 10e9)
+        final = measure_guide_wavelength(result.compensated_wavelength,
+                                         10e9, dx=55e-9 / 16.0)
+        assert final == pytest.approx(55e-9, rel=2e-3)
+
+    def test_reports_raw_error(self):
+        result = calibrate_wavelength(55e-9, 10e9)
+        assert 0.0 < abs(result.relative_error) < 0.05
+        # Leapfrog under-propagates: wavelength comes out short.
+        assert result.relative_error < 0
+
+    def test_compensated_exceeds_target(self):
+        # Compensation stretches the input wavelength.
+        result = calibrate_wavelength(55e-9, 10e9)
+        assert result.compensated_wavelength > result.target_wavelength
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_wavelength(55e-9, 10e9, iterations=0)

@@ -1,0 +1,229 @@
+"""Effective-field term tests: exchange, anisotropy, Zeeman, thermal."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import KB, MU0
+from repro.micromag import (
+    Envelope,
+    ExchangeField,
+    ExcitationSource,
+    Mesh,
+    ThermalField,
+    UniaxialAnisotropyField,
+    ZeemanField,
+    rectangle,
+)
+from repro.physics import FECOB
+
+
+class TestExchange:
+    def test_uniform_state_zero_field(self, small_mesh):
+        ex = ExchangeField(small_mesh, FECOB.aex, FECOB.ms)
+        m = small_mesh.uniform_vector((0, 0, 1))
+        h = ex.field(m)
+        assert np.allclose(h, 0.0, atol=1e-6)
+
+    def test_uniform_state_zero_energy(self, small_mesh):
+        ex = ExchangeField(small_mesh, FECOB.aex, FECOB.ms)
+        m = small_mesh.uniform_vector((0, 0, 1))
+        assert ex.energy(m) == pytest.approx(0.0, abs=1e-40)
+
+    def test_sinusoidal_texture_matches_continuum(self):
+        # m = (sin(qx), 0, cos(qx)) has laplacian -q^2 m exactly; the
+        # discrete operator should approach (2A/mu0 Ms) * (-q^2) m.
+        n = 64
+        dx = 2e-9
+        mesh = Mesh(cell_size=(dx, dx, 1e-9), shape=(n, 4, 1))
+        q = 2.0 * math.pi / (n * dx / 4)  # 4 periods? no: lambda = n*dx/4
+        x = mesh.axis_coordinates(0)
+        m = mesh.zeros_vector()
+        m[0] = np.sin(q * x)[None, None, :]
+        m[2] = np.cos(q * x)[None, None, :]
+        ex = ExchangeField(mesh, FECOB.aex, FECOB.ms)
+        h = ex.field(m)
+        prefactor = 2.0 * FECOB.aex / (MU0 * FECOB.ms)
+        # The discrete Laplacian's plane-wave eigenvalue is
+        # (2 - 2 cos(q dx)) / dx^2; it must match exactly, and agree
+        # with the continuum q^2 to a few percent at this resolution.
+        q_discrete2 = (2.0 - 2.0 * math.cos(q * dx)) / dx ** 2
+        interior = slice(4, n - 4)
+        expected = -prefactor * q_discrete2 * m[0, 0, 1, interior]
+        assert np.allclose(h[0, 0, 1, interior], expected, rtol=1e-9)
+        assert q_discrete2 == pytest.approx(q * q, rel=0.05)
+
+    def test_antiparallel_pair_energy_positive(self):
+        mesh = Mesh(cell_size=(2e-9, 2e-9, 2e-9), shape=(2, 1, 1))
+        ex = ExchangeField(mesh, FECOB.aex, FECOB.ms)
+        m = mesh.zeros_vector()
+        m[2, 0, 0, 0] = 1.0
+        m[2, 0, 0, 1] = -1.0
+        assert ex.energy(m) > 0.0
+
+    def test_mask_decouples_regions(self):
+        mesh = Mesh(cell_size=(2e-9, 2e-9, 2e-9), shape=(2, 1, 1))
+        mask = np.ones(mesh.scalar_shape, dtype=bool)
+        ex_coupled = ExchangeField(mesh, FECOB.aex, FECOB.ms, mask)
+        m = mesh.zeros_vector()
+        m[2, 0, 0, 0] = 1.0
+        m[2, 0, 0, 1] = -1.0
+        h_coupled = ex_coupled.field(m)
+        assert np.abs(h_coupled).max() > 0
+        # Now cut cell 1 out of the geometry: no neighbour, no field.
+        mask2 = mask.copy()
+        mask2[0, 0, 1] = False
+        ex_cut = ExchangeField(mesh, FECOB.aex, FECOB.ms, mask2)
+        h_cut = ex_cut.field(m)
+        assert np.allclose(h_cut[:, 0, 0, 0], 0.0)
+
+    def test_validation(self, small_mesh):
+        with pytest.raises(ValueError):
+            ExchangeField(small_mesh, -1.0, FECOB.ms)
+        with pytest.raises(ValueError):
+            ExchangeField(small_mesh, FECOB.aex, 0.0)
+        with pytest.raises(ValueError):
+            ExchangeField(small_mesh, FECOB.aex, FECOB.ms,
+                          mask=np.ones((2, 2, 2), dtype=bool))
+
+
+class TestAnisotropy:
+    def test_field_along_easy_axis(self, small_mesh):
+        ani = UniaxialAnisotropyField(small_mesh, FECOB.ku, FECOB.ms)
+        m = small_mesh.uniform_vector((0, 0, 1))
+        h = ani.field(m)
+        expected = 2.0 * FECOB.ku / (MU0 * FECOB.ms)
+        assert np.allclose(h[2], expected)
+        assert np.allclose(h[0], 0.0)
+
+    def test_perpendicular_m_gives_zero_field(self, small_mesh):
+        ani = UniaxialAnisotropyField(small_mesh, FECOB.ku, FECOB.ms)
+        m = small_mesh.uniform_vector((1, 0, 0))
+        assert np.allclose(ani.field(m), 0.0)
+
+    def test_energy_zero_on_axis_max_perpendicular(self, small_mesh):
+        ani = UniaxialAnisotropyField(small_mesh, FECOB.ku, FECOB.ms)
+        on_axis = small_mesh.uniform_vector((0, 0, 1))
+        perp = small_mesh.uniform_vector((1, 0, 0))
+        assert ani.energy(on_axis) == pytest.approx(0.0, abs=1e-40)
+        expected = FECOB.ku * small_mesh.n_cells * small_mesh.cell_volume
+        assert ani.energy(perp) == pytest.approx(expected, rel=1e-12)
+
+    def test_tilted_axis(self, small_mesh):
+        axis = (1.0, 0.0, 1.0)
+        ani = UniaxialAnisotropyField(small_mesh, FECOB.ku, FECOB.ms,
+                                      axis=axis)
+        norm = math.sqrt(2.0)
+        m = small_mesh.uniform_vector((1.0 / norm, 0.0, 1.0 / norm))
+        assert ani.energy(m) == pytest.approx(0.0, abs=1e-30)
+
+    def test_validation(self, small_mesh):
+        with pytest.raises(ValueError):
+            UniaxialAnisotropyField(small_mesh, FECOB.ku, 0.0)
+        with pytest.raises(ValueError):
+            UniaxialAnisotropyField(small_mesh, FECOB.ku, FECOB.ms,
+                                    axis=(0, 0, 0))
+
+
+class TestZeeman:
+    def test_static_field_everywhere(self, small_mesh):
+        zee = ZeemanField(small_mesh, static_field=(0, 0, 1e5))
+        h = zee.field()
+        assert np.allclose(h[2], 1e5)
+
+    def test_energy_prefers_alignment(self, small_mesh):
+        zee = ZeemanField(small_mesh, static_field=(0, 0, 1e5))
+        aligned = small_mesh.uniform_vector((0, 0, 1))
+        anti = small_mesh.uniform_vector((0, 0, -1))
+        assert zee.energy(aligned, ms=FECOB.ms) < zee.energy(
+            anti, ms=FECOB.ms)
+
+    def test_source_contributes_inside_region_only(self, small_mesh):
+        zee = ZeemanField(small_mesh)
+        source = ExcitationSource(
+            region=rectangle(0, 0, 10e-9, 40e-9),
+            amplitude=5e3, frequency=10e9)
+        zee.add_source(source)
+        h = zee.field(t=0.0)
+        assert h[0, 0, 0, 0] == pytest.approx(5e3)
+        assert h[0, 0, 0, 7] == pytest.approx(0.0)
+
+
+class TestThermal:
+    def test_zero_temperature_silent(self, small_mesh, rng):
+        th = ThermalField(small_mesh, FECOB.ms, FECOB.alpha, FECOB.gamma,
+                          temperature=0.0, rng=rng)
+        th.refresh(dt=1e-13, step=0)
+        assert np.allclose(th.field(), 0.0)
+
+    def test_variance_matches_brown_formula(self, small_mesh, rng):
+        temperature = 300.0
+        dt = 1e-13
+        th = ThermalField(small_mesh, FECOB.ms, FECOB.alpha, FECOB.gamma,
+                          temperature, rng=rng)
+        sigma = th.standard_deviation(dt)
+        expected = math.sqrt(
+            2.0 * FECOB.alpha * KB * temperature
+            / (MU0 * FECOB.ms * FECOB.gamma * small_mesh.cell_volume * dt))
+        assert sigma == pytest.approx(expected, rel=1e-12)
+        samples = []
+        for step in range(200):
+            th.refresh(dt, step)
+            samples.append(th.field().ravel())
+        measured = np.std(np.concatenate(samples))
+        assert measured == pytest.approx(sigma, rel=0.05)
+
+    def test_same_noise_within_step(self, small_mesh, rng):
+        th = ThermalField(small_mesh, FECOB.ms, FECOB.alpha, FECOB.gamma,
+                          300.0, rng=rng)
+        th.refresh(1e-13, step=0)
+        a = th.field().copy()
+        b = th.field().copy()
+        assert np.array_equal(a, b)
+        th.refresh(1e-13, step=1)
+        c = th.field()
+        assert not np.array_equal(a, c)
+
+    def test_scaling_with_dt(self, small_mesh, rng):
+        th = ThermalField(small_mesh, FECOB.ms, FECOB.alpha, FECOB.gamma,
+                          300.0, rng=rng)
+        # sigma ~ 1/sqrt(dt): halving dt raises sigma by sqrt(2).
+        ratio = th.standard_deviation(5e-14) / th.standard_deviation(1e-13)
+        assert ratio == pytest.approx(math.sqrt(2.0), rel=1e-9)
+
+    def test_validation(self, small_mesh, rng):
+        with pytest.raises(ValueError):
+            ThermalField(small_mesh, FECOB.ms, FECOB.alpha, FECOB.gamma,
+                         temperature=-1.0, rng=rng)
+        with pytest.raises(ValueError):
+            ThermalField(small_mesh, FECOB.ms, 0.0, FECOB.gamma,
+                         temperature=300.0, rng=rng)
+
+
+class TestEnvelope:
+    def test_cw_default(self):
+        env = Envelope()
+        assert env(0.0) == 1.0
+        assert env(1.0) == 1.0
+
+    def test_pulse_window(self):
+        env = Envelope(start=1e-9, duration=100e-12)
+        assert env(0.5e-9) == 0.0
+        assert env(1.05e-9) == 1.0
+        assert env(1.2e-9) == 0.0
+
+    def test_cosine_ramp(self):
+        env = Envelope(start=0.0, duration=100e-12, rise=20e-12)
+        assert env(0.0) == pytest.approx(0.0)
+        assert env(10e-12) == pytest.approx(0.5)
+        assert env(20e-12) == pytest.approx(1.0)
+        assert env(90e-12) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Envelope(duration=0.0)
+        with pytest.raises(ValueError):
+            Envelope(duration=10e-12, rise=6e-12)
+        with pytest.raises(ValueError):
+            Envelope(rise=-1.0)

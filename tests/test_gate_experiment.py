@@ -1,0 +1,65 @@
+"""Construction-level tests for the scaled LLG gate experiments.
+
+(The physics run lives in ``benchmarks/bench_llg_gate.py`` -- each
+input pattern is a ~minute of magnetisation dynamics.)
+"""
+
+import math
+
+import pytest
+
+from repro.core.layout import validate_phase_design
+from repro.micromag.gate_experiment import (
+    LlgGateExperiment,
+    scaled_maj3_experiment,
+    scaled_xor_experiment,
+)
+from repro.physics import FECOB, DispersionRelation, FilmStack
+
+
+class TestScaledXor:
+    def test_geometry_scales_with_frequency(self):
+        experiment = scaled_xor_experiment(frequency=28e9)
+        film = FilmStack(material=FECOB, thickness=1e-9)
+        expected_lambda = DispersionRelation(film).wavelength(28e9)
+        assert experiment.wavelength == pytest.approx(expected_lambda)
+        dims = experiment.fabricated.layout.dimensions
+        assert dims.d1 == pytest.approx(2 * expected_lambda)
+
+    def test_phase_design_still_valid(self):
+        experiment = scaled_xor_experiment()
+        checks = validate_phase_design(experiment.fabricated.layout)
+        assert all(checks.values()), checks
+
+    def test_terminals_present(self):
+        fab = scaled_xor_experiment().fabricated
+        assert set(fab.terminal_masks) == {"I1", "I2", "O1", "O2"}
+
+    def test_settle_time_covers_flight(self):
+        experiment = scaled_xor_experiment()
+        lx, ly, _ = experiment.fabricated.mesh.extent
+        film = FilmStack(material=FECOB, thickness=1e-9)
+        disp = DispersionRelation(film)
+        v_g = float(disp.group_velocity(
+            2 * math.pi / experiment.wavelength))
+        assert experiment.settle_time > math.hypot(lx, ly) / v_g
+
+    def test_bit_count_enforced(self):
+        experiment = scaled_xor_experiment()
+        with pytest.raises(ValueError, match="expected 2 bits"):
+            experiment.run_case((0, 1, 1))
+
+
+class TestScaledMaj3:
+    def test_geometry(self):
+        experiment = scaled_maj3_experiment()
+        layout = experiment.fabricated.layout
+        assert layout.kind == "maj3"
+        assert set(experiment.input_names) == {"I1", "I2", "I3"}
+        checks = validate_phase_design(layout)
+        assert all(checks.values()), checks
+
+    def test_canvas_is_laptop_scale(self):
+        fab = scaled_maj3_experiment().fabricated
+        ny, nx = fab.mask.shape
+        assert nx * ny < 30000  # a CPU-minutes problem, not GPU-hours

@@ -1,0 +1,180 @@
+"""Gate-level tests (network backend; FDTD cross-checks live in
+test_integration.py to keep this file fast)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DerivedTriangleGate,
+    PAPER_ARRIVAL_MODEL,
+    PAPER_TABLE_I,
+    TriangleMajorityGate,
+    TriangleXorGate,
+    paper_maj3_dimensions,
+    paper_table_i_gate,
+    paper_table_ii_gate,
+)
+from repro.core.logic import (
+    and_,
+    input_patterns,
+    majority,
+    nand,
+    nor,
+    or_,
+    xnor,
+    xor,
+)
+from repro.physics import AttenuationModel
+
+
+class TestTriangleMajorityGate:
+    def test_full_truth_table(self):
+        gate = TriangleMajorityGate()
+        for bits, result in gate.truth_table().items():
+            assert result.expected == majority(*bits)
+            assert result.correct, bits
+            assert result.fanout_matched, bits
+
+    def test_inverted_gate(self):
+        gate = TriangleMajorityGate(invert_output=True)
+        for bits, result in gate.truth_table().items():
+            assert result.expected == 1 - majority(*bits)
+            assert result.correct, bits
+
+    def test_input_count_enforced(self):
+        with pytest.raises(ValueError, match="3 inputs"):
+            TriangleMajorityGate().evaluate((0, 1))
+
+    def test_cell_counts_match_table_iii(self):
+        gate = TriangleMajorityGate()
+        assert gate.n_excitation_cells == 3
+        assert gate.n_detection_cells == 2
+        assert gate.n_cells == 5
+
+    def test_normalized_table_ideal(self):
+        gate = TriangleMajorityGate()
+        table = gate.normalized_output_table()
+        for bits, (o1, o2) in table.items():
+            assert o1 == pytest.approx(o2, abs=1e-9)
+            expected = 1.0 if len(set(bits)) == 1 else 1.0 / 3.0
+            assert o1 == pytest.approx(expected, abs=1e-9)
+
+    def test_normalized_table_calibrated_matches_paper(self):
+        gate = paper_table_i_gate()
+        table = gate.normalized_output_table()
+        for bits, (o1, _o2) in table.items():
+            assert o1 == pytest.approx(PAPER_TABLE_I[bits][0], abs=1e-9)
+
+    def test_margins_are_wide_in_ideal_gate(self):
+        gate = TriangleMajorityGate()
+        for result in gate.truth_table().values():
+            for detection in result.outputs.values():
+                assert detection.margin > math.pi / 4
+
+    def test_losses_do_not_flip_logic(self):
+        gate = TriangleMajorityGate(
+            attenuation=AttenuationModel(decay_length=5e-6),
+            junction_transmission=0.8)
+        for bits, result in gate.truth_table().items():
+            assert result.correct, bits
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            TriangleMajorityGate().evaluate((0, 0, 0), backend="oommf")
+
+    def test_rescaled_wavelength_still_works(self):
+        dims = paper_maj3_dimensions(wavelength=110e-9, width=100e-9)
+        gate = TriangleMajorityGate(dimensions=dims, frequency=5e9)
+        for bits, result in gate.truth_table().items():
+            assert result.correct, bits
+
+
+class TestTriangleXorGate:
+    def test_full_truth_table(self):
+        gate = TriangleXorGate()
+        for bits, result in gate.truth_table().items():
+            assert result.expected == xor(*bits)
+            assert result.correct, bits
+            assert result.fanout_matched, bits
+
+    def test_xnor_variant(self):
+        gate = TriangleXorGate(xnor=True)
+        for bits, result in gate.truth_table().items():
+            assert result.expected == xnor(*bits)
+            assert result.correct, bits
+
+    def test_cell_counts_match_table_iii(self):
+        gate = TriangleXorGate()
+        assert gate.n_cells == 4
+
+    def test_normalized_table_contrast(self):
+        table = paper_table_ii_gate().normalized_output_table()
+        assert table[(0, 0)][0] == pytest.approx(1.0)
+        assert table[(1, 1)][0] == pytest.approx(1.0)
+        assert table[(0, 1)][0] == pytest.approx(0.0, abs=1e-9)
+        assert table[(1, 0)][0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_input_count_enforced(self):
+        with pytest.raises(ValueError, match="2 inputs"):
+            TriangleXorGate().evaluate((0, 1, 1))
+
+    def test_custom_threshold(self):
+        gate = TriangleXorGate(threshold=0.9)
+        for bits, result in gate.truth_table().items():
+            assert result.correct, bits
+
+
+class TestDerivedGates:
+    @pytest.mark.parametrize("function,reference", [
+        ("AND", and_), ("OR", or_), ("NAND", nand), ("NOR", nor)])
+    def test_truth_tables(self, function, reference):
+        gate = DerivedTriangleGate(function)
+        for (a, b), result in gate.truth_table().items():
+            assert result.expected == reference(a, b), (function, a, b)
+            assert result.correct, (function, a, b)
+
+    def test_control_values(self):
+        assert DerivedTriangleGate("AND").control_value == 0
+        assert DerivedTriangleGate("OR").control_value == 1
+        assert DerivedTriangleGate("NAND").control_value == 0
+
+    def test_inversion_via_geometry(self):
+        # NAND embeds the inverted-output majority gate.
+        assert DerivedTriangleGate("NAND").majority_gate.invert_output
+        assert not DerivedTriangleGate("AND").majority_gate.invert_output
+
+    def test_cell_count_inherited(self):
+        assert DerivedTriangleGate("AND").n_cells == 5
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            DerivedTriangleGate("XOR3")
+
+
+class TestGateResult:
+    def test_correct_and_fanout_flags(self):
+        gate = TriangleMajorityGate()
+        result = gate.evaluate((0, 1, 1))
+        assert result.inputs == {"I1": 0, "I2": 1, "I3": 1}
+        assert result.backend == "network"
+        assert result.expected == 1
+        assert set(result.outputs) == {"O1", "O2"}
+
+
+class TestAsDevice:
+    def test_maj3_device_view(self):
+        from repro.core import DetectionMethod
+
+        device = TriangleMajorityGate().as_device()
+        assert device.n_cells == 5
+        assert device.detection is DetectionMethod.PHASE
+        assert device.fan_out == 2
+        assert device.equal_energy_inputs
+
+    def test_xor_device_view(self):
+        from repro.core import DetectionMethod
+
+        device = TriangleXorGate().as_device()
+        assert device.n_cells == 4
+        assert device.detection is DetectionMethod.THRESHOLD

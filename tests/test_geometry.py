@@ -1,0 +1,164 @@
+"""Geometry/CSG mask tests."""
+
+import numpy as np
+import pytest
+
+from repro.micromag import (
+    Mesh,
+    difference,
+    disk,
+    edge_damping_profile,
+    intersection,
+    polygon,
+    rasterize,
+    rectangle,
+    roughen_edges,
+    strip,
+    union,
+)
+
+
+@pytest.fixture
+def canvas():
+    return Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(40, 40, 1))
+
+
+class TestPrimitives:
+    def test_rectangle_area(self, canvas):
+        mask = rasterize(canvas, rectangle(0, 0, 100e-9, 50e-9))
+        assert mask.sum() == 20 * 10
+
+    def test_rectangle_corner_order_irrelevant(self, canvas):
+        a = rasterize(canvas, rectangle(0, 0, 100e-9, 50e-9))
+        b = rasterize(canvas, rectangle(100e-9, 50e-9, 0, 0))
+        assert np.array_equal(a, b)
+
+    def test_disk_area_approximates_circle(self, canvas):
+        r = 50e-9
+        mask = rasterize(canvas, disk(100e-9, 100e-9, r))
+        area = mask.sum() * (5e-9) ** 2
+        assert area == pytest.approx(np.pi * r * r, rel=0.1)
+
+    def test_disk_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            disk(0, 0, 0.0)
+
+    def test_horizontal_strip_matches_rectangle(self, canvas):
+        s = rasterize(canvas, strip((20e-9, 100e-9), (180e-9, 100e-9),
+                                    width=30e-9, extend_ends=False))
+        r = rasterize(canvas, rectangle(20e-9, 85e-9, 180e-9, 115e-9))
+        assert np.array_equal(s, r)
+
+    def test_diagonal_strip_width(self, canvas):
+        mask = rasterize(canvas, strip((20e-9, 20e-9), (180e-9, 180e-9),
+                                       width=30e-9, extend_ends=False))
+        length = np.hypot(160e-9, 160e-9)
+        expected_cells = length * 30e-9 / (5e-9) ** 2
+        assert mask.sum() == pytest.approx(expected_cells, rel=0.15)
+
+    def test_strip_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            strip((0, 0), (0, 0), width=10e-9)
+        with pytest.raises(ValueError):
+            strip((0, 0), (1e-9, 0), width=0.0)
+
+    def test_polygon_triangle(self, canvas):
+        tri = polygon([(0, 0), (200e-9, 0), (0, 200e-9)])
+        mask = rasterize(canvas, tri)
+        area = mask.sum() * (5e-9) ** 2
+        assert area == pytest.approx(0.5 * 200e-9 * 200e-9, rel=0.1)
+
+    def test_polygon_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            polygon([(0, 0), (1, 1)])
+
+
+class TestCSG:
+    def test_union(self, canvas):
+        a = rectangle(0, 0, 50e-9, 50e-9)
+        b = rectangle(100e-9, 100e-9, 150e-9, 150e-9)
+        mask = rasterize(canvas, union(a, b))
+        assert mask.sum() == rasterize(canvas, a).sum() \
+            + rasterize(canvas, b).sum()
+
+    def test_intersection(self, canvas):
+        a = rectangle(0, 0, 100e-9, 100e-9)
+        b = rectangle(50e-9, 50e-9, 150e-9, 150e-9)
+        mask = rasterize(canvas, intersection(a, b))
+        assert mask.sum() == 10 * 10
+
+    def test_difference(self, canvas):
+        outer = rectangle(0, 0, 100e-9, 100e-9)
+        hole = rectangle(25e-9, 25e-9, 75e-9, 75e-9)
+        mask = rasterize(canvas, difference(outer, hole))
+        assert mask.sum() == 20 * 20 - 10 * 10
+
+    def test_empty_combinators_raise(self):
+        with pytest.raises(ValueError):
+            union()
+        with pytest.raises(ValueError):
+            intersection()
+
+
+class TestRoughenEdges:
+    def test_zero_probability_is_identity(self, canvas, rng):
+        mask = rasterize(canvas, rectangle(0, 0, 150e-9, 150e-9))
+        out = roughen_edges(mask, 0.0, rng)
+        assert np.array_equal(out, mask)
+
+    def test_only_edge_cells_removed(self, canvas, rng):
+        mask = rasterize(canvas, rectangle(0, 0, 150e-9, 150e-9))
+        out = roughen_edges(mask, 1.0, rng)
+        # Interior (4-neighbourhood fully inside) must be intact.
+        interior = mask.copy()
+        for axis, shift in ((1, 1), (1, -1), (2, 1), (2, -1)):
+            interior &= np.roll(mask, shift, axis=axis)
+        assert np.array_equal(out & interior, interior)
+        assert out.sum() < mask.sum()
+
+    def test_input_not_modified(self, canvas, rng):
+        mask = rasterize(canvas, rectangle(0, 0, 150e-9, 150e-9))
+        original = mask.copy()
+        roughen_edges(mask, 0.5, rng)
+        assert np.array_equal(mask, original)
+
+    def test_probability_validation(self, canvas, rng):
+        mask = rasterize(canvas, rectangle(0, 0, 150e-9, 150e-9))
+        with pytest.raises(ValueError):
+            roughen_edges(mask, 1.5, rng)
+
+
+class TestEdgeDamping:
+    def test_bulk_keeps_base_alpha(self, canvas):
+        mask = np.ones(canvas.scalar_shape, dtype=bool)
+        alpha = edge_damping_profile(canvas, mask, base_alpha=0.004,
+                                     ramp_width=30e-9, max_alpha=0.5)
+        centre = alpha[0, 20, 20]
+        assert centre == pytest.approx(0.004)
+
+    def test_edges_reach_high_damping(self, canvas):
+        mask = np.ones(canvas.scalar_shape, dtype=bool)
+        alpha = edge_damping_profile(canvas, mask, base_alpha=0.004,
+                                     ramp_width=50e-9, max_alpha=0.5,
+                                     axes=(0,))
+        assert alpha[0, 20, 0] > 0.3
+        assert alpha[0, 20, -1] > 0.3
+
+    def test_vacuum_is_zero(self, canvas):
+        mask = np.zeros(canvas.scalar_shape, dtype=bool)
+        mask[0, 10:30, 10:30] = True
+        alpha = edge_damping_profile(canvas, mask, 0.004, 30e-9)
+        assert np.all(alpha[~mask] == 0.0)
+
+    def test_monotone_ramp(self, canvas):
+        mask = np.ones(canvas.scalar_shape, dtype=bool)
+        alpha = edge_damping_profile(canvas, mask, 0.004, 60e-9, axes=(0,))
+        row = alpha[0, 20, :20]
+        assert np.all(np.diff(row) <= 1e-12)
+
+    def test_validation(self, canvas):
+        mask = np.ones(canvas.scalar_shape, dtype=bool)
+        with pytest.raises(ValueError):
+            edge_damping_profile(canvas, mask, 0.4, 10e-9, max_alpha=0.1)
+        with pytest.raises(ValueError):
+            edge_damping_profile(canvas, mask, 0.004, -1.0)

@@ -1,0 +1,121 @@
+"""Hamming(7,4) encoder/corrector tests over spin-wave gates."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitSimulator
+from repro.circuits.faults import FaultySimulator, StuckAtFault
+from repro.circuits.hamming import (
+    hamming74_corrector_netlist,
+    hamming74_decode,
+    hamming74_encode,
+    hamming74_encoder_netlist,
+    run_corrector,
+)
+
+ALL_DATA = list(product((0, 1), repeat=4))
+
+
+class TestReferenceCode:
+    def test_encode_decode_round_trip(self):
+        for data in ALL_DATA:
+            codeword = hamming74_encode(data)
+            decoded, position = hamming74_decode(codeword)
+            assert decoded == data
+            assert position == 0
+
+    def test_single_error_corrected(self):
+        for data in ALL_DATA:
+            codeword = list(hamming74_encode(data))
+            for error in range(7):
+                corrupted = codeword.copy()
+                corrupted[error] ^= 1
+                decoded, position = hamming74_decode(corrupted)
+                assert decoded == data
+                assert position == error + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hamming74_encode((0, 1))
+        with pytest.raises(ValueError):
+            hamming74_decode((0,) * 6)
+        with pytest.raises(ValueError):
+            hamming74_encode((0, 1, 2, 0))
+
+
+class TestEncoderNetlist:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        return CircuitSimulator(hamming74_encoder_netlist())
+
+    def test_matches_reference(self, simulator):
+        for data in ALL_DATA:
+            inputs = {f"d{i + 1}": b for i, b in enumerate(data)}
+            outputs = simulator.run(inputs).outputs
+            codeword = tuple(outputs[f"c{i}"] for i in range(1, 8))
+            assert codeword == hamming74_encode(data), data
+
+    def test_structure(self):
+        net = hamming74_encoder_netlist()
+        counts = net.count_by_type()
+        assert counts["XOR"] == 6      # three 3-input parity chains
+        assert counts["REPEATER"] == 4  # data pass-throughs
+
+
+class TestCorrectorNetlist:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        return CircuitSimulator(hamming74_corrector_netlist())
+
+    def test_clean_codewords_pass(self, simulator):
+        for data in ALL_DATA:
+            codeword = hamming74_encode(data)
+            assert run_corrector(simulator, codeword) == data, data
+
+    def test_corrects_every_single_error(self, simulator):
+        for data in ALL_DATA:
+            codeword = list(hamming74_encode(data))
+            for error in range(7):
+                corrupted = codeword.copy()
+                corrupted[error] ^= 1
+                assert run_corrector(simulator, corrupted) == data, \
+                    (data, error)
+
+    @given(st.tuples(*[st.sampled_from([0, 1])] * 4),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_random_channel(self, data, error):
+        simulator = _cached_corrector()
+        codeword = list(hamming74_encode(data))
+        if error:
+            codeword[error - 1] ^= 1
+        assert run_corrector(simulator, codeword) == data
+
+    def test_end_to_end_with_stuck_at_channel_fault(self):
+        # A stuck-at fault on one received codeword bit is exactly a
+        # (possibly persistent) single-bit channel error: the corrector
+        # must mask it for every data word.
+        netlist = hamming74_corrector_netlist()
+        for position in range(1, 8):
+            for value in (0, 1):
+                faulty = FaultySimulator(
+                    netlist, StuckAtFault(f"c{position}", value))
+                for data in ALL_DATA:
+                    codeword = hamming74_encode(data)
+                    inputs = {f"c{i + 1}": b
+                              for i, b in enumerate(codeword)}
+                    outputs = faulty.run(inputs).outputs
+                    decoded = tuple(outputs[f"d{i}"] for i in range(1, 5))
+                    assert decoded == data, (position, value, data)
+
+
+_CACHE = {}
+
+
+def _cached_corrector():
+    if "sim" not in _CACHE:
+        _CACHE["sim"] = CircuitSimulator(hamming74_corrector_netlist())
+    return _CACHE["sim"]

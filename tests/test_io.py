@@ -1,0 +1,133 @@
+"""I/O tests: OVF round trips and table formatting."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io import OvfField, format_table, format_truth_table, read_ovf, write_ovf
+from repro.micromag import Mesh, normalize_field
+
+
+class TestOvfRoundTrip:
+    def _random_field(self, rng):
+        mesh = Mesh(cell_size=(5e-9, 4e-9, 1e-9), shape=(6, 5, 1),
+                    origin=(1e-9, 2e-9, 0.0))
+        data = rng.standard_normal(mesh.field_shape)
+        normalize_field(data)
+        return OvfField(mesh=mesh, data=data, title="test_m")
+
+    def test_round_trip_preserves_data(self, rng, tmp_path):
+        field = self._random_field(rng)
+        path = str(tmp_path / "state.ovf")
+        write_ovf(path, field)
+        back = read_ovf(path)
+        assert back.mesh.shape == field.mesh.shape
+        assert back.mesh.cell_size == pytest.approx(field.mesh.cell_size)
+        assert np.allclose(back.data, field.data, atol=1e-8)
+        assert back.title == "test_m"
+
+    def test_round_trip_via_handles(self, rng):
+        field = self._random_field(rng)
+        buffer = io.StringIO()
+        write_ovf(buffer, field)
+        buffer.seek(0)
+        back = read_ovf(buffer)
+        assert np.allclose(back.data, field.data, atol=1e-8)
+
+    def test_header_is_ovf2(self, rng):
+        buffer = io.StringIO()
+        write_ovf(buffer, self._random_field(rng))
+        text = buffer.getvalue()
+        assert text.startswith("# OOMMF OVF 2.0")
+        assert "# meshtype: rectangular" in text
+        assert "# valuedim: 3" in text
+
+    def test_data_order_x_fastest(self, rng):
+        # OVF data order: x fastest, then y, then z.
+        mesh = Mesh(cell_size=(1e-9,) * 3, shape=(2, 2, 1))
+        data = np.zeros(mesh.field_shape)
+        data[0, 0, 0, 0] = 1.0   # first value
+        data[0, 0, 0, 1] = 2.0   # second value (x neighbour)
+        data[0, 0, 1, 0] = 3.0   # third value (y neighbour)
+        buffer = io.StringIO()
+        write_ovf(buffer, OvfField(mesh=mesh, data=data))
+        rows = [line for line in buffer.getvalue().splitlines()
+                if line and not line.startswith("#")]
+        assert float(rows[0].split()[0]) == 1.0
+        assert float(rows[1].split()[0]) == 2.0
+        assert float(rows[2].split()[0]) == 3.0
+
+    def test_shape_mismatch_rejected(self, small_mesh):
+        with pytest.raises(ValueError):
+            OvfField(mesh=small_mesh, data=np.zeros((3, 1, 2, 2)))
+
+    def test_truncated_data_detected(self, rng):
+        field = self._random_field(rng)
+        buffer = io.StringIO()
+        write_ovf(buffer, field)
+        lines = buffer.getvalue().splitlines()
+        # Drop one data row.
+        data_rows = [i for i, l in enumerate(lines)
+                     if l and not l.startswith("#")]
+        del lines[data_rows[3]]
+        broken = io.StringIO("\n".join(lines))
+        with pytest.raises(ValueError, match="data rows"):
+            read_ovf(broken)
+
+    def test_missing_header_detected(self):
+        with pytest.raises(ValueError, match="Data Text"):
+            read_ovf(io.StringIO("# OOMMF OVF 2.0\n"))
+
+    def test_scalar_valuedim_rejected(self, rng):
+        field = self._random_field(rng)
+        buffer = io.StringIO()
+        write_ovf(buffer, field)
+        text = buffer.getvalue().replace("# valuedim: 3", "# valuedim: 1")
+        with pytest.raises(ValueError, match="valuedim"):
+            read_ovf(io.StringIO(text))
+
+    def test_missing_mesh_field_detected(self, rng):
+        field = self._random_field(rng)
+        buffer = io.StringIO()
+        write_ovf(buffer, field)
+        lines = [l for l in buffer.getvalue().splitlines()
+                 if not l.startswith("# xnodes")]
+        with pytest.raises(ValueError, match="xnodes"):
+            read_ovf(io.StringIO("\n".join(lines)))
+
+    def test_bad_column_count_detected(self, rng):
+        field = self._random_field(rng)
+        buffer = io.StringIO()
+        write_ovf(buffer, field)
+        lines = buffer.getvalue().splitlines()
+        idx = next(i for i, l in enumerate(lines)
+                   if l and not l.startswith("#"))
+        lines[idx] = "1.0 2.0"
+        with pytest.raises(ValueError, match="3 columns"):
+            read_ovf(io.StringIO("\n".join(lines)))
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", "1"], ["bbbb", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in lines if "-" not in line)
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_truth_table_rendering(self):
+        text = format_truth_table(
+            patterns=[(0, 0), (0, 1)],
+            columns=["O1"],
+            values=[[1.0], [0.083]],
+            input_names=["I1", "I2"])
+        assert "0.083" in text
+        assert "I1" in text

@@ -1,0 +1,182 @@
+"""Gate-layout tests: the dimensioning rules of Section III / IV-A."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GateDimensions,
+    is_phase_inverting,
+    is_phase_preserving,
+    maj3_layout,
+    paper_maj3_dimensions,
+    paper_xor_dimensions,
+    segment_length,
+    validate_phase_design,
+    xor_layout,
+)
+from repro.core.layout import PAPER_WAVELENGTH, PAPER_WIDTH
+
+
+class TestSegmentLength:
+    def test_integer_multiples(self):
+        assert segment_length(6, 55e-9) == pytest.approx(330e-9)
+        assert segment_length(16, 55e-9) == pytest.approx(880e-9)
+
+    def test_inverting_adds_half(self):
+        assert segment_length(1, 55e-9, inverted=True) == pytest.approx(
+            82.5e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segment_length(-1, 55e-9)
+        with pytest.raises(ValueError):
+            segment_length(1, 0.0)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_preserving_predicate(self, n):
+        lam = 55e-9
+        assert is_phase_preserving(segment_length(n, lam), lam)
+        assert not is_phase_inverting(segment_length(n, lam), lam)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_inverting_predicate(self, n):
+        lam = 55e-9
+        length = segment_length(n, lam, inverted=True)
+        assert is_phase_inverting(length, lam)
+        assert not is_phase_preserving(length, lam)
+
+
+class TestPaperDimensions:
+    def test_maj3_matches_section_iv_a(self):
+        dims = paper_maj3_dimensions()
+        assert dims.d1 == pytest.approx(330e-9)
+        assert dims.d2 == pytest.approx(880e-9)
+        assert dims.d3 == pytest.approx(220e-9)
+        assert dims.d4 == pytest.approx(55e-9)
+        assert dims.wavelength == pytest.approx(55e-9)
+        assert dims.width == pytest.approx(50e-9)
+
+    def test_xor_matches_section_iv_a(self):
+        dims = paper_xor_dimensions()
+        assert dims.d1 == pytest.approx(330e-9)
+        assert dims.d2_xor == pytest.approx(40e-9)
+
+    def test_inverted_output_option(self):
+        dims = paper_maj3_dimensions(invert_output=True)
+        assert dims.d4 == pytest.approx(82.5e-9)
+
+    def test_rescaling(self):
+        dims = paper_maj3_dimensions(wavelength=110e-9, width=100e-9)
+        assert dims.d1 == pytest.approx(660e-9)
+        assert dims.d2 == pytest.approx(1760e-9)
+
+    def test_width_constraint_enforced(self):
+        # Section III-A: width must be <= wavelength.
+        with pytest.raises(ValueError, match="must not exceed"):
+            GateDimensions(wavelength=55e-9, width=60e-9, d1=330e-9)
+
+
+class TestMaj3Layout:
+    def test_all_phase_checks_pass(self):
+        checks = validate_phase_design(maj3_layout())
+        assert all(checks.values()), checks
+
+    def test_node_inventory(self):
+        layout = maj3_layout()
+        assert layout.input_names == ["I1", "I2", "I3"]
+        assert layout.output_names == ["O1", "O2"]
+        for node in ("M", "C", "K1", "K2", "B1", "B2"):
+            assert node in layout.nodes
+
+    def test_segment_lengths_match_dimensions(self):
+        layout = maj3_layout()
+        dims = layout.dimensions
+        assert layout.path_length("I1", "M") == pytest.approx(dims.d1)
+        assert layout.path_length("M", "C") == pytest.approx(dims.stem)
+        assert layout.path_length("C", "K1") == pytest.approx(dims.d1)
+        assert layout.path_length("I3", "K1") == pytest.approx(dims.d2)
+        assert layout.path_length("K1", "B1") == pytest.approx(dims.d3)
+        assert layout.path_length("B1", "O1") == pytest.approx(dims.d4)
+
+    def test_mirror_symmetry(self):
+        layout = maj3_layout()
+        for upper, lower in (("I1", "I2"), ("K1", "K2"), ("B1", "B2"),
+                             ("O1", "O2")):
+            xu, yu = layout.nodes[upper]
+            xl, yl = layout.nodes[lower]
+            assert xu == pytest.approx(xl)
+            assert yu == pytest.approx(-yl)
+
+    def test_inverted_output_validates(self):
+        layout = maj3_layout(paper_maj3_dimensions(invert_output=True))
+        checks = validate_phase_design(layout)
+        assert all(checks.values()), checks
+
+    def test_rejects_xor_dimensions(self):
+        with pytest.raises(ValueError, match="d2, d3 and d4"):
+            maj3_layout(paper_xor_dimensions())
+
+    def test_rejects_too_short_d2(self):
+        dims = GateDimensions(wavelength=55e-9, width=50e-9,
+                              d1=330e-9, d2=110e-9, d3=220e-9, d4=55e-9,
+                              stem=110e-9)
+        with pytest.raises(ValueError, match="d2 must exceed"):
+            maj3_layout(dims)
+
+    def test_translated_preserves_lengths(self):
+        layout = maj3_layout()
+        moved = layout.translated(1e-6, -2e-6)
+        assert moved.path_length("I1", "M") == pytest.approx(
+            layout.path_length("I1", "M"))
+        assert moved.nodes["C"][0] == pytest.approx(
+            layout.nodes["C"][0] + 1e-6)
+
+    def test_bounding_box_contains_all_nodes(self):
+        layout = maj3_layout()
+        x0, y0, x1, y1 = layout.bounding_box(margin=10e-9)
+        for x, y in layout.nodes.values():
+            assert x0 < x < x1
+            assert y0 < y < y1
+
+
+class TestXorLayout:
+    def test_all_phase_checks_pass(self):
+        checks = validate_phase_design(xor_layout())
+        assert all(checks.values()), checks
+
+    def test_no_third_input(self):
+        layout = xor_layout()
+        assert layout.input_names == ["I1", "I2"]
+        assert "I3" not in layout.nodes
+
+    def test_output_close_to_corner(self):
+        # Threshold detection wants the detector as close as possible.
+        layout = xor_layout()
+        assert layout.path_length("K1", "O1") == pytest.approx(40e-9)
+
+    def test_rejects_maj_dimensions(self):
+        with pytest.raises(ValueError, match="d2_xor"):
+            xor_layout(paper_maj3_dimensions())
+
+    def test_path_length_multi_hop(self):
+        layout = xor_layout()
+        total = layout.path_length("I1", "M", "C", "K1", "O1")
+        dims = layout.dimensions
+        assert total == pytest.approx(
+            dims.d1 + dims.stem + dims.d1 + dims.d2_xor)
+
+    def test_path_length_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            xor_layout().path_length("I1")
+
+
+class TestScaling:
+    @given(st.floats(min_value=20e-9, max_value=200e-9))
+    @settings(max_examples=20)
+    def test_any_wavelength_validates(self, lam):
+        dims = paper_maj3_dimensions(wavelength=lam, width=0.9 * lam)
+        checks = validate_phase_design(maj3_layout(dims))
+        assert all(checks.values())

@@ -1,0 +1,134 @@
+"""Boolean reference tests, including hypothesis identities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import logic
+from repro.core.logic import (
+    and_,
+    check_bits,
+    full_adder,
+    input_patterns,
+    majority,
+    majority_derived,
+    nand,
+    nor,
+    not_,
+    or_,
+    truth_table,
+    xnor,
+    xor,
+)
+
+bits = st.sampled_from([0, 1])
+
+
+class TestMajority:
+    def test_all_maj3_cases(self):
+        expected = {
+            (0, 0, 0): 0, (0, 0, 1): 0, (0, 1, 0): 0, (0, 1, 1): 1,
+            (1, 0, 0): 0, (1, 0, 1): 1, (1, 1, 0): 1, (1, 1, 1): 1,
+        }
+        for pattern, value in expected.items():
+            assert majority(*pattern) == value
+
+    @given(bits, bits, bits)
+    def test_self_dual(self, a, b, c):
+        # MAJ(~a, ~b, ~c) = ~MAJ(a, b, c).
+        assert majority(1 - a, 1 - b, 1 - c) == 1 - majority(a, b, c)
+
+    @given(bits, bits, bits)
+    def test_symmetric(self, a, b, c):
+        assert majority(a, b, c) == majority(b, c, a) == majority(c, a, b)
+
+    @given(bits, bits)
+    def test_absorbs_pair(self, a, b):
+        # MAJ(a, a, b) = a.
+        assert majority(a, a, b) == a
+
+    def test_five_input(self):
+        assert majority(1, 1, 1, 0, 0) == 1
+        assert majority(1, 1, 0, 0, 0) == 0
+
+    def test_even_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            majority(0, 1)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            majority(0, 1, 2)
+
+
+class TestXorFamily:
+    @given(bits, bits)
+    def test_xor_commutative(self, a, b):
+        assert xor(a, b) == xor(b, a)
+
+    @given(bits, bits, bits)
+    def test_xor_associative(self, a, b, c):
+        assert xor(xor(a, b), c) == xor(a, xor(b, c))
+
+    @given(bits)
+    def test_xor_identity_and_cancel(self, a):
+        assert xor(a, 0) == a
+        assert xor(a, a) == 0
+
+    @given(bits, bits)
+    def test_xnor_is_complement(self, a, b):
+        assert xnor(a, b) == 1 - xor(a, b)
+
+
+class TestGateFunctions:
+    @given(bits, bits)
+    def test_demorgan(self, a, b):
+        assert nand(a, b) == or_(1 - a, 1 - b)
+        assert nor(a, b) == and_(1 - a, 1 - b)
+
+    @given(bits)
+    def test_not(self, a):
+        assert not_(a) == 1 - a
+
+    @given(bits, bits)
+    def test_majority_derived_matches_reference(self, a, b):
+        assert majority_derived("AND", a, b) == and_(a, b)
+        assert majority_derived("OR", a, b) == or_(a, b)
+        assert majority_derived("NAND", a, b) == nand(a, b)
+        assert majority_derived("NOR", a, b) == nor(a, b)
+
+    def test_unknown_derived_function(self):
+        with pytest.raises(KeyError):
+            majority_derived("XOR", 0, 1)
+
+
+class TestUtilities:
+    def test_truth_table_size(self):
+        table = truth_table(xor, 2)
+        assert len(table) == 4
+        assert table[(1, 0)] == 1
+
+    def test_input_patterns_order(self):
+        patterns = input_patterns(2)
+        assert patterns == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_check_bits(self):
+        assert check_bits([0, 1, True]) == (0, 1, 1)
+        with pytest.raises(ValueError):
+            check_bits([0, 5])
+
+    def test_truth_table_validation(self):
+        with pytest.raises(ValueError):
+            truth_table(xor, 0)
+
+
+class TestFullAdder:
+    @given(bits, bits, bits)
+    def test_against_arithmetic(self, a, b, c):
+        s, carry = full_adder(a, b, c)
+        assert 2 * carry + s == a + b + c
+
+    def test_carry_is_majority_sum_is_parity(self):
+        for pattern in input_patterns(3):
+            s, carry = full_adder(*pattern)
+            assert carry == majority(*pattern)
+            assert s == xor(*pattern)

@@ -1,0 +1,87 @@
+"""Material database tests against the paper's parameter set."""
+
+import math
+
+import pytest
+
+from repro.physics import FECOB, PERMALLOY, YIG, Material, get_material, register_material
+
+
+class TestPaperMaterial:
+    def test_fecob_parameters_match_section_iv_a(self):
+        assert FECOB.ms == pytest.approx(1100e3)
+        assert FECOB.aex == pytest.approx(18.5e-12)
+        assert FECOB.alpha == pytest.approx(0.004)
+        assert FECOB.ku == pytest.approx(0.832e6)
+        assert FECOB.anisotropy_axis == (0.0, 0.0, 1.0)
+
+    def test_exchange_length_about_5nm(self):
+        # sqrt(2*18.5e-12 / (mu0 * (1.1e6)^2)) ~ 4.93 nm.
+        assert FECOB.exchange_length == pytest.approx(4.93e-9, rel=0.01)
+
+    def test_anisotropy_field_exceeds_ms(self):
+        # The film must be perpendicular without external bias for FVSW.
+        assert FECOB.anisotropy_field > FECOB.ms
+        assert FECOB.is_perpendicular
+
+    def test_effective_pma_field(self):
+        # ~104 kA/m of net perpendicular stiffness.
+        assert FECOB.effective_pma_field == pytest.approx(103.8e3, rel=0.01)
+
+
+class TestOtherMaterials:
+    def test_yig_not_perpendicular(self):
+        assert not YIG.is_perpendicular
+
+    def test_damping_ordering(self):
+        # YIG is the low-damping champion.
+        assert YIG.alpha < FECOB.alpha < PERMALLOY.alpha
+
+
+class TestValidation:
+    def test_rejects_negative_ms(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", ms=-1.0, aex=1e-12, alpha=0.01)
+
+    def test_rejects_zero_aex(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", ms=1e5, aex=0.0, alpha=0.01)
+
+    def test_rejects_negative_damping(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", ms=1e5, aex=1e-12, alpha=-0.1)
+
+    def test_rejects_non_unit_axis(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", ms=1e5, aex=1e-12, alpha=0.01,
+                     anisotropy_axis=(0.0, 0.0, 2.0))
+
+
+class TestRegistry:
+    def test_lookup_by_name_and_alias(self):
+        assert get_material("FeCoB") is FECOB
+        assert get_material("fe60co20b20") is FECOB
+        assert get_material("py") is PERMALLOY
+
+    def test_unknown_material_lists_options(self):
+        with pytest.raises(KeyError, match="available"):
+            get_material("unobtainium")
+
+    def test_register_custom(self):
+        custom = Material(name="TestAlloy", ms=5e5, aex=1e-11, alpha=0.02)
+        register_material(custom, "ta")
+        assert get_material("testalloy") is custom
+        assert get_material("ta") is custom
+
+
+class TestCopies:
+    def test_with_damping(self):
+        relaxed = FECOB.with_damping(0.5)
+        assert relaxed.alpha == 0.5
+        assert relaxed.ms == FECOB.ms
+        assert FECOB.alpha == 0.004  # original untouched
+
+    def test_with_ms(self):
+        variant = FECOB.with_ms(1.0e6)
+        assert variant.ms == 1.0e6
+        assert variant.aex == FECOB.aex

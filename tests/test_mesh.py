@@ -1,0 +1,115 @@
+"""Finite-difference mesh tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.micromag import Mesh, mesh_for_region, normalize_field
+
+
+class TestConstruction:
+    def test_basic_metrics(self, small_mesh):
+        assert small_mesh.n_cells == 64
+        assert small_mesh.cell_volume == pytest.approx(25e-27)
+        assert small_mesh.extent == pytest.approx((40e-9, 40e-9, 1e-9))
+        assert small_mesh.field_shape == (3, 1, 8, 8)
+        assert small_mesh.scalar_shape == (1, 8, 8)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            Mesh(cell_size=(0.0, 1e-9, 1e-9), shape=(4, 4, 1))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Mesh(cell_size=(1e-9, 1e-9, 1e-9), shape=(4, 0, 1))
+
+    def test_mesh_for_region_covers(self):
+        mesh = mesh_for_region(width=101e-9, height=48e-9,
+                               thickness=1e-9, cell=5e-9)
+        assert mesh.nx * mesh.dx >= 101e-9
+        assert mesh.ny * mesh.dy >= 48e-9
+        assert mesh.nz == 1
+
+
+class TestCoordinates:
+    def test_axis_coordinates_centres(self, small_mesh):
+        xs = small_mesh.axis_coordinates(0)
+        assert xs[0] == pytest.approx(2.5e-9)
+        assert xs[-1] == pytest.approx(37.5e-9)
+        assert len(xs) == 8
+
+    def test_coordinate_grids_shapes(self, small_mesh):
+        z, y, x = small_mesh.coordinate_grids()
+        assert z.shape == (1, 1, 1)
+        assert y.shape == (1, 8, 1)
+        assert x.shape == (1, 1, 8)
+
+    def test_index_of_round_trip(self, small_mesh):
+        xs = small_mesh.axis_coordinates(0)
+        ys = small_mesh.axis_coordinates(1)
+        for ix in (0, 3, 7):
+            for iy in (0, 5):
+                point = (xs[ix], ys[iy], 0.5e-9)
+                assert small_mesh.index_of(point) == (ix, iy, 0)
+
+    def test_index_of_outside_raises(self, small_mesh):
+        with pytest.raises(ValueError, match="outside mesh"):
+            small_mesh.index_of((1e-6, 0.0, 0.0))
+
+    def test_origin_offsets(self):
+        mesh = Mesh(cell_size=(1e-9, 1e-9, 1e-9), shape=(2, 2, 1),
+                    origin=(10e-9, 20e-9, 0.0))
+        assert mesh.axis_coordinates(0)[0] == pytest.approx(10.5e-9)
+        assert mesh.axis_coordinates(1)[0] == pytest.approx(20.5e-9)
+
+
+class TestFieldConstructors:
+    def test_uniform_vector_normalised(self, small_mesh):
+        field = small_mesh.uniform_vector((0.0, 0.0, 2.0))
+        assert np.allclose(field[2], 1.0)
+        assert np.allclose(field[0], 0.0)
+
+    def test_uniform_rejects_zero(self, small_mesh):
+        with pytest.raises(ValueError):
+            small_mesh.uniform_vector((0.0, 0.0, 0.0))
+
+    def test_zeros(self, small_mesh):
+        assert not small_mesh.zeros_vector().any()
+        assert not small_mesh.zeros_scalar().any()
+
+    def test_iter_cells_count(self, small_mesh):
+        assert sum(1 for _ in small_mesh.iter_cells()) == 64
+
+
+class TestNormalizeField:
+    def test_unit_norm_after(self, small_mesh, rng):
+        m = rng.standard_normal(small_mesh.field_shape)
+        normalize_field(m)
+        norms = np.sqrt(np.sum(m * m, axis=0))
+        assert np.allclose(norms, 1.0)
+
+    def test_respects_mask(self, small_mesh, rng):
+        m = rng.standard_normal(small_mesh.field_shape)
+        mask = np.zeros(small_mesh.scalar_shape, dtype=bool)
+        mask[0, :4, :] = True
+        normalize_field(m, mask)
+        norms = np.sqrt(np.sum(m * m, axis=0))
+        assert np.allclose(norms[mask], 1.0)
+        assert np.allclose(m[:, ~mask], 0.0)
+
+    def test_zero_cells_stay_zero(self, small_mesh):
+        m = small_mesh.zeros_vector()
+        m[2, 0, 0, 0] = 1.0
+        normalize_field(m)
+        assert m[2, 0, 0, 0] == 1.0
+        assert np.count_nonzero(m) == 1
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=20)
+    def test_scaling_invariance(self, scale):
+        mesh = Mesh(cell_size=(1e-9,) * 3, shape=(2, 2, 1))
+        m = mesh.uniform_vector((1.0, 1.0, 0.0)) * scale
+        normalize_field(m)
+        norms = np.sqrt(np.sum(m * m, axis=0))
+        assert np.allclose(norms, 1.0)

@@ -1,0 +1,64 @@
+"""Energy-minimiser tests."""
+
+import numpy as np
+import pytest
+
+from repro.micromag import Mesh, Simulation, minimize
+from repro.physics import FECOB
+
+
+class TestMinimize:
+    def test_pma_film_minimises_to_out_of_plane(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim.initialize((0.5, 0.2, 1.0))
+        result = minimize(sim, torque_tolerance=1e-4)
+        assert result.converged
+        assert np.all(np.abs(sim.m[2][sim.mask]) > 0.999)
+
+    def test_energy_decreases(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim.initialize((0.5, 0.0, 1.0))
+        e0 = sim.total_energy()
+        minimize(sim, torque_tolerance=1e-3)
+        assert sim.total_energy() < e0
+
+    def test_external_field_selects_branch(self, small_mesh):
+        # Strong downward field: minimisation must find m = -z.
+        sim = Simulation(small_mesh, FECOB, demag="thin_film",
+                         external_field=(0.0, 0.0, -2e6))
+        sim.initialize((0.3, 0.0, -1.0))
+        result = minimize(sim)
+        assert result.converged
+        assert np.all(sim.m[2][sim.mask] < -0.999)
+
+    def test_norm_preserved(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim.initialize((0.4, 0.3, 0.8))
+        minimize(sim, max_iterations=200)
+        norms = np.sqrt(np.sum(sim.m ** 2, axis=0))
+        assert np.allclose(norms[sim.mask], 1.0, atol=1e-12)
+
+    def test_agrees_with_relax(self, small_mesh):
+        sim_min = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim_min.initialize((0.3, 0.1, 1.0))
+        minimize(sim_min)
+        sim_relax = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim_relax.initialize((0.3, 0.1, 1.0))
+        sim_relax.relax(tolerance=1e-3, max_time=5e-9)
+        assert np.allclose(sim_min.m[2][sim_min.mask],
+                           sim_relax.m[2][sim_relax.mask], atol=0.01)
+
+    def test_iteration_cap_reported(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim.initialize((0.7, 0.0, 0.7))
+        result = minimize(sim, torque_tolerance=1e-15, max_iterations=3)
+        assert not result.converged
+        assert result.iterations == 3
+
+    def test_validation(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="none")
+        sim.initialize((0, 0, 1))
+        with pytest.raises(ValueError):
+            minimize(sim, torque_tolerance=0.0)
+        with pytest.raises(ValueError):
+            minimize(sim, max_iterations=0)

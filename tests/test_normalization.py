@@ -1,0 +1,120 @@
+"""Amplitude-normalizer tests (the ref [8] block)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Netlist, full_adder_netlist, parity_chain_netlist
+from repro.core.normalization import (
+    AmplitudeNormalizer,
+    NormalizerSpec,
+    needs_normalizer,
+    normalization_cost,
+    plan_normalizers,
+)
+from repro.physics import Wave
+
+F = 10e9
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = NormalizerSpec()
+        assert spec.output_amplitude == 1.0
+        assert spec.energy == pytest.approx(3.44e-18)
+        assert spec.delay == pytest.approx(0.42e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormalizerSpec(output_amplitude=0.0)
+        with pytest.raises(ValueError):
+            NormalizerSpec(min_input=0.5, max_input=0.1)
+
+
+class TestNormalizer:
+    def test_standardises_amplitude(self):
+        block = AmplitudeNormalizer()
+        out = block.normalize(Wave(0.3, 1.2, F))
+        assert out.amplitude == pytest.approx(1.0)
+        assert out.phase == pytest.approx(1.2)
+
+    @given(st.floats(min_value=0.06, max_value=9.0),
+           st.floats(min_value=-math.pi, max_value=math.pi))
+    @settings(max_examples=40)
+    def test_phase_preserved_across_window(self, amplitude, phase):
+        block = AmplitudeNormalizer()
+        out = block.normalize(Wave(amplitude, phase, F))
+        assert out.amplitude == pytest.approx(1.0)
+        assert math.isclose(math.cos(out.phase), math.cos(phase),
+                            abs_tol=1e-9)
+
+    def test_lost_wave_rejected(self):
+        block = AmplitudeNormalizer()
+        with pytest.raises(ValueError, match="below"):
+            block.normalize(Wave(0.01, 0.0, F))
+
+    def test_overdriven_wave_rejected(self):
+        block = AmplitudeNormalizer(NormalizerSpec(max_input=2.0))
+        with pytest.raises(ValueError, match="above"):
+            block.normalize(Wave(3.0, 0.0, F))
+
+    def test_bundle(self):
+        block = AmplitudeNormalizer()
+        outs = block.normalize_many([Wave(0.3, 0.0, F),
+                                     Wave(2.0, math.pi, F)])
+        assert [w.amplitude for w in outs] == [1.0, 1.0]
+
+
+class TestNeedsNormalizer:
+    def test_rules(self):
+        assert not needs_normalizer("phase", "phase")
+        assert not needs_normalizer("threshold", "phase")
+        assert needs_normalizer("phase", "threshold")
+        assert needs_normalizer("threshold", "threshold")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            needs_normalizer("phase", "telepathy")
+
+
+class TestPlanning:
+    def test_parity_chain_needs_normalizers(self):
+        # XOR feeding XOR: every internal link needs one.
+        net = parity_chain_netlist(4)
+        links = plan_normalizers(net)
+        # xor2 and xor3 each consume one gate-driven net.
+        assert len(links) == 2
+        consumers = {gate for _net, gate in links}
+        assert consumers == {"xor2", "xor3"}
+
+    def test_full_adder_sum_chain(self):
+        # xor2 consumes "ab" (gate-driven) and "c1" (splitter from a
+        # primary input -> no normalizer).
+        links = plan_normalizers(full_adder_netlist())
+        assert ("ab", "xor2") in links
+        assert all(net != "c1" for net, _g in links)
+
+    def test_pure_majority_circuit_needs_none(self):
+        net = Netlist("maj_only")
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_output("y")
+        net.add_gate("m", "MAJ3", ["a", "b", "c"], ["y", None])
+        assert plan_normalizers(net) == []
+
+    def test_cost(self):
+        count, energy, delay = normalization_cost(parity_chain_netlist(5))
+        assert count == 3
+        assert energy == pytest.approx(3 * 3.44e-18)
+        assert delay == pytest.approx(0.42e-9)
+
+    def test_cost_zero_when_unneeded(self):
+        net = Netlist("maj_only")
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_output("y")
+        net.add_gate("m", "MAJ3", ["a", "b", "c"], ["y", None])
+        count, energy, delay = normalization_cost(net)
+        assert (count, energy, delay) == (0, 0.0, 0.0)

@@ -1,0 +1,111 @@
+"""Probe / TimeTrace tests (lock-in detection machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.micromag import Mesh, Probe, TimeTrace, rectangle
+from repro.micromag.geometry import rasterize
+
+
+class TestTimeTrace:
+    def _cosine_trace(self, amplitude, phase, frequency=10e9,
+                      n_periods=8, samples_per_period=32):
+        dt = 1.0 / (frequency * samples_per_period)
+        t = np.arange(n_periods * samples_per_period) * dt
+        v = amplitude * np.cos(2 * math.pi * frequency * t + phase)
+        return TimeTrace(t, v)
+
+    def test_demodulate_recovers_amplitude_phase(self):
+        trace = self._cosine_trace(0.37, 1.1)
+        amp, phase = trace.demodulate(10e9)
+        assert amp == pytest.approx(0.37, rel=1e-6)
+        assert phase == pytest.approx(1.1, abs=1e-6)
+
+    def test_demodulate_logic_phases(self):
+        for value, expected in ((0, 0.0), (1, math.pi)):
+            trace = self._cosine_trace(1.0, expected)
+            _, phase = trace.demodulate(10e9)
+            assert math.isclose(math.cos(phase), math.cos(expected),
+                                abs_tol=1e-9)
+
+    def test_demodulate_rejects_short_trace(self):
+        trace = TimeTrace(np.array([0.0, 1e-12]), np.array([0.0, 0.1]))
+        with pytest.raises(ValueError):
+            trace.demodulate(10e9)
+
+    def test_window(self):
+        trace = self._cosine_trace(1.0, 0.0)
+        sub = trace.window(1e-10, 3e-10)
+        assert sub.times[0] >= 1e-10
+        assert sub.times[-1] <= 3e-10
+        assert len(sub.times) > 0
+
+    def test_rms_of_cosine(self):
+        trace = self._cosine_trace(2.0, 0.0)
+        assert trace.rms() == pytest.approx(2.0 / math.sqrt(2.0), rel=1e-3)
+
+    def test_envelope_max(self):
+        trace = self._cosine_trace(1.5, 0.3)
+        assert trace.envelope_max() == pytest.approx(1.5, rel=1e-2)
+
+    def test_spectrum_peak_at_drive(self):
+        trace = self._cosine_trace(1.0, 0.0, n_periods=32)
+        freqs, amps = trace.spectrum()
+        peak = freqs[np.argmax(amps)]
+        assert peak == pytest.approx(10e9, rel=0.05)
+
+    def test_spectrum_requires_uniform_sampling(self):
+        t = np.array([0.0, 1e-12, 3e-12, 4e-12])
+        with pytest.raises(ValueError, match="uniform"):
+            TimeTrace(t, np.zeros(4)).spectrum()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeTrace(np.zeros(4), np.zeros(5))
+
+
+class TestProbe:
+    def test_records_region_average(self, small_mesh):
+        probe = Probe("P", rectangle(0, 0, 20e-9, 40e-9), component=2)
+        probe.bind(small_mesh)
+        m = small_mesh.zeros_vector()
+        m[2, 0, :, :4] = 2.0  # only inside the region
+        probe.record(0.0, m)
+        trace = probe.trace
+        assert trace.values[0] == pytest.approx(2.0)
+
+    def test_respects_geometry_mask(self, small_mesh):
+        geometry = np.zeros(small_mesh.scalar_shape, dtype=bool)
+        geometry[0, :4, :4] = True
+        probe = Probe("P", rectangle(0, 0, 40e-9, 40e-9))
+        probe.bind(small_mesh, geometry)
+        m = small_mesh.zeros_vector()
+        m[0][geometry] = 1.0
+        m[0][~geometry] = -7.0  # outside geometry, must be ignored
+        probe.record(0.0, m)
+        assert probe.trace.values[0] == pytest.approx(1.0)
+
+    def test_unbound_record_raises(self, small_mesh):
+        probe = Probe("P", rectangle(0, 0, 20e-9, 20e-9))
+        with pytest.raises(RuntimeError):
+            probe.record(0.0, small_mesh.zeros_vector())
+
+    def test_empty_region_raises(self, small_mesh):
+        probe = Probe("P", rectangle(1e-6, 1e-6, 2e-6, 2e-6))
+        with pytest.raises(ValueError, match="covers no cells"):
+            probe.bind(small_mesh)
+
+    def test_reset_keeps_binding(self, small_mesh):
+        probe = Probe("P", rectangle(0, 0, 20e-9, 20e-9))
+        probe.bind(small_mesh)
+        probe.record(0.0, small_mesh.zeros_vector())
+        probe.reset()
+        assert len(probe.trace.times) == 0
+        probe.record(1e-12, small_mesh.zeros_vector())  # still bound
+        assert len(probe.trace.times) == 1
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            Probe("P", rectangle(0, 0, 1e-9, 1e-9), component=3)

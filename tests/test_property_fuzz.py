@@ -1,0 +1,180 @@
+"""Cross-module property and fuzz tests.
+
+Broader invariants than the per-module suites: randomly generated
+geometries, fields and circuits must round-trip / evaluate correctly.
+"""
+
+import io
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitSimulator, Netlist
+from repro.core import (
+    GateDimensions,
+    TriangleMajorityGate,
+    TriangleXorGate,
+    paper_maj3_dimensions,
+    segment_length,
+    validate_phase_design,
+    maj3_layout,
+)
+from repro.core.logic import input_patterns, majority, xor
+from repro.io import OvfField, read_ovf, write_ovf
+from repro.micromag import Mesh, normalize_field
+from repro.physics import Wave, superpose
+
+
+# ---------------------------------------------------------------------------
+# OVF round trips over random meshes
+# ---------------------------------------------------------------------------
+
+mesh_shapes = st.tuples(st.integers(1, 6), st.integers(1, 6),
+                        st.integers(1, 2))
+cells = st.tuples(st.floats(1e-9, 10e-9), st.floats(1e-9, 10e-9),
+                  st.floats(1e-10, 5e-9))
+
+
+class TestOvfFuzz:
+    @given(mesh_shapes, cells, st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_any_mesh(self, shape, cell, seed):
+        mesh = Mesh(cell_size=cell, shape=shape)
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(mesh.field_shape)
+        normalize_field(data)
+        buffer = io.StringIO()
+        write_ovf(buffer, OvfField(mesh=mesh, data=data))
+        buffer.seek(0)
+        back = read_ovf(buffer)
+        assert back.mesh.shape == mesh.shape
+        assert np.allclose(back.data, data, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Gate correctness over random lambda-multiple dimension sets
+# ---------------------------------------------------------------------------
+
+class TestGateDimensionFuzz:
+    @given(st.floats(min_value=30e-9, max_value=150e-9),
+           st.integers(min_value=2, max_value=10),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_any_valid_maj3_design_decodes(self, lam, n_d1, n_d3, n_stem):
+        n_d2 = n_d1 + 8  # keep I3 placeable (d2 > d1/sqrt(2))
+        dims = GateDimensions(
+            wavelength=lam, width=0.8 * lam,
+            d1=segment_length(n_d1, lam),
+            d2=segment_length(n_d2, lam),
+            d3=segment_length(n_d3, lam),
+            d4=segment_length(1, lam),
+            stem=segment_length(n_stem, lam))
+        gate = TriangleMajorityGate(dimensions=dims, frequency=10e9)
+        for bits in input_patterns(3):
+            result = gate.evaluate(bits)
+            assert result.correct, (bits, lam, n_d1)
+            assert result.fanout_matched
+
+    @given(st.floats(min_value=30e-9, max_value=150e-9),
+           st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_any_valid_design_passes_phase_checks(self, lam, n_d1):
+        dims = paper_maj3_dimensions(wavelength=lam, width=0.8 * lam)
+        checks = validate_phase_design(maj3_layout(dims))
+        assert all(checks.values())
+
+
+# ---------------------------------------------------------------------------
+# Random XOR-chain netlists evaluate to parity
+# ---------------------------------------------------------------------------
+
+class TestRandomCircuits:
+    @given(st.lists(st.sampled_from([0, 1]), min_size=2, max_size=10),
+           st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_xor_tree(self, bits, seed):
+        # Build a random reduction tree over XOR gates: any association
+        # order computes the same parity.
+        rng = np.random.default_rng(seed)
+        net = Netlist("tree")
+        frontier = [net.add_input(f"d{i}") for i in range(len(bits))]
+        net.add_output("p")
+        counter = 0
+        while len(frontier) > 1:
+            i = int(rng.integers(len(frontier)))
+            a = frontier.pop(i)
+            j = int(rng.integers(len(frontier)))
+            b = frontier.pop(j)
+            out = "p" if len(frontier) == 0 else f"t{counter}"
+            net.add_gate(f"x{counter}", "XOR", [a, b], [out, None])
+            frontier.append(out)
+            counter += 1
+        net.validate()
+        sim = CircuitSimulator(net)
+        inputs = {f"d{i}": b for i, b in enumerate(bits)}
+        assert sim.run(inputs).outputs["p"] == xor(*bits)
+
+
+# ---------------------------------------------------------------------------
+# Interference invariants
+# ---------------------------------------------------------------------------
+
+class TestInterferenceInvariants:
+    @given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=9)
+           .filter(lambda bits: len(bits) % 2 == 1))
+    @settings(max_examples=40)
+    def test_odd_wave_count_majority(self, bits):
+        # The paper's Section II-B claim: interference of an odd number
+        # of equal waves with {0, pi} phases evaluates the majority.
+        total = superpose([Wave.logic(b, 10e9) for b in bits])
+        expected_phase = math.pi if majority(*bits) else 0.0
+        assert math.isclose(math.cos(total.phase),
+                            math.cos(expected_phase), abs_tol=1e-9)
+        # Amplitude is |#zeros - #ones|.
+        imbalance = abs(sum(1 for b in bits if b == 0)
+                        - sum(1 for b in bits if b == 1))
+        assert total.amplitude == pytest.approx(float(imbalance))
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.floats(min_value=-math.pi, max_value=math.pi))
+    @settings(max_examples=30)
+    def test_global_phase_invariance(self, n, offset):
+        # Shifting every input phase by a constant shifts the output
+        # phase by the same constant and keeps the amplitude.
+        waves = [Wave(1.0, (i % 2) * math.pi, 10e9) for i in range(n)]
+        shifted = [w.shifted(offset) for w in waves]
+        base = superpose(waves)
+        moved = superpose(shifted)
+        assert moved.amplitude == pytest.approx(base.amplitude, abs=1e-9)
+        if base.amplitude > 1e-9:
+            delta = math.remainder(moved.phase - base.phase - offset,
+                                   2 * math.pi)
+            assert abs(delta) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Threshold-gate robustness to drive-level variation
+# ---------------------------------------------------------------------------
+
+class TestDriveLevelInvariance:
+    @given(st.floats(min_value=0.2, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_xor_decision_scale_free(self, level):
+        # All inputs scaled together: the normalised decision is
+        # unchanged (the reference is measured at the same level).
+        gate = TriangleXorGate()
+        table = {}
+        for bits in input_patterns(2):
+            injections = {
+                f"I{i + 1}": level * Wave.logic(b, 10e9).envelope
+                for i, b in enumerate(bits)}
+            env = gate.network.propagate(injections)
+            table[bits] = abs(env["O1"])
+        reference = table[(0, 0)]
+        for bits in input_patterns(2):
+            decoded = 0 if table[bits] / reference > 0.5 else 1
+            assert decoded == xor(*bits)

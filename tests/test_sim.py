@@ -1,0 +1,156 @@
+"""Simulation-driver tests: the micromagnetic workloads that validate
+the solver against closed-form physics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import GAMMA_LL, MU0
+from repro.micromag import (
+    Envelope,
+    ExcitationSource,
+    Mesh,
+    Probe,
+    Simulation,
+    dominant_frequency,
+    rectangle,
+)
+from repro.physics import FECOB
+
+
+class TestConstruction:
+    def test_empty_mask_rejected(self, small_mesh):
+        with pytest.raises(ValueError, match="empty"):
+            Simulation(small_mesh, FECOB,
+                       mask=np.zeros(small_mesh.scalar_shape, dtype=bool),
+                       demag="none")
+
+    def test_bad_demag_mode(self, small_mesh):
+        with pytest.raises(ValueError, match="demag"):
+            Simulation(small_mesh, FECOB, demag="magic")
+
+    def test_coarse_mesh_warns(self):
+        mesh = Mesh(cell_size=(20e-9, 20e-9, 1e-9), shape=(4, 4, 1))
+        with pytest.warns(UserWarning, match="exchange length"):
+            Simulation(mesh, FECOB, demag="none")
+
+    def test_initialize_respects_mask(self, small_mesh):
+        mask = np.zeros(small_mesh.scalar_shape, dtype=bool)
+        mask[0, :, :4] = True
+        sim = Simulation(small_mesh, FECOB, mask=mask, demag="none")
+        sim.initialize((0, 0, 1))
+        assert np.all(sim.m[2][mask] == 1.0)
+        assert np.all(sim.m[:, ~mask] == 0.0)
+
+
+class TestMacrospinPhysics:
+    def test_larmor_frequency(self, single_cell_mesh):
+        # Single cell, no demag: f = gamma mu0 (H_ext + H_ani) / 2 pi.
+        h_ext = 1e6
+        sim = Simulation(single_cell_mesh, FECOB.with_damping(0.0),
+                         demag="none", external_field=(0, 0, h_ext))
+        sim.initialize((0.05, 0.0, 1.0))
+        probe = Probe("c", rectangle(0, 0, 2e-9, 2e-9))
+        sim.add_probe(probe)
+        sim.run(duration=0.2e-9, dt=2e-14)
+        trace = probe.trace
+        f_sim = dominant_frequency(trace.values,
+                                   trace.times[1] - trace.times[0])
+        f_expected = GAMMA_LL * MU0 * (h_ext + FECOB.anisotropy_field) \
+            / (2.0 * math.pi)
+        assert f_sim == pytest.approx(f_expected, rel=0.01)
+
+    def test_damping_reduces_tilt(self, single_cell_mesh):
+        sim = Simulation(single_cell_mesh, FECOB.with_damping(0.1),
+                         demag="none", external_field=(0, 0, 1e6))
+        sim.initialize((0.3, 0.0, 1.0))
+        mz0 = sim.m[2, 0, 0, 0]
+        sim.run(duration=0.5e-9, dt=5e-14)
+        assert sim.m[2, 0, 0, 0] > mz0
+
+    def test_norm_preserved_through_run(self, single_cell_mesh):
+        sim = Simulation(single_cell_mesh, FECOB, demag="none",
+                         external_field=(0, 0, 5e5))
+        sim.initialize((0.2, 0.1, 1.0))
+        sim.run(duration=0.1e-9, dt=2e-14)
+        norm = math.sqrt(float(np.sum(sim.m[:, 0, 0, 0] ** 2)))
+        assert norm == pytest.approx(1.0, abs=1e-12)
+
+    def test_energy_decreases_with_damping(self, single_cell_mesh):
+        sim = Simulation(single_cell_mesh, FECOB.with_damping(0.1),
+                         demag="none", external_field=(0, 0, 1e6))
+        sim.initialize((0.4, 0.0, 1.0))
+        e0 = sim.total_energy()
+        sim.run(duration=0.3e-9, dt=5e-14)
+        assert sim.total_energy() < e0
+
+
+class TestExcitationAndProbes:
+    def test_source_launches_dynamics(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim.initialize((0, 0, 1))
+        source = ExcitationSource(
+            region=rectangle(0, 0, 10e-9, 40e-9),
+            amplitude=10e3, frequency=12e9,
+            envelope=Envelope(start=0.0))
+        sim.add_source(source)
+        probe = Probe("P", rectangle(25e-9, 0, 40e-9, 40e-9))
+        sim.add_probe(probe)
+        sim.run(duration=0.3e-9, dt=2e-14, sample_every=5)
+        assert probe.trace.envelope_max() > 1e-5
+
+    def test_logic_phase_encoding(self, small_mesh):
+        src0 = ExcitationSource.for_logic(
+            rectangle(0, 0, 10e-9, 40e-9), 0, 1e3, 10e9)
+        src1 = ExcitationSource.for_logic(
+            rectangle(0, 0, 10e-9, 40e-9), 1, 1e3, 10e9)
+        assert src0.phase == pytest.approx(0.0)
+        assert src1.phase == pytest.approx(math.pi)
+        assert src0.waveform(0.0) == pytest.approx(-src1.waveform(0.0))
+
+    def test_snapshots_recorded(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="none")
+        sim.initialize((0, 0, 1))
+        out = sim.run(duration=0.1e-9, dt=1e-13,
+                      snapshot_times=[0.05e-9])
+        assert len(out["snapshots"]) == 1
+        snap = next(iter(out["snapshots"].values()))
+        assert snap.shape == small_mesh.field_shape
+
+    def test_clear_sources(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="none")
+        sim.add_source(ExcitationSource(
+            rectangle(0, 0, 10e-9, 40e-9), 1e3, 10e9))
+        sim.clear_sources()
+        assert not sim.zeeman.sources
+
+
+class TestRelax:
+    def test_relax_reaches_uniform_state(self, small_mesh):
+        # PMA film slightly tilted must relax back to out-of-plane.
+        sim = Simulation(small_mesh, FECOB, demag="thin_film")
+        sim.initialize((0.3, 0.1, 1.0))
+        sim.relax(tolerance=1e-3, max_time=5e-9)
+        assert np.all(sim.m[2][sim.mask] > 0.99)
+
+    def test_relax_restores_damping_and_sources(self, small_mesh):
+        sim = Simulation(small_mesh, FECOB, demag="none")
+        sim.initialize((0.1, 0.0, 1.0))
+        source = ExcitationSource(rectangle(0, 0, 10e-9, 40e-9), 1e3, 10e9)
+        sim.add_source(source)
+        alpha_before = sim.alpha.copy()
+        sim.relax(tolerance=1e-2, max_time=1e-9)
+        assert np.array_equal(sim.alpha, alpha_before)
+        assert sim.zeeman.sources == [source]
+
+
+class TestAbsorbers:
+    def test_absorber_profile_applied(self):
+        mesh = Mesh(cell_size=(5e-9, 5e-9, 1e-9), shape=(40, 8, 1))
+        sim = Simulation(mesh, FECOB, demag="none",
+                         absorber_width=50e-9, absorber_axes=(0,))
+        centre = sim.alpha[0, 4, 20]
+        edge = sim.alpha[0, 4, 0]
+        assert centre == pytest.approx(FECOB.alpha)
+        assert edge > 0.3

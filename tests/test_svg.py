@@ -1,0 +1,51 @@
+"""SVG layout-rendering tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import maj3_layout, xor_layout
+from repro.viz.svg import layout_to_svg, save_layout_svg
+
+
+class TestLayoutSvg:
+    def test_well_formed_xml(self):
+        document = layout_to_svg(maj3_layout())
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_contains_all_terminals(self):
+        document = layout_to_svg(maj3_layout())
+        for name in ("I1", "I2", "I3", "O1", "O2"):
+            assert f">{name}<" in document
+
+    def test_xor_has_no_third_input(self):
+        document = layout_to_svg(xor_layout())
+        assert ">I3<" not in document
+        assert ">I1<" in document
+
+    def test_segment_count(self):
+        document = layout_to_svg(xor_layout())
+        root = ET.fromstring(document)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        # Background + one per segment (7 for the XOR layout).
+        assert len(rects) == 1 + len(xor_layout().segments)
+
+    def test_title_rendered(self):
+        document = layout_to_svg(maj3_layout(), title="Figure 3")
+        assert "Figure 3" in document
+
+    def test_dimension_legend(self):
+        document = layout_to_svg(maj3_layout())
+        assert "d2 = 880 nm" in document
+        document_xor = layout_to_svg(xor_layout())
+        assert "d2 = 40 nm" in document_xor
+
+    def test_save(self, tmp_path):
+        path = str(tmp_path / "gate.svg")
+        save_layout_svg(maj3_layout(), path, title="MAJ3")
+        with open(path) as handle:
+            content = handle.read()
+        assert content.startswith("<svg")
+        assert content.rstrip().endswith("</svg>")

@@ -1,0 +1,78 @@
+"""Unit-helper tests, including hypothesis round trips."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConverters:
+    def test_nm(self):
+        assert units.nm(55) == pytest.approx(55e-9)
+
+    def test_um(self):
+        assert units.um(2.5) == pytest.approx(2.5e-6)
+
+    def test_ns_ps_fs(self):
+        assert units.ns(0.4) == pytest.approx(0.4e-9)
+        assert units.ps(100) == pytest.approx(1e-10)
+        assert units.fs(20) == pytest.approx(2e-14)
+
+    def test_ghz_mhz(self):
+        assert units.ghz(10) == pytest.approx(1e10)
+        assert units.mhz(250) == pytest.approx(2.5e8)
+
+    def test_energy_power(self):
+        assert units.aj(6.9) == pytest.approx(6.9e-18)
+        assert units.nw(34.4) == pytest.approx(34.4e-9)
+
+    def test_magnetics(self):
+        assert units.ka_per_m(1100) == pytest.approx(1.1e6)
+        assert units.mj_per_m3(0.832) == pytest.approx(0.832e6)
+        assert units.pj_per_m(18.5) == pytest.approx(18.5e-12)
+        assert units.rad_per_um(50) == pytest.approx(5e7)
+
+
+class TestEngineering:
+    def test_split_paper_wavelength(self):
+        mantissa, prefix = units.to_engineering(55e-9)
+        assert prefix == "n"
+        assert mantissa == pytest.approx(55.0)
+
+    def test_zero(self):
+        assert units.to_engineering(0.0) == (0.0, "")
+
+    def test_format_quantity(self):
+        assert units.format_quantity(55e-9, "m") == "55 nm"
+        assert units.format_quantity(10e9, "Hz") == "10 GHz"
+
+    @given(st.floats(min_value=1e-20, max_value=1e10,
+                     allow_nan=False, allow_infinity=False))
+    def test_round_trip(self, value):
+        mantissa, prefix = units.to_engineering(value)
+        rebuilt = mantissa * units.SI_PREFIXES[prefix]
+        assert math.isclose(rebuilt, value, rel_tol=1e-9)
+
+
+class TestParseQuantity:
+    def test_with_space(self):
+        assert units.parse_quantity("55 nm") == pytest.approx(55e-9)
+
+    def test_without_space(self):
+        assert units.parse_quantity("10GHz") == pytest.approx(10e9)
+
+    def test_plain_number(self):
+        assert units.parse_quantity("42") == pytest.approx(42.0)
+
+    def test_exponent_notation(self):
+        assert units.parse_quantity("1e-9 m") == pytest.approx(1e-9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            units.parse_quantity("nm")
+
+    def test_micro_symbol(self):
+        assert units.parse_quantity("2 µm") == pytest.approx(2e-6)

@@ -1,0 +1,108 @@
+"""Visualisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.viz import amplitude_gray, diverging_rgb, snapshot_grid, write_pgm, write_ppm
+
+
+class TestDivergingRgb:
+    def test_output_shape_and_dtype(self):
+        values = np.linspace(-1, 1, 12).reshape(3, 4)
+        image = diverging_rgb(values)
+        assert image.shape == (3, 4, 3)
+        assert image.dtype == np.uint8
+
+    def test_sign_to_colour_mapping(self):
+        # Paper convention: blue = logic 0 (negative), red = logic 1.
+        values = np.array([[-1.0, 0.0, 1.0]])
+        image = diverging_rgb(values)
+        blue, white, red = image[0]
+        assert blue[2] > blue[0]     # negative -> blue dominant
+        assert red[0] > red[2]       # positive -> red dominant
+        assert np.all(white > 200)   # zero -> near white
+
+    def test_mask_background(self):
+        values = np.ones((2, 2))
+        mask = np.array([[True, False], [False, True]])
+        image = diverging_rgb(values, mask=mask, background=(5, 6, 7))
+        assert tuple(image[0, 1]) == (5, 6, 7)
+        assert tuple(image[0, 0]) != (5, 6, 7)
+
+    def test_vmax_clipping(self):
+        values = np.array([[10.0]])
+        image = diverging_rgb(values, vmax=1.0)
+        assert image[0, 0, 0] > 150  # fully saturated red end
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            diverging_rgb(np.zeros(5))
+
+    def test_all_zero_field(self):
+        image = diverging_rgb(np.zeros((4, 4)))
+        assert np.all(image > 200)  # all white, no div-by-zero
+
+
+class TestAmplitudeGray:
+    def test_scaling(self):
+        values = np.array([[0.0, 0.5, 1.0]])
+        image = amplitude_gray(values)
+        assert image[0, 0] == 0
+        assert image[0, 2] == 255
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            amplitude_gray(np.array([[-1.0]]))
+
+
+class TestImageWriters:
+    def test_ppm_round_trip_header(self, tmp_path):
+        image = np.zeros((4, 6, 3), dtype=np.uint8)
+        image[0, 0] = (255, 0, 0)
+        path = str(tmp_path / "img.ppm")
+        write_ppm(path, image)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data.startswith(b"P6\n6 4\n255\n")
+        assert len(data) == len(b"P6\n6 4\n255\n") + 4 * 6 * 3
+
+    def test_pgm(self, tmp_path):
+        image = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = str(tmp_path / "img.pgm")
+        write_pgm(path, image)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data.startswith(b"P5\n4 3\n255\n")
+
+    def test_ppm_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(str(tmp_path / "x.ppm"),
+                      np.zeros((4, 4), dtype=np.uint8))
+
+    def test_y_axis_flipped(self, tmp_path):
+        # Row 0 of the array (bottom, y up) must be the LAST image row.
+        image = np.zeros((2, 1, 3), dtype=np.uint8)
+        image[0, 0] = (9, 9, 9)
+        path = str(tmp_path / "flip.ppm")
+        write_ppm(path, image)
+        with open(path, "rb") as handle:
+            payload = handle.read().split(b"255\n", 1)[1]
+        assert payload[-3:] == bytes((9, 9, 9))
+
+
+class TestSnapshotGrid:
+    def test_tiles_eight_panels(self):
+        panels = [np.full((10, 20, 3), i, dtype=np.uint8) for i in range(8)]
+        sheet = snapshot_grid(panels, columns=4, gap=2)
+        assert sheet.shape == (10 * 2 + 2, 20 * 4 + 3 * 2, 3)
+        assert sheet[0, 0, 0] == 0
+        assert sheet[12, 0, 0] == 4  # second row, first panel
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot_grid([np.zeros((2, 2, 3), dtype=np.uint8),
+                           np.zeros((3, 3, 3), dtype=np.uint8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot_grid([])

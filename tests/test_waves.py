@@ -1,0 +1,201 @@
+"""Plane-wave algebra tests: the interference logic of Section II-B."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics import (
+    Wave,
+    interference_kind,
+    phase_distance,
+    standing_pattern,
+    superpose,
+    wrap_phase,
+)
+
+F = 10e9  # the paper's operating frequency
+
+phases = st.floats(min_value=-50.0, max_value=50.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestWrapPhase:
+    @given(phases)
+    def test_range(self, phi):
+        wrapped = wrap_phase(phi)
+        assert -math.pi < wrapped <= math.pi
+
+    @given(phases)
+    def test_idempotent(self, phi):
+        once = wrap_phase(phi)
+        assert wrap_phase(once) == pytest.approx(once)
+
+    @given(phases)
+    def test_equivalence_mod_2pi(self, phi):
+        assert math.isclose(math.cos(wrap_phase(phi)), math.cos(phi),
+                            abs_tol=1e-9)
+        assert math.isclose(math.sin(wrap_phase(phi)), math.sin(phi),
+                            abs_tol=1e-9)
+
+    def test_pi_representative(self):
+        assert wrap_phase(math.pi) == pytest.approx(math.pi)
+        assert wrap_phase(-math.pi) == pytest.approx(math.pi)
+
+
+class TestPhaseDistance:
+    @given(phases, phases)
+    def test_symmetric(self, a, b):
+        assert phase_distance(a, b) == pytest.approx(phase_distance(b, a))
+
+    @given(phases)
+    def test_self_distance_zero(self, a):
+        assert phase_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+
+    @given(phases)
+    def test_max_is_pi(self, a):
+        assert phase_distance(a, a + math.pi) == pytest.approx(math.pi)
+
+    @given(phases, phases)
+    def test_bounded(self, a, b):
+        assert 0.0 <= phase_distance(a, b) <= math.pi + 1e-12
+
+
+class TestWaveConstruction:
+    def test_logic_encoding(self):
+        w0 = Wave.logic(0, F)
+        w1 = Wave.logic(1, F)
+        assert w0.phase == pytest.approx(0.0)
+        assert w1.phase == pytest.approx(math.pi)
+        assert w0.amplitude == w1.amplitude == 1.0
+
+    def test_rejects_bad_logic_value(self):
+        with pytest.raises(ValueError):
+            Wave.logic(2, F)
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            Wave(amplitude=-1.0, phase=0.0, frequency=F)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Wave(amplitude=1.0, phase=0.0, frequency=0.0)
+
+    def test_from_complex_round_trip(self):
+        z = 0.7 * cmath.exp(1j * 2.1)
+        w = Wave.from_complex(z, F)
+        assert w.envelope == pytest.approx(z)
+
+
+class TestPropagation:
+    def test_integer_wavelength_preserves_phase(self):
+        lam = 55e-9
+        k = 2.0 * math.pi / lam
+        w = Wave.logic(1, F)
+        out = w.propagate(6 * lam, k)
+        assert out.phase == pytest.approx(w.phase, abs=1e-9)
+
+    def test_half_wavelength_inverts(self):
+        lam = 55e-9
+        k = 2.0 * math.pi / lam
+        w = Wave.logic(0, F)
+        out = w.propagate(6.5 * lam, k)
+        assert phase_distance(out.phase, math.pi) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_attenuation_length(self):
+        w = Wave.logic(0, F)
+        out = w.propagate(2e-6, 1e8, attenuation_length=2e-6)
+        assert out.amplitude == pytest.approx(math.exp(-1.0))
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            Wave.logic(0, F).propagate(-1e-9, 1e8)
+
+    @given(st.floats(min_value=0.0, max_value=1e-5),
+           st.floats(min_value=1e6, max_value=1e9))
+    @settings(max_examples=30)
+    def test_amplitude_never_grows(self, distance, k):
+        out = Wave.logic(0, F).propagate(distance, k,
+                                         attenuation_length=3e-6)
+        assert out.amplitude <= 1.0 + 1e-12
+
+
+class TestSuperposition:
+    def test_constructive(self):
+        total = superpose([Wave.logic(0, F), Wave.logic(0, F)])
+        assert total.amplitude == pytest.approx(2.0)
+        assert total.phase == pytest.approx(0.0)
+
+    def test_destructive(self):
+        total = superpose([Wave.logic(0, F), Wave.logic(1, F)])
+        assert total.amplitude == pytest.approx(0.0, abs=1e-12)
+
+    def test_majority_phase_three_waves(self):
+        # Two zeros and a one -> amplitude 1, phase 0 (majority = 0).
+        total = superpose([Wave.logic(0, F), Wave.logic(0, F),
+                           Wave.logic(1, F)])
+        assert total.amplitude == pytest.approx(1.0)
+        assert phase_distance(total.phase, 0.0) < 1e-9
+
+    @given(st.lists(st.sampled_from([0, 1]), min_size=3, max_size=3))
+    def test_three_wave_majority_always(self, bits):
+        total = superpose([Wave.logic(b, F) for b in bits])
+        majority = int(sum(bits) > 1)
+        expected_phase = math.pi if majority else 0.0
+        assert phase_distance(total.phase, expected_phase) < 1e-9
+        expected_amp = 3.0 if len(set(bits)) == 1 else 1.0
+        assert total.amplitude == pytest.approx(expected_amp)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            superpose([])
+
+    def test_rejects_mixed_frequencies(self):
+        with pytest.raises(ValueError, match="equal frequencies"):
+            superpose([Wave.logic(0, F), Wave.logic(0, 2 * F)])
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),
+        phases), min_size=1, max_size=6))
+    @settings(max_examples=40)
+    def test_matches_complex_sum(self, parts):
+        waves = [Wave(a, p, F) for a, p in parts]
+        total = superpose(waves)
+        reference = sum((w.envelope for w in waves), 0j)
+        assert total.envelope == pytest.approx(reference, abs=1e-9)
+
+
+class TestInterferenceKind:
+    def test_figure_2b_cases(self):
+        a = Wave.logic(0, F)
+        assert interference_kind(a, Wave.logic(0, F)) == "constructive"
+        assert interference_kind(a, Wave.logic(1, F)) == "destructive"
+        assert interference_kind(a, Wave(1.0, math.pi / 3, F)) == "partial"
+
+
+class TestSamplingAndSplitting:
+    def test_sample_peak_at_zero_phase(self):
+        w = Wave.logic(0, F)
+        assert w.sample(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_standing_pattern_cancels(self):
+        times = np.linspace(0, 2 / F, 64)
+        total = standing_pattern([Wave.logic(0, F), Wave.logic(1, F)], times)
+        assert np.max(np.abs(total)) < 1e-12
+
+    def test_split_conserves_power(self):
+        w = Wave(1.0, 0.3, F)
+        arm = w.split(3)
+        assert 3 * arm.amplitude ** 2 == pytest.approx(w.amplitude ** 2)
+
+    def test_attenuate_bounds(self):
+        with pytest.raises(ValueError):
+            Wave.logic(0, F).attenuate(1.5)
+
+    def test_shifted(self):
+        w = Wave.logic(0, F).shifted(math.pi)
+        assert phase_distance(w.phase, math.pi) < 1e-12
