@@ -7,57 +7,40 @@ MAJ3 decoding error rate versus Gaussian input phase noise and locates
 the sigma where errors first appear -- the quantitative version of the
 paper's "variability ... will not disturb the gate functionality"
 expectation.
+
+Each sigma is an independent Monte-Carlo job
+(:func:`repro.runtime.jobs.phase_noise_error_rate`), submitted through
+the orchestration engine: parallel across sigmas on multi-core
+hardware, and seeded deterministically from the job parameters so a
+cached rate and a recomputed one agree bit-exactly.
 """
 
-import math
-
-import numpy as np
-import pytest
-
 from bench_common import emit
-from repro.core import TriangleMajorityGate, PhaseDetector
-from repro.core.logic import input_patterns, majority
-from repro.physics import Wave
+from repro.runtime import Executor, MemoryCache
+from repro.runtime.jobs import phase_noise_error_rate
 
 N_TRIALS = 200
-
-
-def _error_rate(gate: TriangleMajorityGate, sigma: float,
-                rng: np.random.Generator) -> float:
-    """Fraction of (pattern, trial) decodings that are wrong."""
-    errors = 0
-    total = 0
-    detector = PhaseDetector()
-    for bits in input_patterns(3):
-        expected = majority(*bits)
-        for _ in range(N_TRIALS):
-            injections = {}
-            for name, bit in zip(("I1", "I2", "I3"), bits):
-                phase = (math.pi if bit else 0.0) \
-                    + rng.normal(0.0, sigma)
-                injections[name] = Wave(1.0, phase,
-                                        gate.frequency).envelope
-            env = gate.network.propagate(injections)
-            decoded = detector.detect_envelope(env["O1"],
-                                               gate.frequency)
-            errors += decoded.logic_value != expected
-            total += 1
-    return errors / total
+SIGMAS = (0.0, 0.1, 0.2, 0.4, 0.6, 0.9, 1.2)
 
 
 def _generate():
-    rng = np.random.default_rng(2021)
-    gate = TriangleMajorityGate()
-    sigmas = (0.0, 0.1, 0.2, 0.4, 0.6, 0.9, 1.2)
-    return [(s, _error_rate(gate, s, rng)) for s in sigmas]
+    executor = Executor(workers=4, cache=MemoryCache())
+    result = executor.map(
+        phase_noise_error_rate,
+        [{"sigma": sigma, "n_trials": N_TRIALS} for sigma in SIGMAS],
+        label="phase-noise").raise_on_failure()
+    return [(case["sigma"], case["error_rate"])
+            for case in result.values], result.report
 
 
 def bench_ablation_phase_noise(benchmark):
-    rows = benchmark.pedantic(_generate, rounds=1, iterations=1)
+    rows, report = benchmark.pedantic(_generate, rounds=1, iterations=1)
 
     lines = ["input phase noise sigma (rad) | MAJ3 decode error rate"]
     for sigma, rate in rows:
         lines.append(f"  {sigma:26.2f} | {rate * 100:6.2f} %")
+    lines.append("")
+    lines.append(report.summary())
     emit("ABLATION -- phase-noise tolerance of phase detection",
          "\n".join(lines))
 
@@ -72,3 +55,6 @@ def bench_ablation_phase_noise(benchmark):
     rates = [rate for _s, rate in rows]
     assert all(b >= a - 0.02 for a, b in zip(rates, rates[1:]))
     assert by_sigma[1.2] > 0.1
+    # One engine job per sigma, none lost to retries or failures.
+    assert report.n_jobs == len(SIGMAS)
+    assert report.n_failed == 0

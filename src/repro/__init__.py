@@ -22,6 +22,12 @@ Subpackages
     gate-level simulator (full adder, adders, voting trees).
 ``repro.evaluation``
     ME transducer and CMOS reference models; the Table III generator.
+``repro.runtime``
+    Parallel experiment orchestration: declarative job specs with
+    content-addressed keys, in-memory/on-disk result caches, a
+    process-pool executor with timeouts/retries/serial fallback, and
+    run telemetry.  ``python -m repro sweep`` and the truth-table /
+    ablation benches submit through it.
 ``repro.io`` / ``repro.viz``
     OVF interchange, ASCII tables, field-map rendering.
 
@@ -52,6 +58,15 @@ from .physics import FECOB, DispersionRelation, FilmStack, Material, Wave
 
 __version__ = "1.0.0"
 
+from .runtime import (  # noqa: E402 -- needs __version__ for the key salt
+    DiskCache,
+    Executor,
+    JobSpec,
+    MemoryCache,
+    ResultCache,
+    RunReport,
+)
+
 __all__ = [
     "DerivedTriangleGate",
     "GateResult",
@@ -70,5 +85,11 @@ __all__ = [
     "FilmStack",
     "Material",
     "Wave",
+    "DiskCache",
+    "Executor",
+    "JobSpec",
+    "MemoryCache",
+    "ResultCache",
+    "RunReport",
     "__version__",
 ]

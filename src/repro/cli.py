@@ -9,7 +9,14 @@ Python:
   tables;
 * ``design [--wavelength-nm X]`` -- gate dimensions and operating point
   for a given wavelength;
-* ``adder WIDTH`` -- circuit-level comparison of an n-bit adder.
+* ``adder WIDTH`` -- circuit-level comparison of an n-bit adder;
+* ``sweep maj3|xor`` -- the full 2^n truth-table grid through the
+  orchestration engine (:mod:`repro.runtime`): parallel across input
+  patterns, content-addressed-cached across invocations.
+
+Global flags (before the subcommand): ``--workers N`` fans cache
+misses out over N worker processes (0 = one per CPU); ``--no-cache``
+disables the on-disk result cache.
 """
 
 from __future__ import annotations
@@ -161,12 +168,42 @@ def _cmd_adder(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .micromag.experiments import sweep_gate_truth_table
+    from .runtime import DiskCache, Executor, JobFailed
+
+    cache = None if args.no_cache else DiskCache(root=args.cache_dir)
+    executor = Executor(workers=args.workers, cache=cache,
+                        timeout=args.timeout, retries=args.retries)
+    try:
+        sweep = sweep_gate_truth_table(args.gate, tier=args.tier,
+                                       executor=executor)
+    except JobFailed as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    print(sweep.format_table())
+    print()
+    print(sweep.report.format_table())
+    print()
+    print(sweep.report.summary())
+    if args.json:
+        sweep.report.dump_json(args.json)
+        print(f"telemetry written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Triangle FO2 spin-wave gate reproduction "
                     "(Mahmoud et al., DATE 2021)")
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for engine-backed commands "
+                             "(default serial; 0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache "
+                             "(.repro_cache/)")
+    sub = parser.add_subparsers(dest="command")
 
     p_tt = sub.add_parser("truth-table",
                           help="evaluate a gate on all input patterns")
@@ -190,12 +227,45 @@ def build_parser() -> argparse.ArgumentParser:
                              help="n-bit adder comparison vs CMOS")
     p_adder.add_argument("width", type=int)
     p_adder.set_defaults(func=_cmd_adder)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="truth-table grid through the parallel/cached engine")
+    p_sweep.add_argument("gate", choices=["maj3", "xor"])
+    p_sweep.add_argument("--tier", choices=["network", "fdtd", "llg"],
+                         default="fdtd",
+                         help="evaluation tier (default fdtd: real wave "
+                              "solves, seconds per cold pattern)")
+    p_sweep.add_argument("--cache-dir", default=".repro_cache",
+                         help="result-cache directory")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-time bound [s]")
+    p_sweep.add_argument("--retries", type=int, default=2,
+                         help="retry attempts per failed job")
+    p_sweep.add_argument("--json", metavar="PATH",
+                         help="dump the telemetry RunReport as JSON")
+    # Accept the global engine flags after the subcommand too
+    # (``sweep maj3 --no-cache``); SUPPRESS keeps the subparser from
+    # clobbering values parsed at the top level.
+    p_sweep.add_argument("--workers", type=int, metavar="N",
+                         default=argparse.SUPPRESS,
+                         help=argparse.SUPPRESS)
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         default=argparse.SUPPRESS,
+                         help=argparse.SUPPRESS)
+    p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        # No subcommand: print usage, conventional CLI misuse code.
+        parser.print_usage(sys.stderr)
+        print("repro: error: a subcommand is required "
+              "(see 'python -m repro --help')", file=sys.stderr)
+        return 2
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -27,6 +27,8 @@ from .fields import (
     UniaxialAnisotropyField,
     ZeemanField,
     demag_tensor,
+    rng_from_key,
+    seed_from_key,
 )
 from .llg import HeunIntegrator, RK4Integrator, RK45Integrator, cross, llg_rhs
 from .excitation import Envelope, ExcitationSource
@@ -41,7 +43,14 @@ from .analysis import (
     space_time_fft,
 )
 from .minimize import MinimizeResult, minimize
-from .experiments import DispersionExperiment, SincSource, extract_dispersion
+from .experiments import (
+    DispersionExperiment,
+    GateSweep,
+    SincSource,
+    extract_dispersion,
+    run_gate_case,
+    sweep_gate_truth_table,
+)
 
 __all__ = [
     "Mesh",
@@ -83,6 +92,11 @@ __all__ = [
     "space_time_fft",
     "MinimizeResult",
     "minimize",
+    "GateSweep",
+    "run_gate_case",
+    "sweep_gate_truth_table",
+    "seed_from_key",
+    "rng_from_key",
     "DispersionExperiment",
     "SincSource",
     "extract_dispersion",

@@ -11,13 +11,19 @@ benches and the examples:
   the strongest single validation of the LLG solver as a MuMax3
   substitute: it exercises exchange, demag, anisotropy, the integrator
   and the probe pipeline at once.
+* :func:`run_gate_case` / :func:`sweep_gate_truth_table` -- one gate
+  input pattern as a portable, cacheable job, and the full 2^n
+  truth-table grid fanned out through the orchestration engine
+  (:mod:`repro.runtime`).  This is exactly how the paper validates its
+  gates: one independent MuMax3 run per input combination (Tables
+  I-II).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -140,3 +146,279 @@ def extract_dispersion(material: Material,
     return DispersionExperiment(dispersion_map=dmap, k_values=ks,
                                 f_measured=fs, f_analytic=analytic,
                                 relative_error=error)
+
+
+# -- truth-table sweeps through the orchestration engine --------------------
+
+GATE_ARITY = {"maj3": 3, "xor": 2}
+
+
+def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
+                  calibrated: bool = False,
+                  frequency: Optional[float] = None,
+                  n_d1: int = 2, cells_per_wavelength: int = 10,
+                  temperature: float = 0.0,
+                  seed: Optional[int] = None) -> Dict[str, Any]:
+    """Evaluate ONE input pattern of a triangle gate -- as a job.
+
+    This is the unit of work the paper's validation grid is made of
+    (one MuMax3 run per input combination).  It is module-level, takes
+    only JSON-canonicalisable parameters and returns a JSON-shaped
+    dict, so :class:`repro.runtime.JobSpec` can ship it to worker
+    processes and cache the result content-addressed.
+
+    Parameters
+    ----------
+    gate:
+        ``"maj3"`` or ``"xor"``.
+    bits:
+        The input pattern (3 bits for MAJ3, 2 for XOR).
+    tier:
+        ``"network"`` (analytic, instantaneous), ``"fdtd"`` (rasterised
+        wave solver, seconds) or ``"llg"`` (scaled micromagnetics,
+        minutes).
+    calibrated:
+        Network tier only: use the damping-calibrated arrival model
+        that reproduces Table I exactly.
+    frequency / n_d1 / cells_per_wavelength:
+        LLG tier scaling knobs (see :func:`scaled_maj3_experiment`);
+        ``frequency`` defaults to 28 GHz there and to the gates' 10 GHz
+        paper point elsewhere.
+    temperature:
+        LLG tier only: finite temperature [K] for the stochastic
+        thermal field.
+    seed:
+        RNG seed for thermal noise.  Defaults to a seed derived
+        deterministically from the job's identifying parameters
+        (:func:`repro.micromag.fields.thermal.seed_from_key`), so
+        cached thermal runs reproduce bit-exact across processes.
+
+    Returns
+    -------
+    dict
+        ``{"gate", "tier", "bits", "outputs": {name: {"logic",
+        "amplitude", "phase", "margin"}}, "normalized": [...],
+        "expected", "correct", "fanout_matched"}``.
+    """
+    from ..core.logic import check_bits, majority, xor as xor_fn
+
+    if gate not in GATE_ARITY:
+        raise ValueError(f"unknown gate {gate!r}; choose from "
+                         f"{sorted(GATE_ARITY)}")
+    bits = check_bits(bits)
+    if len(bits) != GATE_ARITY[gate]:
+        raise ValueError(f"{gate} takes {GATE_ARITY[gate]} bits, "
+                         f"got {len(bits)}")
+    expected = majority(*bits) if gate == "maj3" else xor_fn(*bits)
+
+    if tier in ("network", "fdtd"):
+        result, normalized = _evaluate_model_tier(gate, bits, tier,
+                                                  calibrated, frequency)
+        outputs = {
+            name: {"logic": det.logic_value, "amplitude": det.amplitude,
+                   "phase": det.phase, "margin": det.margin}
+            for name, det in result.outputs.items()}
+        return {"gate": gate, "tier": tier, "bits": list(bits),
+                "outputs": outputs, "normalized": list(normalized),
+                "expected": expected, "correct": result.correct,
+                "fanout_matched": result.fanout_matched}
+    if tier == "llg":
+        return _evaluate_llg_tier(gate, bits, expected,
+                                  frequency or 28e9, n_d1,
+                                  cells_per_wavelength, temperature, seed)
+    raise ValueError(f"unknown tier {tier!r}; choose from "
+                     "'network', 'fdtd', 'llg'")
+
+
+def _evaluate_model_tier(gate: str, bits: Tuple[int, ...], tier: str,
+                         calibrated: bool, frequency: Optional[float]):
+    """Network/FDTD evaluation plus the Table I/II normalisation."""
+    from ..core.gates import (
+        TriangleMajorityGate,
+        TriangleXorGate,
+        paper_table_i_gate,
+    )
+
+    kwargs = {} if frequency is None else {"frequency": frequency}
+    if gate == "maj3":
+        instance = paper_table_i_gate() if calibrated and not kwargs \
+            else TriangleMajorityGate(**kwargs)
+    else:
+        instance = TriangleXorGate(**kwargs)
+    result = instance.evaluate(bits, backend=tier)
+    if (gate == "maj3" and instance.calibration is not None
+            and tier == "network"):
+        normalized = (instance.calibration.normalized_output(bits),) * 2
+    else:
+        zeros = instance.output_envelopes((0,) * len(bits), tier)
+        env = instance.output_envelopes(bits, tier)
+        normalized = tuple(
+            abs(env[name]) / abs(zeros[name])
+            for name in instance.output_names)
+    return result, normalized
+
+
+def _evaluate_llg_tier(gate: str, bits: Tuple[int, ...], expected: int,
+                       frequency: float, n_d1: int,
+                       cells_per_wavelength: int, temperature: float,
+                       seed: Optional[int]) -> Dict[str, Any]:
+    """Scaled micromagnetic evaluation of one pattern.
+
+    Runs the pattern *and* the all-zeros reference (the paper's
+    "predefined phase" / unanimous normalisation), then decodes with
+    the same detectors as the model tiers.
+    """
+    from ..core.detection import PhaseDetector, ThresholdDetector
+    from .fields.thermal import seed_from_key
+    from .gate_experiment import scaled_maj3_experiment, scaled_xor_experiment
+
+    if seed is None and temperature > 0:
+        seed = seed_from_key(
+            f"llg:{gate}:{''.join(map(str, bits))}"
+            f":f={frequency!r}:T={temperature!r}")
+
+    def build():
+        factory = scaled_maj3_experiment if gate == "maj3" \
+            else scaled_xor_experiment
+        experiment = factory(frequency=frequency, n_d1=n_d1,
+                             cells_per_wavelength=cells_per_wavelength)
+        experiment.temperature = temperature
+        if seed is not None:
+            experiment.rng = np.random.default_rng(seed)
+        return experiment
+
+    reference = build().run_case((0,) * len(bits))
+    case = build().run_case(bits)
+
+    outputs: Dict[str, Dict[str, float]] = {}
+    normalized: List[float] = []
+    for name in sorted(case.amplitudes):
+        env = case.amplitudes[name] * np.exp(1j * case.phases[name])
+        if gate == "maj3":
+            detector = PhaseDetector(reference_phase=reference.phases[name])
+        else:
+            detector = ThresholdDetector(
+                reference_amplitude=reference.amplitudes[name])
+        det = detector.detect_envelope(env, frequency)
+        outputs[name] = {"logic": det.logic_value,
+                         "amplitude": case.amplitudes[name],
+                         "phase": case.phases[name], "margin": det.margin}
+        normalized.append(case.amplitudes[name]
+                          / max(reference.amplitudes[name], 1e-30))
+    logic_values = {o["logic"] for o in outputs.values()}
+    return {"gate": gate, "tier": "llg", "bits": list(bits),
+            "outputs": outputs, "normalized": normalized,
+            "expected": expected,
+            "correct": all(o["logic"] == expected
+                           for o in outputs.values()),
+            "fanout_matched": len(logic_values) == 1}
+
+
+@dataclass
+class GateSweep:
+    """All 2^n patterns of one gate, evaluated through the engine."""
+
+    gate: str
+    tier: str
+    cases: "Dict[Tuple[int, ...], Dict[str, Any]]"
+    report: Any  # RunReport
+
+    @property
+    def logic_table(self) -> Dict[Tuple[int, ...], Tuple[int, ...]]:
+        """pattern -> decoded output bits (O1, O2)."""
+        return {bits: tuple(case["outputs"][name]["logic"]
+                            for name in sorted(case["outputs"]))
+                for bits, case in self.cases.items()}
+
+    @property
+    def normalized_table(self) -> Dict[Tuple[int, ...], Tuple[float, ...]]:
+        """pattern -> Table I/II normalised output amplitudes."""
+        return {bits: tuple(case["normalized"])
+                for bits, case in self.cases.items()}
+
+    @property
+    def all_correct(self) -> bool:
+        return all(case["correct"] for case in self.cases.values())
+
+    def format_table(self) -> str:
+        """The paper-style truth table (rows ordered I_n..I_1)."""
+        from ..io.tables import format_truth_table
+
+        n = GATE_ARITY[self.gate]
+        patterns = sorted(self.cases,
+                          key=lambda b: tuple(reversed(b)))
+        rows = []
+        for bits in patterns:
+            case = self.cases[bits]
+            rows.append([str(case["outputs"][name]["logic"])
+                         for name in sorted(case["outputs"])]
+                        + [f"{value:.3f}" for value in case["normalized"]]
+                        + ["yes" if case["correct"] else "NO"])
+        names = sorted(next(iter(self.cases.values()))["outputs"])
+        return format_truth_table(
+            [tuple(reversed(b)) for b in patterns],
+            [f"{n} (logic)" for n in names]
+            + [f"{n} (norm)" for n in names] + ["correct"],
+            rows, [f"I{i}" for i in range(n, 0, -1)],
+            title=f"{self.gate.upper()} FO2 truth-table sweep "
+                  f"({self.tier} tier)")
+
+
+def sweep_gate_truth_table(gate: str = "maj3", tier: str = "network",
+                           calibrated: Optional[bool] = None,
+                           executor: Optional[Any] = None,
+                           workers: Optional[int] = None,
+                           cache: Optional[Any] = None,
+                           raise_on_failure: bool = True,
+                           **case_kwargs: Any) -> GateSweep:
+    """Evaluate every input combination of a gate through the engine.
+
+    Builds one :class:`repro.runtime.JobSpec` per input pattern (8 for
+    MAJ3, 4 for XOR) on :func:`run_gate_case` and submits the batch to
+    an :class:`repro.runtime.Executor` -- parallel across patterns,
+    content-addressed-cached across invocations.
+
+    Parameters
+    ----------
+    gate / tier:
+        As for :func:`run_gate_case`.
+    calibrated:
+        Defaults to True on the network tier (reproducing the paper's
+        Table I numbers) and False elsewhere.
+    executor:
+        A preconfigured :class:`repro.runtime.Executor`; when omitted
+        one is built from ``workers`` and ``cache``.
+    raise_on_failure:
+        Raise :class:`repro.runtime.JobFailed` if any pattern failed
+        after retries (default); otherwise failed patterns are simply
+        missing from :attr:`GateSweep.cases`.
+    **case_kwargs:
+        Extra :func:`run_gate_case` parameters (``frequency``,
+        ``temperature``, ``n_d1``...), becoming part of the cache key.
+    """
+    from ..core.logic import input_patterns
+    from ..runtime import Executor, JobSpec
+
+    if gate not in GATE_ARITY:
+        raise ValueError(f"unknown gate {gate!r}; choose from "
+                         f"{sorted(GATE_ARITY)}")
+    if calibrated is None:
+        calibrated = tier == "network"
+    if executor is None:
+        executor = Executor(workers=workers, cache=cache)
+
+    specs = []
+    for bits in input_patterns(GATE_ARITY[gate]):
+        params = {"gate": gate, "bits": list(bits), "tier": tier,
+                  "calibrated": calibrated}
+        params.update(case_kwargs)
+        specs.append(JobSpec(
+            fn="repro.micromag.experiments:run_gate_case", params=params,
+            label=f"{gate}:{''.join(map(str, bits))}@{tier}"))
+    result = executor.run(specs)
+    if raise_on_failure:
+        result.raise_on_failure()
+    cases = {tuple(outcome.value["bits"]): outcome.value
+             for outcome in result if outcome.ok}
+    return GateSweep(gate=gate, tier=tier, cases=cases,
+                     report=result.report)

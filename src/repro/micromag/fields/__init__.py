@@ -8,7 +8,7 @@ from .exchange import ExchangeField
 from .anisotropy import UniaxialAnisotropyField
 from .zeeman import ZeemanField
 from .demag import DemagField, ThinFilmDemagField, demag_tensor, newell_f, newell_g
-from .thermal import ThermalField
+from .thermal import ThermalField, rng_from_key, seed_from_key
 
 __all__ = [
     "ExchangeField",
@@ -20,4 +20,6 @@ __all__ = [
     "newell_f",
     "newell_g",
     "ThermalField",
+    "rng_from_key",
+    "seed_from_key",
 ]

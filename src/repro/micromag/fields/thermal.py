@@ -15,13 +15,47 @@ term.
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ...constants import KB, MU0
 from ..mesh import Mesh
+
+
+def seed_from_key(key: Union[str, bytes], stream: int = 0) -> int:
+    """Deterministic 64-bit RNG seed derived from a job key.
+
+    Thermal runs draw fresh noise every integrator step, so two
+    processes computing "the same" finite-temperature job only agree if
+    they seed identically.  Hashing the orchestration engine's
+    content-addressed job key (:meth:`repro.runtime.JobSpec.key`) --
+    rather than using a global or time-based seed -- makes a cached
+    result and its recomputation in any worker process bit-identical,
+    while distinct jobs (and distinct ``stream`` values within one job)
+    stay statistically independent.
+
+    Parameters
+    ----------
+    key:
+        Any stable identifier -- typically the hex job key, but any
+        string describing the run works.
+    stream:
+        Sub-stream index for jobs needing several independent
+        generators (e.g. thermal noise vs edge roughness).
+    """
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    digest = hashlib.sha256(key + b":stream=%d" % stream).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def rng_from_key(key: Union[str, bytes],
+                 stream: int = 0) -> np.random.Generator:
+    """A numpy generator seeded with :func:`seed_from_key`."""
+    return np.random.default_rng(seed_from_key(key, stream=stream))
 
 
 class ThermalField:

@@ -58,6 +58,8 @@ class LlgGateExperiment:
     dt: float = 2e-14
     settle_time: Optional[float] = None
     measure_periods: int = 6
+    temperature: float = 0.0
+    rng: Optional[np.random.Generator] = None
 
     def __post_init__(self) -> None:
         if self.settle_time is None:
@@ -87,7 +89,8 @@ class LlgGateExperiment:
                     shape=(nx, ny, 1))
         sim = Simulation(mesh, self.material, mask=fab.mask[None, ...],
                          demag="thin_film",
-                         absorber_width=1.2 * self.wavelength)
+                         absorber_width=1.2 * self.wavelength,
+                         temperature=self.temperature, rng=self.rng)
         sim.initialize((0.0, 0.0, 1.0))
         guide_radius = 0.5 * 0.45 * self.wavelength
         for name, bit in zip(self.input_names, bits):

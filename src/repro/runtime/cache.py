@@ -1,0 +1,254 @@
+"""Pluggable result caches keyed by :meth:`JobSpec.key` digests.
+
+Two stores are provided:
+
+* :class:`MemoryCache` -- a per-process dict, for benches and tests;
+* :class:`DiskCache` -- an on-disk store under ``.repro_cache/`` that
+  survives processes.  Each value is a JSON document; numpy arrays are
+  split out into an ``.npz`` sidecar so large fields stay binary.
+
+Both count hits, misses and writes (:class:`CacheStats`), which the
+:class:`~repro.runtime.report.RunReport` telemetry surfaces.
+
+Disk layout::
+
+    .repro_cache/
+      <salt>/                 # one namespace per code-version salt
+        ab/                   # first two hex digits of the key
+          <key>.json          # tagged-JSON payload
+          <key>.npz           # ndarray sidecar (only when needed)
+
+Corrupt or half-written entries are treated as misses, never errors:
+writes go through a temp file + ``os.replace`` so concurrent sweeps on
+the same cache directory are safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+DEFAULT_CACHE_ROOT = ".repro_cache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "hit_rate": self.hit_rate}
+
+
+class ResultCache:
+    """Interface: ``get`` -> (found, value), ``put``, ``stats``."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        found, value = self._load(key)
+        if found:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return found, value
+
+    def put(self, key: str, value: Any) -> None:
+        self._store(key, value)
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        found, _ = self._load(key)
+        return found
+
+    # Subclass surface ------------------------------------------------------
+
+    def _load(self, key: str) -> Tuple[bool, Any]:
+        raise NotImplementedError
+
+    def _store(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+
+class MemoryCache(ResultCache):
+    """In-process dict cache.
+
+    Values are returned by reference -- treat cached results as
+    immutable.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: Dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _load(self, key: str) -> Tuple[bool, Any]:
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def _store(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+
+# -- tagged JSON <-> value codec (ndarrays split into the npz sidecar) ------
+
+def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, complex):
+        return {"__complex__": [value.real, value.imag]}
+    if isinstance(value, np.generic):
+        return _encode(value.item(), arrays)
+    if isinstance(value, np.ndarray):
+        name = f"a{len(arrays)}"
+        arrays[name] = value
+        return {"__npz__": name}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v, arrays) for v in value]}
+    if isinstance(value, (list,)):
+        return [_encode(v, arrays) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value):
+            return {k: _encode(v, arrays) for k, v in value.items()}
+        return {"__items__": [[_encode(k, arrays), _encode(v, arrays)]
+                              for k, v in value.items()]}
+    raise TypeError(f"cannot persist value of type {type(value).__name__!r} "
+                    "to the disk cache; return JSON-compatible structures, "
+                    "tuples, complex numbers or numpy arrays")
+
+
+def _decode(node: Any, arrays: Optional[Any]) -> Any:
+    if isinstance(node, list):
+        return [_decode(v, arrays) for v in node]
+    if isinstance(node, dict):
+        if "__complex__" in node and len(node) == 1:
+            real, imag = node["__complex__"]
+            return complex(real, imag)
+        if "__tuple__" in node and len(node) == 1:
+            return tuple(_decode(v, arrays) for v in node["__tuple__"])
+        if "__items__" in node and len(node) == 1:
+            return {_freeze(_decode(k, arrays)): _decode(v, arrays)
+                    for k, v in node["__items__"]}
+        if "__npz__" in node and len(node) == 1:
+            if arrays is None:
+                raise KeyError("ndarray payload without npz sidecar")
+            return np.asarray(arrays[node["__npz__"]])
+        return {k: _decode(v, arrays) for k, v in node.items()}
+    return node
+
+
+def _freeze(key: Any) -> Any:
+    """Dict keys must be hashable: lists decoded from JSON -> tuples."""
+    if isinstance(key, list):
+        return tuple(_freeze(k) for k in key)
+    return key
+
+
+class DiskCache(ResultCache):
+    """Persistent cache under ``root`` (default ``.repro_cache/``).
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first write.
+    salt:
+        Namespace sub-directory.  Defaults to the package code-version
+        salt so results cached by one version of the code are never
+        served to another.
+    """
+
+    _KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+    def __init__(self, root: str = DEFAULT_CACHE_ROOT,
+                 salt: Optional[str] = None) -> None:
+        super().__init__()
+        if salt is None:
+            from .spec import default_salt
+
+            salt = default_salt()
+        self.root = root
+        self.salt = salt
+        safe_salt = re.sub(r"[^A-Za-z0-9._-]", "_", salt)
+        self.directory = os.path.join(root, safe_salt)
+
+    def _paths(self, key: str) -> Tuple[str, str]:
+        if not self._KEY_RE.match(key):
+            raise ValueError(f"malformed cache key {key!r}")
+        shard = os.path.join(self.directory, key[:2])
+        return (os.path.join(shard, key + ".json"),
+                os.path.join(shard, key + ".npz"))
+
+    def __len__(self) -> int:
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.directory):
+            count += sum(1 for f in filenames if f.endswith(".json"))
+        return count
+
+    def _load(self, key: str) -> Tuple[bool, Any]:
+        json_path, npz_path = self._paths(key)
+        try:
+            with open(json_path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            arrays = None
+            if document.get("arrays"):
+                with np.load(npz_path) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            return True, _decode(document["value"], arrays)
+        except (OSError, ValueError, KeyError):
+            # Missing, corrupt or half-written entry: a miss, not an error.
+            return False, None
+
+    def _store(self, key: str, value: Any) -> None:
+        json_path, npz_path = self._paths(key)
+        arrays: Dict[str, np.ndarray] = {}
+        payload = _encode(value, arrays)
+        document = {"key": key, "salt": self.salt,
+                    "arrays": sorted(arrays), "value": payload}
+        os.makedirs(os.path.dirname(json_path), exist_ok=True)
+        if arrays:
+            self._atomic_write(npz_path, lambda fh: np.savez(fh, **arrays))
+        self._atomic_write(
+            json_path,
+            lambda fh: fh.write(json.dumps(document).encode("utf-8")))
+
+    @staticmethod
+    def _atomic_write(path: str, writer) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".part")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                writer(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,363 @@
+"""Parallel job execution with caching, timeouts, retries and fallback.
+
+The :class:`Executor` takes a batch of :class:`~repro.runtime.spec.JobSpec`
+objects and returns a :class:`RunResult` whose values align with the
+submitted specs.  Per job it:
+
+1. looks the content key up in the :class:`ResultCache` (if any);
+2. on a miss, runs the job -- on a ``ProcessPoolExecutor`` when
+   ``workers > 1`` and the spec is portable (addressable by
+   ``module:qualname``), otherwise in-process;
+3. enforces an optional per-job ``timeout`` and retries failures up to
+   ``retries`` times with exponential backoff;
+4. records everything in a :class:`RunReport`.
+
+Degradation is always graceful: if worker processes cannot be spawned
+(sandboxes, restricted platforms), if the pool breaks mid-run, or if a
+job or its result does not pickle, the affected jobs fall back to
+serial in-process execution and the telemetry says so
+(``mode="serial"``).
+
+A job that exhausts its attempts yields ``value=None`` and a
+``status="failed"`` record; :meth:`RunResult.raise_on_failure` turns
+that into an exception for callers that need all results.
+
+Timeout caveat: neither a busy worker process nor a busy thread can be
+killed portably, so a timed-out attempt is *abandoned* (and retried)
+while the stray worker finishes in the background; the executor then
+shuts its pool down without waiting.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .report import (
+    MODE_CACHED,
+    MODE_POOL,
+    MODE_SERIAL,
+    STATUS_FAILED,
+    STATUS_HIT,
+    STATUS_OK,
+    JobRecord,
+    RunReport,
+)
+from .spec import JobSpec, resolve_ref
+
+
+class JobTimeout(Exception):
+    """A job attempt exceeded the executor's per-job timeout."""
+
+
+class JobFailed(Exception):
+    """Raised by :meth:`RunResult.raise_on_failure` when jobs failed."""
+
+
+#: (index into the submitted batch, spec, content key).
+_Job = Tuple[int, JobSpec, str]
+
+
+def _invoke(ref: str, params: Dict[str, Any]) -> Any:
+    """Worker-side entry point: resolve the callable and run it.
+
+    Module-level (not a closure) so it pickles to worker processes.
+    """
+    return resolve_ref(ref)(**params)
+
+
+def _call_with_timeout(fn: Callable, params: Dict[str, Any],
+                       timeout: Optional[float]) -> Any:
+    """Run ``fn(**params)``, bounding wall time with a worker thread."""
+    if timeout is None:
+        return fn(**params)
+    pool = cf.ThreadPoolExecutor(max_workers=1)
+    future = pool.submit(fn, **params)
+    try:
+        value = future.result(timeout=timeout)
+    except cf.TimeoutError:
+        future.cancel()
+        pool.shutdown(wait=False)
+        raise JobTimeout(f"job exceeded timeout of {timeout} s")
+    pool.shutdown(wait=False)
+    return value
+
+
+def _is_pickle_error(exc: BaseException) -> bool:
+    return isinstance(exc, (pickle.PicklingError, pickle.UnpicklingError,
+                            TypeError)) and "pickle" in str(exc).lower()
+
+
+@dataclass
+class JobOutcome:
+    """One spec's result paired with its telemetry record."""
+
+    spec: JobSpec
+    key: str
+    value: Any
+    record: JobRecord
+
+    @property
+    def ok(self) -> bool:
+        return self.record.status != STATUS_FAILED
+
+
+class RunResult:
+    """Ordered outcomes of one :meth:`Executor.run` call."""
+
+    def __init__(self, outcomes: List[JobOutcome], report: RunReport):
+        self.outcomes = outcomes
+        self.report = report
+
+    @property
+    def values(self) -> List[Any]:
+        """Job return values, aligned with the submitted specs
+        (``None`` for failed jobs)."""
+        return [o.value for o in self.outcomes]
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def raise_on_failure(self) -> "RunResult":
+        failures = self.failures
+        if failures:
+            details = "; ".join(
+                f"{o.record.label}: {o.record.error}" for o in failures[:5])
+            raise JobFailed(
+                f"{len(failures)} of {len(self.outcomes)} jobs failed "
+                f"after retries: {details}")
+        return self
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+class Executor:
+    """Fan jobs out over processes, with caching and bounded retries.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None`` or 1 means serial in-process
+        execution; ``0`` means one per CPU.
+    cache:
+        A :class:`ResultCache`, or None to always recompute.
+    timeout:
+        Per-job attempt wall-time bound [s]; None disables it.
+    retries:
+        Extra attempts after the first failure (``retries=2`` means at
+        most 3 attempts per job).
+    backoff:
+        Base of the exponential backoff slept before retry round *n*:
+        ``backoff * 2**(n - 1)`` seconds.
+    salt:
+        Cache-key salt override; defaults to the package version salt.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 backoff: float = 0.1,
+                 salt: Optional[str] = None):
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, int(workers or 1))
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.salt = salt
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> RunResult:
+        """Execute a batch of specs; returns outcomes in input order."""
+        report = RunReport(workers=self.workers)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+        pending: List[_Job] = []
+
+        for index, spec in enumerate(specs):
+            key = spec.key(self.salt)
+            t0 = time.perf_counter()
+            if self.cache is not None:
+                found, value = self.cache.get(key)
+                if found:
+                    record = JobRecord(
+                        label=spec.display_label, key=key,
+                        status=STATUS_HIT, mode=MODE_CACHED, attempts=0,
+                        wall_time=time.perf_counter() - t0)
+                    outcomes[index] = JobOutcome(spec, key, value, record)
+                    continue
+            pending.append((index, spec, key))
+
+        serial_jobs = pending
+        if self.workers > 1:
+            pool_jobs = [job for job in pending if job[1].portable]
+            serial_jobs = [job for job in pending if not job[1].portable]
+            serial_jobs += self._run_pool(pool_jobs, outcomes)
+
+        for index, spec, key in serial_jobs:
+            outcomes[index] = self._run_serial(spec, key)
+
+        for outcome in outcomes:
+            assert outcome is not None
+            report.add(outcome.record)
+            if (self.cache is not None
+                    and outcome.record.status == STATUS_OK):
+                self.cache.put(outcome.key, outcome.value)
+        return RunResult(list(outcomes), report.finish())
+
+    def map(self, fn: Any, params_list: Sequence[Dict[str, Any]],
+            label: str = "") -> RunResult:
+        """Convenience: one spec per params dict over a shared callable."""
+        name = label or getattr(fn, "__name__", "job")
+        specs = [JobSpec(fn=fn, params=params, label=f"{name}[{i}]")
+                 for i, params in enumerate(params_list)]
+        return self.run(specs)
+
+    # -- pool path ----------------------------------------------------------
+
+    def _run_pool(self, jobs: List[_Job],
+                  outcomes: List[Optional[JobOutcome]]) -> List[_Job]:
+        """Run portable jobs on a process pool.
+
+        Fills ``outcomes`` in place; returns the jobs that must degrade
+        to the serial path (pool unavailable, pool broke mid-run, or a
+        result refused to pickle).
+        """
+        if not jobs:
+            return []
+        try:
+            pool = cf.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(jobs)))
+        except (OSError, PermissionError, NotImplementedError, ValueError):
+            return jobs
+
+        attempts = {index: 0 for index, _spec, _key in jobs}
+        spent = {index: 0.0 for index, _spec, _key in jobs}
+        errors: Dict[int, str] = {}
+        degraded: List[_Job] = []
+        remaining = list(jobs)
+        abandoned = False
+        round_number = 0
+
+        try:
+            while remaining:
+                round_number += 1
+                if round_number > 1:
+                    time.sleep(self.backoff * 2 ** (round_number - 2))
+                submitted: List[Tuple[cf.Future, _Job]] = []
+                for job in remaining:
+                    index, spec, _key = job
+                    attempts[index] += 1
+                    submitted.append(
+                        (pool.submit(_invoke, spec.ref, spec.param_dict()),
+                         job))
+                retry_round: List[_Job] = []
+                for future, job in submitted:
+                    index, spec, key = job
+                    t0 = time.perf_counter()
+                    try:
+                        value = future.result(timeout=self.timeout)
+                    except BrokenProcessPool:
+                        raise  # the outer handler degrades survivors
+                    except cf.TimeoutError:
+                        future.cancel()
+                        abandoned = True
+                        spent[index] += time.perf_counter() - t0
+                        errors[index] = (f"timeout after {self.timeout} s "
+                                         f"(attempt {attempts[index]})")
+                        self._retry_or_fail(job, attempts, spent, errors,
+                                            outcomes, retry_round, MODE_POOL)
+                    except Exception as exc:
+                        spent[index] += time.perf_counter() - t0
+                        if _is_pickle_error(exc):
+                            degraded.append(job)
+                            continue
+                        errors[index] = self._describe(exc)
+                        self._retry_or_fail(job, attempts, spent, errors,
+                                            outcomes, retry_round, MODE_POOL)
+                    else:
+                        spent[index] += time.perf_counter() - t0
+                        outcomes[index] = JobOutcome(
+                            spec, key, value,
+                            JobRecord(label=spec.display_label, key=key,
+                                      status=STATUS_OK, mode=MODE_POOL,
+                                      attempts=attempts[index],
+                                      wall_time=spent[index]))
+                remaining = retry_round
+        except BrokenProcessPool:
+            pass  # survivors degrade below
+        finally:
+            try:
+                pool.shutdown(wait=not abandoned, cancel_futures=True)
+            except Exception:
+                pass
+
+        return [job for job in jobs
+                if outcomes[job[0]] is None
+                and not any(job[0] == d[0] for d in degraded)] + \
+               [job for job in degraded if outcomes[job[0]] is None]
+
+    def _retry_or_fail(self, job: _Job, attempts: Dict[int, int],
+                       spent: Dict[int, float], errors: Dict[int, str],
+                       outcomes: List[Optional[JobOutcome]],
+                       retry_round: List[_Job], mode: str) -> None:
+        index, spec, key = job
+        if attempts[index] <= self.retries:
+            retry_round.append(job)
+        else:
+            outcomes[index] = JobOutcome(
+                spec, key, None,
+                JobRecord(label=spec.display_label, key=key,
+                          status=STATUS_FAILED, mode=mode,
+                          attempts=attempts[index],
+                          wall_time=spent[index], error=errors.get(index)))
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(self, spec: JobSpec, key: str) -> JobOutcome:
+        fn = spec.resolve()
+        params = spec.param_dict()
+        spent = 0.0
+        error: Optional[str] = None
+        for attempt in range(1, self.retries + 2):
+            if attempt > 1:
+                time.sleep(self.backoff * 2 ** (attempt - 2))
+            t0 = time.perf_counter()
+            try:
+                value = _call_with_timeout(fn, params, self.timeout)
+            except Exception as exc:
+                spent += time.perf_counter() - t0
+                error = self._describe(exc)
+            else:
+                spent += time.perf_counter() - t0
+                return JobOutcome(
+                    spec, key, value,
+                    JobRecord(label=spec.display_label, key=key,
+                              status=STATUS_OK, mode=MODE_SERIAL,
+                              attempts=attempt, wall_time=spent))
+        return JobOutcome(
+            spec, key, None,
+            JobRecord(label=spec.display_label, key=key,
+                      status=STATUS_FAILED, mode=MODE_SERIAL,
+                      attempts=self.retries + 1, wall_time=spent,
+                      error=error))
+
+    @staticmethod
+    def _describe(exc: BaseException) -> str:
+        text = f"{type(exc).__name__}: {exc}"
+        return text.strip() or traceback.format_exception_only(
+            type(exc), exc)[-1].strip()

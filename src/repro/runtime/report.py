@@ -1,0 +1,158 @@
+"""Run telemetry: per-job records and sweep-level aggregates.
+
+Every :meth:`Executor.run` produces a :class:`RunReport` holding one
+:class:`JobRecord` per submitted spec -- status (cache hit / computed /
+failed), execution mode (cached / pool / serial), attempt count, wall
+time and the final error text if any.  The report prints as an ASCII
+table (same renderer as the paper-table benches) and dumps as JSON for
+CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..io.tables import format_table
+
+#: JobRecord.status values.
+STATUS_HIT = "hit"        # served from the result cache
+STATUS_OK = "ok"          # computed successfully
+STATUS_FAILED = "failed"  # all attempts exhausted
+
+#: JobRecord.mode values.
+MODE_CACHED = "cached"
+MODE_POOL = "pool"
+MODE_SERIAL = "serial"
+
+
+@dataclass
+class JobRecord:
+    """Telemetry for one job."""
+
+    label: str
+    key: str
+    status: str
+    mode: str
+    attempts: int = 1
+    wall_time: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first (0 for hits and first-try wins)."""
+        return max(0, self.attempts - 1)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"label": self.label, "key": self.key, "status": self.status,
+                "mode": self.mode, "attempts": self.attempts,
+                "retries": self.retries,
+                "wall_time_s": round(self.wall_time, 6),
+                "error": self.error}
+
+
+@dataclass
+class RunReport:
+    """Aggregated telemetry for one executor run."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+    workers: int = 1
+    _t0: float = field(default_factory=time.perf_counter, repr=False)
+
+    def add(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    def finish(self) -> "RunReport":
+        self.elapsed = time.perf_counter() - self._t0
+        return self
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_HIT)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.n_jobs - self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.cache_hits / self.n_jobs
+
+    @property
+    def n_computed(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_OK)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_FAILED)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def total_wall_time(self) -> float:
+        """Sum of per-job wall times (> elapsed when jobs ran in
+        parallel -- their ratio is the achieved speed-up)."""
+        return sum(r.wall_time for r in self.records)
+
+    # -- rendering ----------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Per-job ASCII telemetry table."""
+        rows = []
+        for r in self.records:
+            rows.append([r.label, r.status, r.mode, str(r.attempts),
+                         f"{r.wall_time * 1e3:.1f}",
+                         (r.error or "")[:40]])
+        return format_table(
+            ["job", "status", "mode", "attempts", "wall (ms)", "error"],
+            rows, title="run telemetry")
+
+    def summary(self) -> str:
+        """Two-line human summary of the run."""
+        line1 = (f"{self.n_jobs} jobs: {self.cache_hits} cached "
+                 f"({self.hit_rate * 100:.0f} % hits), "
+                 f"{self.n_computed} computed, {self.n_failed} failed, "
+                 f"{self.total_retries} retries")
+        line2 = (f"elapsed {self.elapsed:.2f} s, "
+                 f"busy {self.total_wall_time:.2f} s, "
+                 f"workers {self.workers}")
+        return line1 + "\n" + line2
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "summary": {
+                "n_jobs": self.n_jobs,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "hit_rate": self.hit_rate,
+                "computed": self.n_computed,
+                "failed": self.n_failed,
+                "retries": self.total_retries,
+                "elapsed_s": round(self.elapsed, 6),
+                "total_wall_time_s": round(self.total_wall_time, 6),
+                "workers": self.workers,
+            },
+            "jobs": [r.as_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def dump_json(self, path: str) -> None:
+        """Write the report as JSON (the CI smoke-sweep artifact)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

@@ -66,3 +66,47 @@ class TestAdder:
         out = capsys.readouterr().out
         assert "SW (this work)" in out
         assert "7nm CMOS" in out
+
+
+class TestNoSubcommand:
+    def test_usage_and_exit_code_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "subcommand is required" in err
+
+    def test_global_flags_alone_still_exit_2(self, capsys):
+        assert main(["--workers", "2", "--no-cache"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_maj3_network_cached(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--workers", "1", "sweep", "maj3", "--tier", "network",
+                "--cache-dir", cache_dir,
+                "--json", str(tmp_path / "report.json")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "MAJ3 FO2 truth-table sweep" in out
+        assert "run telemetry" in out
+        assert "8 jobs: 0 cached" in out
+        # Second invocation: the on-disk cache serves every pattern.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "8 jobs: 8 cached (100 % hits)" in out
+        import json
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["summary"]["hit_rate"] == 1.0
+
+    def test_sweep_no_cache(self, capsys):
+        assert main(["--no-cache", "sweep", "xor",
+                     "--tier", "network"]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs: 0 cached" in out
+
+    def test_sweep_rejects_unknown_gate(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "nand"])
