@@ -1,0 +1,139 @@
+"""Micro-benchmark: cost of the repro.obs instrumentation on the FDTD
+hot loop.
+
+The observability contract (repro.obs) is that instrumented code with
+tracing *disabled* pays a single flag check per call site -- the budget
+is < 5 % wall-time overhead on a 2k-step FDTD run versus an
+uninstrumented replica of the same leapfrog loop.  This bench times
+three variants on an identical 96 x 96 canvas:
+
+* ``baseline``  -- a local re-implementation of the pre-instrumentation
+  leapfrog update, no step counter / heartbeat / observer check;
+* ``disabled``  -- ``ScalarWaveSimulator.step`` with the observer
+  detached (the production default), the variant under budget;
+* ``enabled``   -- the same with spans + metrics active, for scale.
+
+Runnable standalone for CI (``python benchmarks/bench_obs_overhead.py``
+exits non-zero above budget) or through pytest-benchmark.
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import emit  # noqa: E402
+
+try:
+    from repro import obs
+    from repro.fdtd import ScalarWaveSimulator
+except ImportError:  # source checkout without an installed package
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+    from repro import obs
+    from repro.fdtd import ScalarWaveSimulator
+
+N_STEPS = 2000
+SHAPE = (96, 96)
+BUDGET = 0.05
+
+
+def _make_sim() -> ScalarWaveSimulator:
+    mask = np.ones(SHAPE, dtype=bool)
+    return ScalarWaveSimulator(mask=mask, dx=10e-9, wavelength=110e-9,
+                               frequency=2.282e9)
+
+
+def _baseline_seconds() -> float:
+    """Time an uninstrumented replica of the simulator's leapfrog loop.
+
+    Mirrors ``ScalarWaveSimulator._advance`` minus the step counter and
+    heartbeat hook: same buffers, same Laplacian stencil, same damping
+    update and source injection per step.
+    """
+    sim = _make_sim()
+    c2 = sim._laplacian_scale
+    dt = sim.dt
+    masks = sim._neighbour_masks
+    neighbours = (masks[(0, 1)].astype(float) + masks[(0, -1)]
+                  + masks[(1, 1)] + masks[(1, -1)])
+    t0 = time.perf_counter()
+    for _ in range(N_STEPS):
+        lap = (
+            np.roll(sim.u, 1, axis=0) * masks[(0, 1)]
+            + np.roll(sim.u, -1, axis=0) * masks[(0, -1)]
+            + np.roll(sim.u, 1, axis=1) * masks[(1, 1)]
+            + np.roll(sim.u, -1, axis=1) * masks[(1, -1)]
+        )
+        lap -= neighbours * sim.u
+        damp = sim.gamma * dt
+        new = ((2.0 * sim.u - (1.0 - damp) * sim.u_prev + c2 * lap)
+               / (1.0 + damp))
+        new *= sim.mask
+        sim.u_prev = sim.u
+        sim.u = new
+        sim.t += dt
+        sim._apply_sources(sim.t, sim.u)
+    return time.perf_counter() - t0
+
+
+def _instrumented_seconds(enabled: bool) -> float:
+    sim = _make_sim()
+    if enabled:
+        obs.enable()
+    try:
+        t0 = time.perf_counter()
+        sim.step(N_STEPS)
+        return time.perf_counter() - t0
+    finally:
+        if enabled:
+            obs.drain_spans()
+            obs.disable()
+
+
+def measure(repeats: int = 3) -> dict:
+    """Best-of-``repeats`` timings for all three variants."""
+    obs.disable()
+    base = min(_baseline_seconds() for _ in range(repeats))
+    disabled = min(_instrumented_seconds(False) for _ in range(repeats))
+    enabled = min(_instrumented_seconds(True) for _ in range(repeats))
+    return {
+        "baseline_s": base,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_overhead": disabled / base - 1.0,
+        "enabled_overhead": enabled / base - 1.0,
+    }
+
+
+def _report(timing: dict) -> str:
+    verdict = "PASS" if timing["disabled_overhead"] < BUDGET else "FAIL"
+    return "\n".join([
+        f"{N_STEPS}-step FDTD run on {SHAPE[0]} x {SHAPE[1]} cells "
+        f"(best of 3)",
+        f"uninstrumented baseline : {timing['baseline_s'] * 1e3:8.1f} ms",
+        f"obs disabled            : {timing['disabled_s'] * 1e3:8.1f} ms "
+        f"({timing['disabled_overhead'] * 100:+.2f} %)",
+        f"obs enabled             : {timing['enabled_s'] * 1e3:8.1f} ms "
+        f"({timing['enabled_overhead'] * 100:+.2f} %)",
+        f"budget: disabled overhead < {BUDGET * 100:.0f} % -> {verdict}",
+    ])
+
+
+def bench_obs_overhead(benchmark):
+    timing = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("OBS OVERHEAD (tracing disabled must stay under 5 %)",
+         _report(timing))
+    assert timing["disabled_overhead"] < BUDGET
+
+
+def main() -> int:
+    timing = measure()
+    print(_report(timing))
+    return 0 if timing["disabled_overhead"] < BUDGET else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,12 @@ Subpackages
     process-pool executor with timeouts/retries/serial fallback, and
     run telemetry.  ``python -m repro sweep`` and the truth-table /
     ablation benches submit through it.
+``repro.obs``
+    Observability: opt-in span tracer (with cross-process context
+    propagation), metrics registry, JSONL/Chrome-trace/ASCII
+    exporters, and the ``repro`` logger hierarchy.  ``python -m repro
+    --trace FILE``, ``--log-level`` and the ``profile`` subcommand sit
+    on top of it.
 ``repro.io`` / ``repro.viz``
     OVF interchange, ASCII tables, field-map rendering.
 
@@ -40,7 +46,13 @@ Quickstart
 (1, 1)
 """
 
-from .core import (
+import logging as _logging
+
+# Library logging convention: silent unless the application opts in
+# (via logging config or ``repro.obs.setup_logging``).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from .core import (  # noqa: E402
     DerivedTriangleGate,
     GateResult,
     LadderMajorityGate,
@@ -58,6 +70,7 @@ from .physics import FECOB, DispersionRelation, FilmStack, Material, Wave
 
 __version__ = "1.0.0"
 
+from . import obs  # noqa: E402
 from .runtime import (  # noqa: E402 -- needs __version__ for the key salt
     DiskCache,
     Executor,
@@ -91,5 +104,6 @@ __all__ = [
     "MemoryCache",
     "ResultCache",
     "RunReport",
+    "obs",
     "__version__",
 ]

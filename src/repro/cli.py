@@ -12,11 +12,17 @@ Python:
 * ``adder WIDTH`` -- circuit-level comparison of an n-bit adder;
 * ``sweep maj3|xor`` -- the full 2^n truth-table grid through the
   orchestration engine (:mod:`repro.runtime`): parallel across input
-  patterns, content-addressed-cached across invocations.
+  patterns, content-addressed-cached across invocations;
+* ``profile maj3|xor [--tier ...]`` -- run one gate case under the
+  span tracer (:mod:`repro.obs`) and print the top spans by
+  cumulative time.
 
 Global flags (before the subcommand): ``--workers N`` fans cache
 misses out over N worker processes (0 = one per CPU); ``--no-cache``
-disables the on-disk result cache.
+disables the on-disk result cache; ``--trace FILE`` writes a span
+trace of the command (Chrome trace-event JSON for Perfetto, or a JSONL
+span log when FILE ends in ``.jsonl``); ``--log-level LEVEL`` turns on
+``repro`` logging; ``--version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -186,23 +192,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(sweep.report.format_table())
     print()
     print(sweep.report.summary())
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hits / {stats.misses} misses "
+              f"({stats.hit_rate * 100:.0f} % hit rate), "
+              f"{stats.writes} writes")
+    else:
+        print("cache: disabled")
     if args.json:
         sweep.report.dump_json(args.json)
         print(f"telemetry written to {args.json}")
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from . import obs
+    from .micromag.experiments import GATE_ARITY, run_gate_case
+
+    arity = GATE_ARITY[args.gate]
+    bits_text = args.bits if args.bits is not None else "1" * arity
+    if len(bits_text) != arity or set(bits_text) - {"0", "1"}:
+        print(f"profile: --bits must be {arity} binary digits for "
+              f"{args.gate}, got {bits_text!r}", file=sys.stderr)
+        return 2
+    bits = tuple(int(c) for c in bits_text)
+
+    # Under a global ``--trace`` the observer is already attached and
+    # owned by main(); otherwise attach one for the duration.
+    own_observer = not obs.enabled()
+    if own_observer:
+        obs.enable()
+    try:
+        with obs.span("profile", gate=args.gate, tier=args.tier,
+                      bits=bits_text):
+            case = run_gate_case(args.gate, bits, tier=args.tier)
+        outputs = " ".join(
+            f"{name}={case['outputs'][name]['logic']}"
+            for name in sorted(case["outputs"]))
+        verdict = "correct" if case["correct"] else "WRONG"
+        print(f"{args.gate.upper()} {bits_text} @ {args.tier} tier: "
+              f"{outputs} (expected {case['expected']}, {verdict})")
+        print()
+        print(obs.format_span_summary(obs.spans(), top=args.top))
+        counters = obs.metrics_snapshot()["counters"]
+        if counters:
+            print()
+            print("counters: " + ", ".join(
+                f"{name}={value}" for name, value in counters.items()))
+    finally:
+        if own_observer:
+            obs.drain_spans()
+            obs.disable()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Triangle FO2 spin-wave gate reproduction "
                     "(Mahmoud et al., DATE 2021)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}",
+                        help="print the package version (correlates "
+                             "trace files and .repro_cache/ salts)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for engine-backed commands "
                              "(default serial; 0 = one per CPU)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache "
                              "(.repro_cache/)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a span trace of the command: Chrome "
+                             "trace-event JSON (open in Perfetto), or a "
+                             "JSONL span log when FILE ends in .jsonl")
+    parser.add_argument("--log-level", metavar="LEVEL", default=None,
+                        help="enable repro logging at LEVEL "
+                             "(debug, info, warning, ...)")
     sub = parser.add_subparsers(dest="command")
 
     p_tt = sub.add_parser("truth-table",
@@ -254,6 +321,22 @@ def build_parser() -> argparse.ArgumentParser:
                          default=argparse.SUPPRESS,
                          help=argparse.SUPPRESS)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one gate case under the span tracer; print top spans")
+    p_profile.add_argument("gate", choices=["maj3", "xor"])
+    p_profile.add_argument("--tier", choices=["network", "fdtd", "llg"],
+                           default="fdtd",
+                           help="evaluation tier to profile "
+                                "(default fdtd)")
+    p_profile.add_argument("--bits", default=None, metavar="PATTERN",
+                           help="input pattern, e.g. 011 "
+                                "(default: all ones)")
+    p_profile.add_argument("--top", type=int, default=12, metavar="N",
+                           help="span names to show in the summary "
+                                "(default 12)")
+    p_profile.set_defaults(func=_cmd_profile)
     return parser
 
 
@@ -266,6 +349,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("repro: error: a subcommand is required "
               "(see 'python -m repro --help')", file=sys.stderr)
         return 2
+
+    from . import obs
+
+    if args.log_level is not None:
+        try:
+            obs.setup_logging(args.log_level)
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+    tracing = args.trace is not None
+    if tracing:
+        obs.enable()
     try:
         return args.func(args)
     except BrokenPipeError:
@@ -275,6 +370,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    finally:
+        if tracing:
+            spans = obs.drain_spans()
+            obs.disable()
+            try:
+                from . import __version__
+
+                fmt = obs.write_trace_file(
+                    args.trace, spans,
+                    metadata={"repro_version": __version__,
+                              "command": args.command})
+                print(f"trace written to {args.trace} "
+                      f"({len(spans)} spans, {fmt} format)",
+                      file=sys.stderr)
+            except OSError as exc:
+                print(f"repro: could not write trace file: {exc}",
+                      file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry

@@ -23,10 +23,13 @@ demodulated per cell) from which amplitude and phase maps are read.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .. import obs
 
 
 @dataclass
@@ -94,13 +97,21 @@ class ScalarWaveSimulator:
         near the outer mesh edges (prevents end reflections).
     courant:
         Courant number (<= ~0.7 for 2-D stability).
+    progress:
+        Optional heartbeat callback ``progress(step_count, t)`` invoked
+        every ``progress_every`` leapfrog steps -- lets long solves
+        report liveness without any tracing machinery.
+    progress_every:
+        Heartbeat period in steps (default 200).
     """
 
     def __init__(self, mask: np.ndarray, dx: float, wavelength: float,
                  frequency: float, damping_time: float = math.inf,
                  absorber_width: float = 0.0, courant: float = 0.5,
                  absorber_sides: Tuple[str, ...] = ("left", "right",
-                                                    "top", "bottom")):
+                                                    "top", "bottom"),
+                 progress: Optional[Callable[[int, float], None]] = None,
+                 progress_every: int = 200):
         mask = np.asarray(mask, dtype=bool)
         if mask.ndim != 2:
             raise ValueError("mask must be 2-D (ny, nx)")
@@ -132,6 +143,10 @@ class ScalarWaveSimulator:
         self.u = np.zeros(mask.shape)
         self.u_prev = np.zeros(mask.shape)
         self.t = 0.0
+        self.step_count = 0
+        self.progress = progress
+        self.progress_every = max(1, int(progress_every))
+        self._n_cells = int(mask.sum())
         self._laplacian_scale = (self.speed * self.dt / dx) ** 2
         # Shifted neighbour masks with wrap-around explicitly forbidden
         # (np.roll alone would couple opposite canvas edges).
@@ -229,12 +244,36 @@ class ScalarWaveSimulator:
                     field[src.mask] += dt2 * omega * omega * value
 
     def step(self, n_steps: int = 1) -> None:
-        """Advance the field ``n_steps`` leapfrog steps."""
+        """Advance the field ``n_steps`` leapfrog steps.
+
+        When the observer is attached (:func:`repro.obs.enable`) the
+        call is wrapped in an ``fdtd.step`` span and updates the
+        ``fdtd.steps`` / ``fdtd.cell_updates`` counters and the
+        ``fdtd.steps_per_s`` gauge; disabled, the instrumentation is a
+        single flag check.
+        """
+        if not obs.enabled():
+            return self._advance(n_steps)
+        t0 = time.perf_counter()
+        with obs.span("fdtd.step", steps=int(n_steps),
+                      cells=self._n_cells):
+            self._advance(n_steps)
+        elapsed = time.perf_counter() - t0
+        obs.counter("fdtd.steps").inc(int(n_steps))
+        obs.counter("fdtd.cell_updates").inc(int(n_steps) * self._n_cells)
+        if elapsed > 0:
+            obs.gauge("fdtd.steps_per_s").set(n_steps / elapsed)
+
+    def _advance(self, n_steps: int) -> None:
+        """The uninstrumented leapfrog loop."""
         c2 = self._laplacian_scale
         dt = self.dt
         masks = self._neighbour_masks
         neighbours = (masks[(0, 1)].astype(float) + masks[(0, -1)]
                       + masks[(1, 1)] + masks[(1, -1)])
+        heartbeat = self.progress
+        every = self.progress_every
+        count = self.step_count
         for _ in range(n_steps):
             lap = (
                 np.roll(self.u, 1, axis=0) * masks[(0, 1)]
@@ -251,12 +290,23 @@ class ScalarWaveSimulator:
             self.u = new
             self.t += dt
             self._apply_sources(self.t, self.u)
+            count += 1
+            if heartbeat is not None and count % every == 0:
+                heartbeat(count, self.t)
+        self.step_count = count
 
     def run_until(self, t_end: float) -> None:
         """Advance to (at least) physical time ``t_end`` [s]."""
         remaining = t_end - self.t
-        if remaining > 0:
-            self.step(int(math.ceil(remaining / self.dt)))
+        if remaining <= 0:
+            return
+        n_steps = int(math.ceil(remaining / self.dt))
+        if not obs.enabled():
+            self.step(n_steps)
+            return
+        with obs.span("fdtd.run_until", t_end=float(t_end),
+                      steps=n_steps):
+            self.step(n_steps)
 
     # -- measurement -----------------------------------------------------------------
 

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..physics.dispersion import DispersionRelation, FilmStack
 from ..physics.materials import Material
 from .analysis import DispersionMap, space_time_fft
@@ -210,24 +211,26 @@ def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
         raise ValueError(f"{gate} takes {GATE_ARITY[gate]} bits, "
                          f"got {len(bits)}")
     expected = majority(*bits) if gate == "maj3" else xor_fn(*bits)
+    if tier not in ("network", "fdtd", "llg"):
+        raise ValueError(f"unknown tier {tier!r}; choose from "
+                         "'network', 'fdtd', 'llg'")
 
-    if tier in ("network", "fdtd"):
-        result, normalized = _evaluate_model_tier(gate, bits, tier,
-                                                  calibrated, frequency)
-        outputs = {
-            name: {"logic": det.logic_value, "amplitude": det.amplitude,
-                   "phase": det.phase, "margin": det.margin}
-            for name, det in result.outputs.items()}
-        return {"gate": gate, "tier": tier, "bits": list(bits),
-                "outputs": outputs, "normalized": list(normalized),
-                "expected": expected, "correct": result.correct,
-                "fanout_matched": result.fanout_matched}
-    if tier == "llg":
+    with obs.span("gate_case", gate=gate, tier=tier,
+                  bits="".join(map(str, bits))):
+        if tier in ("network", "fdtd"):
+            result, normalized = _evaluate_model_tier(gate, bits, tier,
+                                                      calibrated, frequency)
+            outputs = {
+                name: {"logic": det.logic_value, "amplitude": det.amplitude,
+                       "phase": det.phase, "margin": det.margin}
+                for name, det in result.outputs.items()}
+            return {"gate": gate, "tier": tier, "bits": list(bits),
+                    "outputs": outputs, "normalized": list(normalized),
+                    "expected": expected, "correct": result.correct,
+                    "fanout_matched": result.fanout_matched}
         return _evaluate_llg_tier(gate, bits, expected,
                                   frequency or 28e9, n_d1,
                                   cells_per_wavelength, temperature, seed)
-    raise ValueError(f"unknown tier {tier!r}; choose from "
-                     "'network', 'fdtd', 'llg'")
 
 
 def _evaluate_model_tier(gate: str, bits: Tuple[int, ...], tier: str,
@@ -415,7 +418,8 @@ def sweep_gate_truth_table(gate: str = "maj3", tier: str = "network",
         specs.append(JobSpec(
             fn="repro.micromag.experiments:run_gate_case", params=params,
             label=f"{gate}:{''.join(map(str, bits))}@{tier}"))
-    result = executor.run(specs)
+    with obs.span("sweep", gate=gate, tier=tier, n_jobs=len(specs)):
+        result = executor.run(specs)
     if raise_on_failure:
         result.raise_on_failure()
     cases = {tuple(outcome.value["bits"]): outcome.value

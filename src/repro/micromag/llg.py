@@ -19,15 +19,37 @@ boundary ramps).  Integrators:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from .mesh import normalize_field
+from .. import obs
 from ..constants import MU0
 
 #: RHS signature: (t, m) -> dm/dt
 RHSFunction = Callable[[float, np.ndarray], np.ndarray]
+
+#: Heartbeat signature: (t_new, dt_taken) after each accepted step.
+ProgressCallback = Callable[[float, float], None]
+
+
+def _record_step(t0: Optional[float], rejected: int = 0) -> None:
+    """Update the ``llg.*`` metrics for one accepted integrator step.
+
+    ``t0`` is the perf-counter stamp taken at step entry *only when the
+    observer was attached* (None otherwise, making the disabled path a
+    single check at the call sites).
+    """
+    if t0 is None:
+        return
+    elapsed = time.perf_counter() - t0
+    obs.counter("llg.steps").inc()
+    if rejected:
+        obs.counter("llg.rk45.rejected").inc(rejected)
+    if elapsed > 0:
+        obs.gauge("llg.steps_per_s").set(1.0 / elapsed)
 
 
 def cross(a: np.ndarray, b: np.ndarray, out: np.ndarray = None) -> np.ndarray:
@@ -84,15 +106,18 @@ class RK4Integrator:
     """
 
     def __init__(self, rhs: RHSFunction, renormalize: bool = True,
-                 mask: np.ndarray = None):
+                 mask: np.ndarray = None,
+                 progress: Optional[ProgressCallback] = None):
         self.rhs = rhs
         self.renormalize = renormalize
         self.mask = mask
+        self.progress = progress
 
     def step(self, t: float, m: np.ndarray, dt: float) -> np.ndarray:
         """Advance ``m`` by one step of size ``dt``; returns the new state."""
         if dt <= 0:
             raise ValueError("dt must be positive")
+        t0 = time.perf_counter() if obs.enabled() else None
         k1 = self.rhs(t, m)
         k2 = self.rhs(t + dt / 2.0, m + (dt / 2.0) * k1)
         k3 = self.rhs(t + dt / 2.0, m + (dt / 2.0) * k2)
@@ -100,6 +125,9 @@ class RK4Integrator:
         new = m + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
         if self.renormalize:
             normalize_field(new, self.mask)
+        _record_step(t0)
+        if self.progress is not None:
+            self.progress(t + dt, dt)
         return new
 
 
@@ -113,15 +141,18 @@ class HeunIntegrator:
     """
 
     def __init__(self, rhs: RHSFunction, renormalize: bool = True,
-                 mask: np.ndarray = None):
+                 mask: np.ndarray = None,
+                 progress: Optional[ProgressCallback] = None):
         self.rhs = rhs
         self.renormalize = renormalize
         self.mask = mask
+        self.progress = progress
 
     def step(self, t: float, m: np.ndarray, dt: float) -> np.ndarray:
         """One Heun step of size ``dt``."""
         if dt <= 0:
             raise ValueError("dt must be positive")
+        t0 = time.perf_counter() if obs.enabled() else None
         k1 = self.rhs(t, m)
         predictor = m + dt * k1
         if self.renormalize:
@@ -130,6 +161,9 @@ class HeunIntegrator:
         new = m + (dt / 2.0) * (k1 + k2)
         if self.renormalize:
             normalize_field(new, self.mask)
+        _record_step(t0)
+        if self.progress is not None:
+            self.progress(t + dt, dt)
         return new
 
 
@@ -164,7 +198,8 @@ class RK45Integrator:
 
     def __init__(self, rhs: RHSFunction, tolerance: float = 1e-5,
                  dt_min: float = 1e-17, dt_max: float = 1e-11,
-                 renormalize: bool = True, mask: np.ndarray = None):
+                 renormalize: bool = True, mask: np.ndarray = None,
+                 progress: Optional[ProgressCallback] = None):
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
         if dt_min <= 0 or dt_max <= dt_min:
@@ -175,6 +210,7 @@ class RK45Integrator:
         self.dt_max = dt_max
         self.renormalize = renormalize
         self.mask = mask
+        self.progress = progress
         self.last_dt: Optional[float] = None
         self.rejected_steps = 0
 
@@ -186,6 +222,8 @@ class RK45Integrator:
         tuple
             ``(new_m, dt_taken, dt_next)``.
         """
+        t0 = time.perf_counter() if obs.enabled() else None
+        rejected_before = self.rejected_steps
         dt = float(np.clip(dt, self.dt_min, self.dt_max))
         while True:
             ks = []
@@ -215,6 +253,9 @@ class RK45Integrator:
                 dt_next = float(np.clip(dt * min(max(factor, 0.2), 5.0),
                                         self.dt_min, self.dt_max))
                 self.last_dt = dt
+                _record_step(t0, self.rejected_steps - rejected_before)
+                if self.progress is not None:
+                    self.progress(t + dt, dt)
                 return m5, dt, dt_next
             self.rejected_steps += 1
             dt = max(dt * max(0.9 * (self.tolerance / error) ** 0.2, 0.2),

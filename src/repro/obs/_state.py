@@ -1,0 +1,24 @@
+"""The observability master switch.
+
+Both the tracer and the metrics registry guard every hot-path update
+with this single module-level flag, so an uninstrumented run (no
+exporter or subscriber attached) pays one boolean check and nothing
+else.  The flag lives in its own tiny module so :mod:`repro.obs.trace`
+and :mod:`repro.obs.metrics` can share it without importing each other.
+"""
+
+from __future__ import annotations
+
+#: Read directly (``_state.enabled_flag``) on hot paths; everyone else
+#: should go through :func:`enabled`.
+enabled_flag = False
+
+
+def enabled() -> bool:
+    """True when an observer is attached (spans/metrics are recorded)."""
+    return enabled_flag
+
+
+def set_enabled(value: bool) -> None:
+    global enabled_flag
+    enabled_flag = bool(value)

@@ -1,0 +1,126 @@
+"""Span exporters: JSONL log, Chrome trace-event JSON, ASCII summary.
+
+Three consumers of the span dicts produced by :mod:`repro.obs.trace`:
+
+* :func:`write_spans_jsonl` -- one span per line, the greppable /
+  CI-artifact format;
+* :func:`write_chrome_trace` -- the Chrome trace-event format
+  (``{"traceEvents": [...]}``, complete-event ``"ph": "X"`` records),
+  loadable directly in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``;
+* :func:`format_span_summary` -- top-N spans by cumulative time as an
+  ASCII table (the ``python -m repro profile`` output), rendered with
+  the same :func:`repro.io.tables.format_table` as the paper tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def to_chrome_trace(spans: Sequence[Dict[str, Any]],
+                    metadata: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+    """Convert span dicts to a Chrome trace-event document.
+
+    Timestamps are the wall-clock span starts in microseconds
+    (Perfetto's native unit), so spans collected in worker processes
+    line up with the parent's on one timeline; each process renders as
+    its own track (``pid``).
+    """
+    events: List[Dict[str, Any]] = []
+    for record in spans:
+        args = dict(record.get("attrs") or {})
+        args["trace_id"] = record.get("trace_id")
+        args["span_id"] = record.get("span_id")
+        if record.get("parent_id"):
+            args["parent_id"] = record["parent_id"]
+        events.append({
+            "name": record["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": record["ts_ns"] / 1000.0,
+            "dur": record["dur_ns"] / 1000.0,
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+            "args": args,
+        })
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        document["otherData"] = metadata
+    return document
+
+
+def write_chrome_trace(path: str, spans: Sequence[Dict[str, Any]],
+                       metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Write spans as a Chrome trace-event JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(spans, metadata), handle)
+        handle.write("\n")
+
+
+def write_spans_jsonl(path: str, spans: Sequence[Dict[str, Any]]) -> None:
+    """Write spans as JSON Lines (one span object per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in spans:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+
+
+def write_trace_file(path: str, spans: Sequence[Dict[str, Any]],
+                     metadata: Optional[Dict[str, Any]] = None) -> str:
+    """Write spans in the format implied by the file extension.
+
+    ``*.jsonl`` gets the line-oriented span log; anything else gets the
+    Chrome trace-event document.  Returns the format written
+    (``"jsonl"`` or ``"chrome"``).
+    """
+    if path.endswith(".jsonl"):
+        write_spans_jsonl(path, spans)
+        return "jsonl"
+    write_chrome_trace(path, spans, metadata)
+    return "chrome"
+
+
+def summarize_spans(spans: Sequence[Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+    """Aggregate spans by name: count and cumulative/mean/max duration.
+
+    Sorted by cumulative time, descending.  Durations are reported in
+    milliseconds.
+    """
+    aggregate: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        entry = aggregate.setdefault(
+            record["name"],
+            {"name": record["name"], "count": 0, "cum_ms": 0.0,
+             "max_ms": 0.0})
+        dur_ms = record["dur_ns"] / 1e6
+        entry["count"] += 1
+        entry["cum_ms"] += dur_ms
+        if dur_ms > entry["max_ms"]:
+            entry["max_ms"] = dur_ms
+    rows = sorted(aggregate.values(),
+                  key=lambda e: e["cum_ms"], reverse=True)
+    for entry in rows:
+        entry["mean_ms"] = entry["cum_ms"] / entry["count"]
+    return rows
+
+def format_span_summary(spans: Sequence[Dict[str, Any]],
+                        top: int = 12) -> str:
+    """Top-N spans by cumulative time as an ASCII table."""
+    from ..io.tables import format_table
+
+    rows = summarize_spans(spans)
+    shown = rows[:max(1, top)]
+    body = [[e["name"], str(e["count"]), f"{e['cum_ms']:.2f}",
+             f"{e['mean_ms']:.3f}", f"{e['max_ms']:.2f}"]
+            for e in shown]
+    title = (f"top {len(shown)} of {len(rows)} span names "
+             f"({len(spans)} spans) by cumulative time")
+    return format_table(["span", "count", "cum (ms)", "mean (ms)",
+                         "max (ms)"], body, title=title)

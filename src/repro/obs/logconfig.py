@@ -1,0 +1,87 @@
+"""The ``repro`` logger hierarchy.
+
+Library rule: the package never configures the root logger and stays
+silent unless the application asks otherwise -- ``repro/__init__``
+attaches a :class:`logging.NullHandler` to the ``"repro"`` logger, and
+every module logs through a child (``repro.runtime.executor``,
+``repro.runtime.cache``...), obtained via :func:`get_logger`.
+
+Applications (and ``python -m repro --log-level LEVEL``) opt in with
+:func:`setup_logging`, which is idempotent: re-invoking it adjusts the
+level of the one stream handler it manages instead of stacking
+duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler installed by setup_logging.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger()`` returns the package root; ``get_logger("x.y")``
+    returns ``repro.x.y`` (a fully-qualified ``repro.…`` name is used
+    as-is).
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def parse_level(level: Union[int, str]) -> int:
+    """``"debug"``/``"INFO"``/numeric string/int -> logging level."""
+    if isinstance(level, int):
+        return level
+    text = str(level).strip().upper()
+    if text.isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text)
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {level!r}; use debug, info, warning, "
+            "error, critical or a number")
+    return resolved
+
+
+def setup_logging(level: Union[int, str] = "INFO",
+                  stream=None) -> logging.Logger:
+    """Attach (or retune) a stream handler on the ``repro`` logger.
+
+    Returns the package root logger.  Raises :class:`ValueError` for an
+    unknown level name.
+    """
+    resolved = parse_level(level)
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, _HANDLER_FLAG, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    elif stream is not None:
+        try:
+            handler.setStream(stream)
+        except ValueError:
+            # setStream flushes the old stream first; if that stream
+            # has since been closed (captured stderr from a finished
+            # test, a redirected pipe), swap it without flushing.
+            handler.stream = stream
+    handler.setLevel(resolved)
+    logger.setLevel(resolved)
+    return logger

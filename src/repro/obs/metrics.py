@@ -1,0 +1,166 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Instrument sites update named metrics through the module-level helpers
+(``counter("cache.hit").inc()``); the registry creates instruments on
+first use and :func:`snapshot` renders everything as plain dicts for
+JSON export or the CLI summary.
+
+The registry itself always works (tests poke it directly), but the
+package convention is that hot paths guard updates with
+``obs.enabled()`` -- the same master switch as the tracer -- so a run
+with no observer attached pays a single boolean check per site.
+Counter/gauge updates are plain attribute writes; under the GIL that
+is safe enough for telemetry (worst case a lost increment under heavy
+thread contention, never corruption).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing count (events, cells, bytes...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value of an instantaneous quantity (rates, sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Tracks count / sum / min / max plus coarse power-of-two buckets
+    (bucket ``i`` counts observations in ``[2**(i-1), 2**i)``), which
+    is plenty to spot bimodal wall times without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = 0 if value <= 0 else int(math.floor(math.log2(value))) + 1
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "sum": self.total, "mean": self.mean,
+                "min": self.min, "max": self.max,
+                "buckets": {str(k): v for k, v in sorted(self.buckets.items())}}
+
+
+class MetricsRegistry:
+    """Create-on-first-use store of named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name))
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as plain nested dicts (JSON-ready)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value
+                           for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.as_dict()
+                               for n, h in sorted(self._histograms.items())},
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry used by all package instrumentation.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> Dict[str, Dict[str, Any]]:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

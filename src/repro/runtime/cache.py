@@ -34,7 +34,11 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
+
 DEFAULT_CACHE_ROOT = ".repro_cache"
+
+_LOG = obs.get_logger("runtime.cache")
 
 
 @dataclass
@@ -73,11 +77,15 @@ class ResultCache:
             self.stats.hits += 1
         else:
             self.stats.misses += 1
+        if obs.enabled():
+            obs.counter("cache.hit" if found else "cache.miss").inc()
         return found, value
 
     def put(self, key: str, value: Any) -> None:
         self._store(key, value)
         self.stats.writes += 1
+        if obs.enabled():
+            obs.counter("cache.write").inc()
 
     def __contains__(self, key: str) -> bool:
         found, _ = self._load(key)
@@ -215,15 +223,28 @@ class DiskCache(ResultCache):
         json_path, npz_path = self._paths(key)
         try:
             with open(json_path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
+                text = handle.read()
+        except OSError:
+            return False, None  # no entry: a plain miss
+        bytes_read = len(text)
+        try:
+            document = json.loads(text)
             arrays = None
             if document.get("arrays"):
+                bytes_read += os.path.getsize(npz_path)
                 with np.load(npz_path) as npz:
                     arrays = {name: npz[name] for name in npz.files}
-            return True, _decode(document["value"], arrays)
-        except (OSError, ValueError, KeyError):
-            # Missing, corrupt or half-written entry: a miss, not an error.
+            value = _decode(document["value"], arrays)
+        except (OSError, ValueError, KeyError) as exc:
+            # Corrupt or half-written entry: a miss, not an error.
+            _LOG.warning("corrupt cache entry %s: %s: %s", key,
+                         type(exc).__name__, exc)
+            if obs.enabled():
+                obs.counter("cache.corrupt").inc()
             return False, None
+        if obs.enabled():
+            obs.counter("cache.bytes_read").inc(bytes_read)
+        return True, value
 
     def _store(self, key: str, value: Any) -> None:
         json_path, npz_path = self._paths(key)
@@ -237,6 +258,11 @@ class DiskCache(ResultCache):
         self._atomic_write(
             json_path,
             lambda fh: fh.write(json.dumps(document).encode("utf-8")))
+        if obs.enabled():
+            written = os.path.getsize(json_path)
+            if arrays:
+                written += os.path.getsize(npz_path)
+            obs.counter("cache.bytes_written").inc(written)
 
     @staticmethod
     def _atomic_write(path: str, writer) -> None:

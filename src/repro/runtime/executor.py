@@ -39,6 +39,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from .cache import ResultCache
 from .report import (
     MODE_CACHED,
@@ -49,8 +50,11 @@ from .report import (
     STATUS_OK,
     JobRecord,
     RunReport,
+    utc_now_iso,
 )
 from .spec import JobSpec, resolve_ref
+
+_LOG = obs.get_logger("runtime.executor")
 
 
 class JobTimeout(Exception):
@@ -65,12 +69,46 @@ class JobFailed(Exception):
 _Job = Tuple[int, JobSpec, str]
 
 
-def _invoke(ref: str, params: Dict[str, Any]) -> Any:
+@dataclass
+class _ShippedResult:
+    """A worker's return value bundled with the spans it collected.
+
+    Workers run in their own process, so spans they record cannot reach
+    the parent's collector directly -- they ride back with the result
+    (standard distributed-tracing span shipping) and the executor
+    unbundles them via :func:`_unship`.
+    """
+
+    value: Any
+    spans: List[Dict[str, Any]]
+
+
+def _invoke(ref: str, params: Dict[str, Any],
+            ctx: Optional[obs.TraceContext] = None) -> Any:
     """Worker-side entry point: resolve the callable and run it.
 
     Module-level (not a closure) so it pickles to worker processes.
+    When a :class:`~repro.obs.TraceContext` is shipped along, the
+    worker collects spans under the parent's trace id and returns them
+    bundled with the value.
     """
-    return resolve_ref(ref)(**params)
+    if ctx is None:
+        return resolve_ref(ref)(**params)
+    obs.activate(ctx)
+    try:
+        with obs.span("executor.job", ref=ref, mode="pool"):
+            value = resolve_ref(ref)(**params)
+    finally:
+        shipped_spans = obs.deactivate()
+    return _ShippedResult(value, shipped_spans)
+
+
+def _unship(value: Any) -> Any:
+    """Merge spans shipped back from a worker; return the bare value."""
+    if isinstance(value, _ShippedResult):
+        obs.ingest(value.spans)
+        return value.value
+    return value
 
 
 def _call_with_timeout(fn: Callable, params: Dict[str, Any],
@@ -184,12 +222,21 @@ class Executor:
 
     def run(self, specs: Sequence[JobSpec]) -> RunResult:
         """Execute a batch of specs; returns outcomes in input order."""
+        with obs.span("executor.run", n_jobs=len(specs),
+                      workers=self.workers):
+            return self._run(specs)
+
+    def _run(self, specs: Sequence[JobSpec]) -> RunResult:
         report = RunReport(workers=self.workers)
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
         pending: List[_Job] = []
+        trace_id = obs.current_trace_id()
+        if obs.enabled():
+            obs.counter("executor.jobs").inc(len(specs))
 
         for index, spec in enumerate(specs):
             key = spec.key(self.salt)
+            started = utc_now_iso()
             t0 = time.perf_counter()
             if self.cache is not None:
                 found, value = self.cache.get(key)
@@ -197,7 +244,8 @@ class Executor:
                     record = JobRecord(
                         label=spec.display_label, key=key,
                         status=STATUS_HIT, mode=MODE_CACHED, attempts=0,
-                        wall_time=time.perf_counter() - t0)
+                        wall_time=time.perf_counter() - t0,
+                        started_at=started, trace_id=trace_id)
                     outcomes[index] = JobOutcome(spec, key, value, record)
                     continue
             pending.append((index, spec, key))
@@ -206,7 +254,17 @@ class Executor:
         if self.workers > 1:
             pool_jobs = [job for job in pending if job[1].portable]
             serial_jobs = [job for job in pending if not job[1].portable]
-            serial_jobs += self._run_pool(pool_jobs, outcomes)
+            if serial_jobs:
+                _LOG.debug("%d non-portable job(s) stay in-process",
+                           len(serial_jobs))
+            degraded = self._run_pool(pool_jobs, outcomes)
+            if degraded:
+                _LOG.warning("pool degraded: %d job(s) fall back to "
+                             "serial execution", len(degraded))
+                if obs.enabled():
+                    obs.counter("executor.fallback_serial").inc(
+                        len(degraded))
+            serial_jobs += degraded
 
         for index, spec, key in serial_jobs:
             outcomes[index] = self._run_serial(spec, key)
@@ -217,7 +275,9 @@ class Executor:
             if (self.cache is not None
                     and outcome.record.status == STATUS_OK):
                 self.cache.put(outcome.key, outcome.value)
-        return RunResult(list(outcomes), report.finish())
+        finished = report.finish()
+        _LOG.info("run finished: %s", finished.summary().replace("\n", "; "))
+        return RunResult(list(outcomes), finished)
 
     def map(self, fn: Any, params_list: Sequence[Dict[str, Any]],
             label: str = "") -> RunResult:
@@ -242,35 +302,46 @@ class Executor:
         try:
             pool = cf.ProcessPoolExecutor(
                 max_workers=min(self.workers, len(jobs)))
-        except (OSError, PermissionError, NotImplementedError, ValueError):
+        except (OSError, PermissionError, NotImplementedError, ValueError) \
+                as exc:
+            _LOG.warning("cannot spawn worker processes (%s); running "
+                         "serially", self._describe(exc))
             return jobs
 
         attempts = {index: 0 for index, _spec, _key in jobs}
         spent = {index: 0.0 for index, _spec, _key in jobs}
+        started: Dict[int, str] = {}
         errors: Dict[int, str] = {}
         degraded: List[_Job] = []
         remaining = list(jobs)
         abandoned = False
         round_number = 0
+        trace_id = obs.current_trace_id()
+        ctx = obs.current_context()
 
         try:
             while remaining:
                 round_number += 1
                 if round_number > 1:
-                    time.sleep(self.backoff * 2 ** (round_number - 2))
+                    delay = self.backoff * 2 ** (round_number - 2)
+                    with obs.span("executor.backoff", round=round_number,
+                                  delay_s=delay, jobs=len(remaining)):
+                        time.sleep(delay)
                 submitted: List[Tuple[cf.Future, _Job]] = []
                 for job in remaining:
                     index, spec, _key = job
                     attempts[index] += 1
+                    started.setdefault(index, utc_now_iso())
                     submitted.append(
-                        (pool.submit(_invoke, spec.ref, spec.param_dict()),
+                        (pool.submit(_invoke, spec.ref, spec.param_dict(),
+                                     ctx),
                          job))
                 retry_round: List[_Job] = []
                 for future, job in submitted:
                     index, spec, key = job
                     t0 = time.perf_counter()
                     try:
-                        value = future.result(timeout=self.timeout)
+                        value = _unship(future.result(timeout=self.timeout))
                     except BrokenProcessPool:
                         raise  # the outer handler degrades survivors
                     except cf.TimeoutError:
@@ -279,16 +350,25 @@ class Executor:
                         spent[index] += time.perf_counter() - t0
                         errors[index] = (f"timeout after {self.timeout} s "
                                          f"(attempt {attempts[index]})")
+                        _LOG.warning("job %s: %s", spec.display_label,
+                                     errors[index])
+                        if obs.enabled():
+                            obs.counter("executor.timeout").inc()
                         self._retry_or_fail(job, attempts, spent, errors,
-                                            outcomes, retry_round, MODE_POOL)
+                                            outcomes, retry_round, MODE_POOL,
+                                            started)
                     except Exception as exc:
                         spent[index] += time.perf_counter() - t0
                         if _is_pickle_error(exc):
                             degraded.append(job)
                             continue
                         errors[index] = self._describe(exc)
+                        _LOG.warning("job %s attempt %d failed: %s",
+                                     spec.display_label, attempts[index],
+                                     errors[index])
                         self._retry_or_fail(job, attempts, spent, errors,
-                                            outcomes, retry_round, MODE_POOL)
+                                            outcomes, retry_round, MODE_POOL,
+                                            started)
                     else:
                         spent[index] += time.perf_counter() - t0
                         outcomes[index] = JobOutcome(
@@ -296,10 +376,13 @@ class Executor:
                             JobRecord(label=spec.display_label, key=key,
                                       status=STATUS_OK, mode=MODE_POOL,
                                       attempts=attempts[index],
-                                      wall_time=spent[index]))
+                                      wall_time=spent[index],
+                                      started_at=started.get(index),
+                                      trace_id=trace_id))
                 remaining = retry_round
         except BrokenProcessPool:
-            pass  # survivors degrade below
+            _LOG.warning("worker pool broke mid-run; surviving jobs "
+                         "degrade to serial execution")
         finally:
             try:
                 pool.shutdown(wait=not abandoned, cancel_futures=True)
@@ -314,17 +397,24 @@ class Executor:
     def _retry_or_fail(self, job: _Job, attempts: Dict[int, int],
                        spent: Dict[int, float], errors: Dict[int, str],
                        outcomes: List[Optional[JobOutcome]],
-                       retry_round: List[_Job], mode: str) -> None:
+                       retry_round: List[_Job], mode: str,
+                       started: Optional[Dict[int, str]] = None) -> None:
         index, spec, key = job
         if attempts[index] <= self.retries:
+            if obs.enabled():
+                obs.counter("executor.retry").inc()
             retry_round.append(job)
         else:
+            if obs.enabled():
+                obs.counter("executor.failed").inc()
             outcomes[index] = JobOutcome(
                 spec, key, None,
                 JobRecord(label=spec.display_label, key=key,
                           status=STATUS_FAILED, mode=mode,
                           attempts=attempts[index],
-                          wall_time=spent[index], error=errors.get(index)))
+                          wall_time=spent[index], error=errors.get(index),
+                          started_at=(started or {}).get(index),
+                          trace_id=obs.current_trace_id()))
 
     # -- serial path --------------------------------------------------------
 
@@ -333,28 +423,45 @@ class Executor:
         params = spec.param_dict()
         spent = 0.0
         error: Optional[str] = None
-        for attempt in range(1, self.retries + 2):
-            if attempt > 1:
-                time.sleep(self.backoff * 2 ** (attempt - 2))
-            t0 = time.perf_counter()
-            try:
-                value = _call_with_timeout(fn, params, self.timeout)
-            except Exception as exc:
-                spent += time.perf_counter() - t0
-                error = self._describe(exc)
-            else:
-                spent += time.perf_counter() - t0
-                return JobOutcome(
-                    spec, key, value,
-                    JobRecord(label=spec.display_label, key=key,
-                              status=STATUS_OK, mode=MODE_SERIAL,
-                              attempts=attempt, wall_time=spent))
+        started = utc_now_iso()
+        trace_id = obs.current_trace_id()
+        with obs.span("executor.job", label=spec.display_label,
+                      mode="serial"):
+            for attempt in range(1, self.retries + 2):
+                if attempt > 1:
+                    delay = self.backoff * 2 ** (attempt - 2)
+                    with obs.span("executor.backoff", attempt=attempt,
+                                  delay_s=delay):
+                        time.sleep(delay)
+                    if obs.enabled():
+                        obs.counter("executor.retry").inc()
+                t0 = time.perf_counter()
+                try:
+                    with obs.span("executor.attempt", attempt=attempt):
+                        value = _call_with_timeout(fn, params, self.timeout)
+                except Exception as exc:
+                    spent += time.perf_counter() - t0
+                    error = self._describe(exc)
+                    if isinstance(exc, JobTimeout) and obs.enabled():
+                        obs.counter("executor.timeout").inc()
+                    _LOG.warning("job %s attempt %d failed: %s",
+                                 spec.display_label, attempt, error)
+                else:
+                    spent += time.perf_counter() - t0
+                    return JobOutcome(
+                        spec, key, value,
+                        JobRecord(label=spec.display_label, key=key,
+                                  status=STATUS_OK, mode=MODE_SERIAL,
+                                  attempts=attempt, wall_time=spent,
+                                  started_at=started, trace_id=trace_id))
+        if obs.enabled():
+            obs.counter("executor.failed").inc()
         return JobOutcome(
             spec, key, None,
             JobRecord(label=spec.display_label, key=key,
                       status=STATUS_FAILED, mode=MODE_SERIAL,
                       attempts=self.retries + 1, wall_time=spent,
-                      error=error))
+                      error=error, started_at=started, trace_id=trace_id))
 
     @staticmethod
     def _describe(exc: BaseException) -> str:

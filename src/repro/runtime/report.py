@@ -13,9 +13,15 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional
 
 from ..io.tables import format_table
+
+
+def utc_now_iso() -> str:
+    """Current UTC time as ISO-8601 (the ``started_at`` format)."""
+    return datetime.now(timezone.utc).isoformat(timespec="microseconds")
 
 #: JobRecord.status values.
 STATUS_HIT = "hit"        # served from the result cache
@@ -39,6 +45,14 @@ class JobRecord:
     attempts: int = 1
     wall_time: float = 0.0
     error: Optional[str] = None
+    #: ISO-8601 UTC timestamp of when the executor first touched the
+    #: job (cache lookup or first attempt) -- makes CI artifacts
+    #: orderable across runs.
+    started_at: Optional[str] = None
+    #: Trace id of the observability trace active during the run
+    #: (None when tracing was disabled) -- correlates JobRecords with
+    #: span logs.
+    trace_id: Optional[str] = None
 
     @property
     def retries(self) -> int:
@@ -50,6 +64,8 @@ class JobRecord:
                 "mode": self.mode, "attempts": self.attempts,
                 "retries": self.retries,
                 "wall_time_s": round(self.wall_time, 6),
+                "started_at": self.started_at,
+                "trace_id": self.trace_id,
                 "error": self.error}
 
 

@@ -1,8 +1,28 @@
 """CLI tests (``python -m repro``)."""
 
+import json
+
 import pytest
 
+from repro import __version__, obs
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _clean_observer():
+    """--trace/--log-level toggle process-global observer state; never
+    leak it across tests."""
+    yield
+    obs.disable()
+    obs.drain_spans()
+    obs.reset_metrics()
+    import logging
+
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
 
 
 class TestTruthTable:
@@ -110,3 +130,83 @@ class TestSweep:
 
         with pytest.raises(SystemExit):
             main(["sweep", "nand"])
+
+    def test_sweep_prints_cache_line(self, tmp_path, capsys):
+        argv = ["--workers", "1", "sweep", "xor", "--tier", "network",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 hits / 4 misses" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache: 4 hits / 0 misses (100 % hit rate), 0 writes" in out
+
+    def test_sweep_no_cache_prints_disabled(self, capsys):
+        assert main(["--no-cache", "sweep", "xor",
+                     "--tier", "network"]) == 0
+        assert "cache: disabled" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestLogLevel:
+    def test_log_level_enables_repro_logging(self, tmp_path, capsys):
+        argv = ["--log-level", "info", "--workers", "1",
+                "sweep", "xor", "--tier", "network",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "repro.runtime.executor" in err
+
+    def test_unknown_level_exits_2(self, capsys):
+        assert main(["--log-level", "loud", "truth-table", "maj3"]) == 2
+        assert "unknown log level" in capsys.readouterr().err
+
+
+class TestTraceAndProfile:
+    def test_profile_network_tier(self, capsys):
+        assert main(["profile", "maj3", "--tier", "network"]) == 0
+        out = capsys.readouterr().out
+        assert "MAJ3 111 @ network tier" in out
+        assert "gate_case" in out
+
+    def test_profile_rejects_bad_bits(self, capsys):
+        assert main(["profile", "maj3", "--bits", "01"]) == 2
+        assert "must be 3 binary digits" in capsys.readouterr().err
+
+    def test_trace_jsonl_from_sweep(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(trace), "--no-cache", "--workers", "1",
+                     "sweep", "xor", "--tier", "network"]) == 0
+        err = capsys.readouterr().err
+        assert "trace written to" in err and "jsonl format" in err
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert {"sweep", "executor.run", "gate_case"} <= names
+
+    def test_trace_profile_fdtd_nested_spans(self, tmp_path, capsys):
+        # The ISSUE acceptance criterion: a Chrome trace with nested
+        # fdtd.step spans under the gate-case span (slow: real FDTD run).
+        trace = tmp_path / "trace.json"
+        assert main(["--trace", str(trace),
+                     "profile", "xor", "--tier", "fdtd"]) == 0
+        out = capsys.readouterr().out
+        assert "fdtd.step" in out  # top-spans table
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert all(ev["ph"] == "X" for ev in events)
+        by_id = {ev["args"]["span_id"]: ev for ev in events}
+        step = next(ev for ev in events if ev["name"] == "fdtd.step")
+        chain = []
+        while step is not None:
+            chain.append(step["name"])
+            step = by_id.get(step["args"].get("parent_id"))
+        assert chain[0] == "fdtd.step"
+        assert "gate_case" in chain and chain[-1] == "profile"
