@@ -30,10 +30,17 @@ Subpackages
     ablation benches submit through it.
 ``repro.obs``
     Observability: opt-in span tracer (with cross-process context
-    propagation), metrics registry, JSONL/Chrome-trace/ASCII
-    exporters, and the ``repro`` logger hierarchy.  ``python -m repro
-    --trace FILE``, ``--log-level`` and the ``profile`` subcommand sit
-    on top of it.
+    propagation), metrics registry, JSONL/Chrome-trace/ASCII/
+    Prometheus exporters, and the ``repro`` logger hierarchy.
+    ``python -m repro --trace FILE``, ``--log-level`` and the
+    ``profile`` subcommand sit on top of it.
+``repro.serve``
+    The runtime engine behind an asyncio HTTP service (stdlib only):
+    single-flight request coalescing, micro-batching, bounded-queue +
+    token-bucket backpressure (429), Prometheus ``/metrics``, JSONL
+    access logs and graceful drain.  ``python -m repro serve`` runs
+    one; ``repro.serve.ServeClient`` talks to it.  Imported lazily --
+    ``import repro`` stays service-free.
 ``repro.io`` / ``repro.viz``
     OVF interchange, ASCII tables, field-map rendering.
 

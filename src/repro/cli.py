@@ -15,7 +15,13 @@ Python:
   patterns, content-addressed-cached across invocations;
 * ``profile maj3|xor [--tier ...]`` -- run one gate case under the
   span tracer (:mod:`repro.obs`) and print the top spans by
-  cumulative time.
+  cumulative time;
+* ``serve [--port --workers --max-queue --rate ...]`` -- the HTTP
+  gate-evaluation service (:mod:`repro.serve`): single-flight
+  coalescing, micro-batching, 429 backpressure, ``/metrics`` and
+  graceful drain on SIGTERM;
+* ``cache stats|prune [--max-bytes N]`` -- inspect the on-disk result
+  cache or evict least-recently-used entries down to a byte budget.
 
 Global flags (before the subcommand): ``--workers N`` fans cache
 misses out over N worker processes (0 = one per CPU); ``--no-cache``
@@ -246,6 +252,59 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import GateService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+        batch_window_ms=args.batch_window_ms, batch_max=args.batch_max,
+        timeout=args.timeout, access_log=args.access_log,
+        drain_timeout=args.drain_timeout)
+    return GateService(config).run()
+
+
+def _parse_size(text: str) -> int:
+    """Byte count with optional K/M/G suffix (binary units)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    text = text.strip().lower().rstrip("b")
+    factor = 1
+    if text and text[-1] in units:
+        factor = units[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r}; use e.g. 500000, 500K, 64M, 2G")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .io.tables import format_table
+    from .runtime.cache import cache_stats, prune_cache
+
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print("cache prune: --max-bytes is required "
+                  "(0 empties the cache)", file=sys.stderr)
+            return 2
+        result = prune_cache(args.cache_dir, args.max_bytes)
+        print(f"pruned {result.removed} of {result.scanned} entries "
+              f"({result.freed_bytes} bytes freed); "
+              f"{result.kept} entries / {result.kept_bytes} bytes kept")
+        return 0
+
+    usage = cache_stats(args.cache_dir)
+    rows = [[salt, str(n), f"{size / 1024:.1f}"]
+            for salt, (n, size) in sorted(usage.by_salt.items())]
+    rows.append(["total", str(usage.entries),
+                 f"{usage.total_bytes / 1024:.1f}"])
+    print(format_table(["salt", "entries", "KiB"], rows,
+                       title=f"result cache at {usage.root}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -337,6 +396,62 @@ def build_parser() -> argparse.ArgumentParser:
                            help="span names to show in the summary "
                                 "(default 12)")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP gate-evaluation service (coalescing, batching, "
+             "backpressure; see docs/SERVING.md)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8077,
+                         help="TCP port (default 8077; 0 = ephemeral)")
+    p_serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                         help="jobs queued-or-running before new work "
+                              "is rejected with 429 (default 64)")
+    p_serve.add_argument("--rate", type=float, default=None, metavar="R",
+                         help="token-bucket admission rate in new "
+                              "jobs/s (default unlimited)")
+    p_serve.add_argument("--burst", type=float, default=None, metavar="B",
+                         help="token-bucket burst capacity "
+                              "(default max(1, rate))")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         metavar="MS",
+                         help="micro-batch collection window for "
+                              "network-tier requests (default 2 ms)")
+    p_serve.add_argument("--batch-max", type=int, default=16, metavar="N",
+                         help="flush a micro-batch at this many jobs "
+                              "(default 16)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-time bound for solver "
+                              "tiers [s]")
+    p_serve.add_argument("--cache-dir", default=".repro_cache",
+                         help="result-cache directory")
+    p_serve.add_argument("--access-log", metavar="PATH", default=None,
+                         help="write a JSONL access log to PATH")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="max seconds to wait for in-flight work "
+                              "on shutdown (default 30)")
+    p_serve.add_argument("--workers", type=int, metavar="N",
+                         default=argparse.SUPPRESS,
+                         help=argparse.SUPPRESS)
+    p_serve.add_argument("--no-cache", action="store_true",
+                         default=argparse.SUPPRESS,
+                         help=argparse.SUPPRESS)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or prune the on-disk result cache")
+    p_cache.add_argument("action", choices=["stats", "prune"])
+    p_cache.add_argument("--cache-dir", default=".repro_cache",
+                         help="result-cache directory")
+    p_cache.add_argument("--max-bytes", type=_parse_size, default=None,
+                         metavar="N",
+                         help="prune: evict least-recently-used entries "
+                              "until at most N bytes remain (suffixes "
+                              "K/M/G accepted; 0 empties the cache)")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

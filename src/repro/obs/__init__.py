@@ -12,7 +12,9 @@ those runs visible:
   named instruments such as ``cache.hit``, ``executor.retry``,
   ``llg.steps``, ``fdtd.cell_updates``;
 * **exporters** -- JSONL span logs, Chrome trace-event JSON (loadable
-  in Perfetto) and ASCII summary tables;
+  in Perfetto), ASCII summary tables and the Prometheus text format
+  (:func:`render_prometheus`, behind ``GET /metrics`` in
+  :mod:`repro.serve`);
 * **logging** -- the ``repro`` logger hierarchy
   (:func:`get_logger` / :func:`setup_logging`).
 
@@ -58,6 +60,7 @@ from .metrics import (
     gauge,
     histogram,
 )
+from .prometheus import render_prometheus
 from .trace import (
     NULL_SPAN,
     Span,
@@ -121,6 +124,7 @@ __all__ = [
     "ingest",
     "metrics_snapshot",
     "parse_level",
+    "render_prometheus",
     "reset_metrics",
     "setup_logging",
     "span",

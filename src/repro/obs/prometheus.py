@@ -1,0 +1,84 @@
+"""Prometheus text-format rendering of the metrics registry.
+
+Turns an :func:`repro.obs.metrics.snapshot` into the Prometheus
+exposition text format (version 0.0.4), which is what a ``GET
+/metrics`` scrape endpoint must return.  Mapping:
+
+* counters  -> ``repro_<name>_total`` (``counter``);
+* gauges    -> ``repro_<name>`` (``gauge``; unset gauges are omitted);
+* histograms -> ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+  The registry keeps coarse power-of-two buckets (bucket *i* counts
+  observations in ``[2**(i-1), 2**i)``), so the exported ``le`` bounds
+  are the powers of two -- coarse but cumulative and monotone, exactly
+  what quantile estimation over scrapes needs.
+
+Metric names are sanitised (dots and other invalid characters become
+underscores): ``cache.hit`` -> ``repro_cache_hit_total``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from . import metrics as _metrics
+
+__all__ = ["render_prometheus"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitised fully-qualified Prometheus metric name."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _INVALID.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: Optional[Dict[str, Dict[str, Any]]] = None,
+                      prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    ``snapshot`` defaults to the live registry.  The output ends with a
+    newline, as the exposition format requires.
+    """
+    if snapshot is None:
+        snapshot = _metrics.snapshot()
+    lines: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        full = metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_format_value(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        full = metric_name(name, prefix)
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_format_value(value)}")
+
+    for name, data in snapshot.get("histograms", {}).items():
+        full = metric_name(name, prefix)
+        lines.append(f"# TYPE {full} histogram")
+        cumulative = 0
+        # Registry buckets are keyed by the integer exponent i; the
+        # upper bound of bucket i is 2**i (bucket 0 holds <= 1).
+        buckets = {int(k): v for k, v in (data.get("buckets") or {}).items()}
+        for exponent in sorted(buckets):
+            cumulative += buckets[exponent]
+            bound = 1 if exponent <= 0 else 2 ** exponent
+            lines.append(f'{full}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{full}_bucket{{le="+Inf"}} {data.get("count", 0)}')
+        lines.append(f"{full}_sum {_format_value(data.get('sum', 0.0))}")
+        lines.append(f"{full}_count {data.get('count', 0)}")
+
+    return "\n".join(lines) + "\n"

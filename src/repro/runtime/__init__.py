@@ -33,12 +33,19 @@ Quickstart
 See ``docs/RUNTIME.md`` for the job model and the cache layout.
 """
 
+from .aio import run_async, submit_async
 from .cache import (
     DEFAULT_CACHE_ROOT,
     CacheStats,
+    CacheUsage,
     DiskCache,
     MemoryCache,
+    PruneResult,
     ResultCache,
+    atomic_write,
+    cache_stats,
+    prune_cache,
+    scan_cache,
 )
 from .executor import (
     Executor,
@@ -46,12 +53,14 @@ from .executor import (
     JobOutcome,
     JobTimeout,
     RunResult,
+    backoff_delay,
 )
 from .report import JobRecord, RunReport
 from .spec import JobSpec, callable_ref, canonical_json, job_key, resolve_ref
 
 __all__ = [
     "CacheStats",
+    "CacheUsage",
     "DEFAULT_CACHE_ROOT",
     "DiskCache",
     "Executor",
@@ -61,11 +70,19 @@ __all__ = [
     "JobSpec",
     "JobTimeout",
     "MemoryCache",
+    "PruneResult",
     "ResultCache",
     "RunReport",
     "RunResult",
+    "atomic_write",
+    "backoff_delay",
+    "cache_stats",
     "callable_ref",
     "canonical_json",
     "job_key",
+    "prune_cache",
     "resolve_ref",
+    "run_async",
+    "scan_cache",
+    "submit_async",
 ]

@@ -1,0 +1,46 @@
+"""Asyncio bridge onto the blocking :class:`Executor`.
+
+The orchestration engine is deliberately synchronous -- ``Executor.run``
+blocks until the batch is done, which is the right shape for sweeps and
+benches.  A long-lived asyncio application (the gate-evaluation service
+in :mod:`repro.serve`) must not block its event loop on a solver run,
+so these helpers hand the call to a thread and suspend the coroutine
+until it returns.
+
+Thread-safety notes: each ``Executor.run`` call builds its own report
+and (if needed) its own process pool, so concurrent calls from several
+bridge threads are independent.  The caches are shared and safe --
+``DiskCache`` writes are atomic (temp file + ``os.replace``) and
+``MemoryCache`` is a plain dict under the GIL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional, Sequence
+
+from .executor import Executor, JobOutcome, RunResult
+from .spec import JobSpec
+
+__all__ = ["run_async", "submit_async"]
+
+
+async def run_async(executor: Executor, specs: Sequence[JobSpec],
+                    pool: Optional[Any] = None) -> RunResult:
+    """Run a batch on ``executor`` without blocking the event loop.
+
+    The blocking :meth:`Executor.run` is dispatched to ``pool`` (a
+    ``concurrent.futures.Executor``; None means the loop's default
+    thread pool) and awaited.  Cancelling the coroutine abandons the
+    wait but cannot abort the already-running batch -- the same
+    semantics as the executor's own timeout handling.
+    """
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(pool, executor.run, list(specs))
+
+
+async def submit_async(executor: Executor, spec: JobSpec,
+                       pool: Optional[Any] = None) -> JobOutcome:
+    """Run a single spec through the bridge; returns its outcome."""
+    result = await run_async(executor, [spec], pool=pool)
+    return result.outcomes[0]

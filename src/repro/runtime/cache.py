@@ -19,8 +19,14 @@ Disk layout::
           <key>.npz           # ndarray sidecar (only when needed)
 
 Corrupt or half-written entries are treated as misses, never errors:
-writes go through a temp file + ``os.replace`` so concurrent sweeps on
-the same cache directory are safe.
+writes go through a temp file + ``os.replace`` (:func:`atomic_write`)
+so concurrent sweeps on the same cache directory are safe.
+
+Long-lived consumers (``python -m repro serve``) keep the store from
+growing unboundedly with :func:`prune_cache` / :meth:`DiskCache.prune`
+-- mtime-LRU eviction down to a byte budget; reads touch the entry's
+mtime so recently-served results survive a prune.  ``python -m repro
+cache stats|prune`` exposes both from the command line.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import os
 import re
 import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +45,24 @@ from .. import obs
 DEFAULT_CACHE_ROOT = ".repro_cache"
 
 _LOG = obs.get_logger("runtime.cache")
+
+
+def atomic_write(path: str, writer: Callable[[Any], Any]) -> None:
+    """Write a file atomically: temp file in the same directory, then
+    ``os.replace``.  A reader never sees a half-written file and a
+    killed writer leaves at worst an orphaned ``.tmp-*.part``."""
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(os.path.abspath(path)),
+                               prefix=".tmp-", suffix=".part")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -242,6 +266,11 @@ class DiskCache(ResultCache):
             if obs.enabled():
                 obs.counter("cache.corrupt").inc()
             return False, None
+        try:
+            # Touch the entry so mtime-LRU pruning keeps hot results.
+            os.utime(json_path)
+        except OSError:
+            pass
         if obs.enabled():
             obs.counter("cache.bytes_read").inc(bytes_read)
         return True, value
@@ -254,8 +283,8 @@ class DiskCache(ResultCache):
                     "arrays": sorted(arrays), "value": payload}
         os.makedirs(os.path.dirname(json_path), exist_ok=True)
         if arrays:
-            self._atomic_write(npz_path, lambda fh: np.savez(fh, **arrays))
-        self._atomic_write(
+            atomic_write(npz_path, lambda fh: np.savez(fh, **arrays))
+        atomic_write(
             json_path,
             lambda fh: fh.write(json.dumps(document).encode("utf-8")))
         if obs.enabled():
@@ -264,17 +293,159 @@ class DiskCache(ResultCache):
                 written += os.path.getsize(npz_path)
             obs.counter("cache.bytes_written").inc(written)
 
-    @staticmethod
-    def _atomic_write(path: str, writer) -> None:
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   prefix=".tmp-", suffix=".part")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                writer(handle)
-            os.replace(tmp, path)
-        except BaseException:
+    # Kept as a method alias: external writers of cache-adjacent
+    # artifacts used this before atomic_write became module-level.
+    _atomic_write = staticmethod(atomic_write)
+
+    def usage(self) -> "CacheUsage":
+        """On-disk footprint of this cache's salt namespace."""
+        return cache_stats(self.root, salts=[os.path.basename(
+            self.directory)])
+
+    def prune(self, max_bytes: int) -> "PruneResult":
+        """mtime-LRU eviction of this salt namespace down to
+        ``max_bytes`` (see :func:`prune_cache`)."""
+        return prune_cache(self.root, max_bytes,
+                           salts=[os.path.basename(self.directory)])
+
+
+# -- maintenance: usage accounting and mtime-LRU pruning --------------------
+
+@dataclass
+class CacheEntry:
+    """One on-disk result: the JSON document plus its npz sidecar."""
+
+    key: str
+    salt_dir: str               # namespace directory name under root
+    json_path: str
+    npz_path: Optional[str]     # None when the entry has no sidecar
+    size_bytes: int             # json + sidecar
+    mtime: float                # of the JSON document (touched on read)
+
+    @property
+    def paths(self) -> List[str]:
+        return [self.json_path] + ([self.npz_path] if self.npz_path else [])
+
+
+@dataclass
+class CacheUsage:
+    """Aggregate on-disk cache footprint (``repro cache stats``)."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    by_salt: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: (entries, bytes) per salt namespace.
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"root": self.root, "entries": self.entries,
+                "total_bytes": self.total_bytes,
+                "by_salt": {salt: {"entries": n, "bytes": size}
+                            for salt, (n, size) in
+                            sorted(self.by_salt.items())}}
+
+
+@dataclass
+class PruneResult:
+    """Outcome of one :func:`prune_cache` pass."""
+
+    scanned: int = 0
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"scanned": self.scanned, "removed": self.removed,
+                "freed_bytes": self.freed_bytes, "kept": self.kept,
+                "kept_bytes": self.kept_bytes}
+
+
+def scan_cache(root: str = DEFAULT_CACHE_ROOT,
+               salts: Optional[List[str]] = None) -> List[CacheEntry]:
+    """Enumerate cache entries under ``root`` (all salt namespaces, or
+    the named subset).  Orphaned temp files and sidecars without their
+    JSON document are ignored; a vanished file mid-scan is skipped."""
+    entries: List[CacheEntry] = []
+    try:
+        namespaces = sorted(os.listdir(root))
+    except OSError:
+        return entries
+    for salt_dir in namespaces:
+        if salts is not None and salt_dir not in salts:
+            continue
+        directory = os.path.join(root, salt_dir)
+        if not os.path.isdir(directory):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(directory):
+            for name in filenames:
+                if not name.endswith(".json"):
+                    continue
+                json_path = os.path.join(dirpath, name)
+                npz_path: Optional[str] = os.path.join(
+                    dirpath, name[:-len(".json")] + ".npz")
+                try:
+                    stat = os.stat(json_path)
+                    size = stat.st_size
+                    if os.path.exists(npz_path):
+                        size += os.path.getsize(npz_path)
+                    else:
+                        npz_path = None
+                except OSError:
+                    continue  # deleted under us (concurrent prune)
+                entries.append(CacheEntry(
+                    key=name[:-len(".json")], salt_dir=salt_dir,
+                    json_path=json_path, npz_path=npz_path,
+                    size_bytes=size, mtime=stat.st_mtime))
+    return entries
+
+
+def cache_stats(root: str = DEFAULT_CACHE_ROOT,
+                salts: Optional[List[str]] = None) -> CacheUsage:
+    """Entry count and byte footprint of the on-disk cache."""
+    usage = CacheUsage(root=root)
+    for entry in scan_cache(root, salts=salts):
+        usage.entries += 1
+        usage.total_bytes += entry.size_bytes
+        n, size = usage.by_salt.get(entry.salt_dir, (0, 0))
+        usage.by_salt[entry.salt_dir] = (n + 1, size + entry.size_bytes)
+    return usage
+
+
+def prune_cache(root: str = DEFAULT_CACHE_ROOT,
+                max_bytes: int = 0,
+                salts: Optional[List[str]] = None) -> PruneResult:
+    """Evict least-recently-used entries until ``root`` holds at most
+    ``max_bytes``.
+
+    "Recently used" is the JSON document's mtime: :class:`DiskCache`
+    touches it on every hit, so the eviction order is true LRU, not
+    insertion order.  ``max_bytes=0`` empties the cache.  Safe against
+    concurrent readers (they treat a vanished entry as a miss) and
+    concurrent pruners (already-deleted files are skipped).
+    """
+    entries = scan_cache(root, salts=salts)
+    result = PruneResult(scanned=len(entries))
+    total = sum(e.size_bytes for e in entries)
+    for entry in sorted(entries, key=lambda e: e.mtime):
+        if total <= max_bytes:
+            break
+        freed = 0
+        for path in entry.paths:
             try:
-                os.unlink(tmp)
+                size = os.path.getsize(path)
+                os.unlink(path)
+                freed += size
             except OSError:
-                pass
-            raise
+                pass  # concurrent prune got it first
+        total -= entry.size_bytes
+        result.removed += 1
+        result.freed_bytes += freed
+    result.kept = result.scanned - result.removed
+    result.kept_bytes = max(0, total)
+    if obs.enabled() and result.removed:
+        obs.counter("cache.pruned").inc(result.removed)
+        obs.counter("cache.pruned_bytes").inc(result.freed_bytes)
+    _LOG.info("pruned %d of %d entries (%d bytes freed)",
+              result.removed, result.scanned, result.freed_bytes)
+    return result

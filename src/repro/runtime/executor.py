@@ -57,6 +57,17 @@ from .spec import JobSpec, resolve_ref
 _LOG = obs.get_logger("runtime.executor")
 
 
+def backoff_delay(base: float, retry_index: int) -> float:
+    """Exponential backoff before the ``retry_index``-th retry (1-based).
+
+    ``base * 2**(retry_index - 1)`` seconds -- the executor's retry
+    policy, shared by :class:`repro.serve.client.ServeClient` so a
+    client backing off from an overloaded server paces itself the same
+    way the engine paces failing jobs.
+    """
+    return base * 2 ** max(0, retry_index - 1)
+
+
 class JobTimeout(Exception):
     """A job attempt exceeded the executor's per-job timeout."""
 
@@ -323,7 +334,7 @@ class Executor:
             while remaining:
                 round_number += 1
                 if round_number > 1:
-                    delay = self.backoff * 2 ** (round_number - 2)
+                    delay = backoff_delay(self.backoff, round_number - 1)
                     with obs.span("executor.backoff", round=round_number,
                                   delay_s=delay, jobs=len(remaining)):
                         time.sleep(delay)
@@ -429,7 +440,7 @@ class Executor:
                       mode="serial"):
             for attempt in range(1, self.retries + 2):
                 if attempt > 1:
-                    delay = self.backoff * 2 ** (attempt - 2)
+                    delay = backoff_delay(self.backoff, attempt - 1)
                     with obs.span("executor.backoff", attempt=attempt,
                                   delay_s=delay):
                         time.sleep(delay)

@@ -168,7 +168,14 @@ class RunReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def dump_json(self, path: str) -> None:
-        """Write the report as JSON (the CI smoke-sweep artifact)."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        """Write the report as JSON (the CI smoke-sweep artifact).
+
+        The write is atomic (temp file + ``os.replace``, the same path
+        the disk cache uses): a run killed mid-dump can truncate
+        neither a fresh artifact nor the previous one, and the payload
+        is fully serialised before the target is touched.
+        """
+        from .cache import atomic_write
+
+        data = (self.to_json() + "\n").encode("utf-8")
+        atomic_write(path, lambda handle: handle.write(data))

@@ -1,0 +1,597 @@
+"""The asyncio HTTP gate-evaluation service.
+
+A stdlib-only (``asyncio`` streams + ``http``-module primitives) JSON
+API over the reproduction:
+
+* ``POST /v1/gate``  -- evaluate one input pattern of a gate;
+* ``POST /v1/sweep`` -- the full 2^n truth table in one request
+  (fanned through the pipeline, so patterns coalesce/batch/cache
+  individually);
+* ``GET /healthz``   -- liveness + drain state;
+* ``GET /metrics``   -- Prometheus text format rendered from the
+  :mod:`repro.obs` metrics registry.
+
+Production semantics live in :class:`repro.serve.pipeline.GatePipeline`
+(single-flight coalescing, micro-batching, bounded admission queue,
+token-bucket rate limiting); this module adds the HTTP mechanics:
+keep-alive connection handling with bounded request sizes, JSONL
+access logs with request/trace-id propagation, ``429 Retry-After``
+overload responses, and graceful drain on SIGTERM/SIGINT (stop
+accepting, finish in-flight requests, flush logs and span artifacts).
+
+Two executors back the pipeline: a serial in-process one for the
+analytic network tier (microseconds per evaluation -- a process pool
+would only add latency) and a pooled one for the fdtd/llg solver
+tiers, both sharing one result cache.
+
+Embedding: :class:`ServerThread` runs a service on a daemon thread
+with its own event loop -- how the tests, the throughput benchmark and
+notebook users host it in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http import HTTPStatus
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..runtime.cache import DEFAULT_CACHE_ROOT, DiskCache, ResultCache
+from ..runtime.executor import Executor, JobFailed
+from ..runtime.report import utc_now_iso
+from ..runtime.spec import JobSpec
+from .pipeline import GatePipeline, Overloaded, ServedResult
+
+_LOG = obs.get_logger("serve.app")
+
+#: run_gate_case parameters accepted over the wire, beyond gate/bits/tier.
+_CASE_PARAMS = ("calibrated", "frequency", "n_d1", "cells_per_wavelength",
+                "temperature", "seed")
+_TIERS = ("network", "fdtd", "llg")
+
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 64
+MAX_BODY = 1 << 20          # 1 MiB of JSON is plenty for any request
+IDLE_TIMEOUT = 30.0         # keep-alive read timeout [s]
+SPAN_FLUSH_INTERVAL = 5.0   # background span-drain period [s]
+
+
+class BadRequest(Exception):
+    """Client error; maps to a 400 response with the message."""
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``python -m repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077                 # 0 = ephemeral (tests, benches)
+    workers: Optional[int] = None    # pool size for fdtd/llg jobs
+    cache_dir: Optional[str] = DEFAULT_CACHE_ROOT  # None = no cache
+    max_queue: int = 64
+    rate: Optional[float] = None     # new jobs/s (None = unlimited)
+    burst: Optional[float] = None
+    batch_window_ms: float = 2.0
+    batch_max: int = 16
+    timeout: Optional[float] = None  # per-job bound for solver tiers
+    access_log: Optional[str] = None  # JSONL access-log path
+    trace: Optional[str] = None      # periodic span flush target (JSONL)
+    drain_timeout: float = 30.0
+
+
+class AccessLog:
+    """Structured JSONL access log (one object per request)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":"))
+                           + "\n")
+        # Flush per record so the log survives a non-graceful death --
+        # it is an operational artifact, not a best-effort trace.
+        self._handle.flush()
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        try:
+            self._handle.flush()
+        finally:
+            self._handle.close()
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Dict[str, Any]:
+        if not self.body:
+            raise BadRequest("request body required")
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise BadRequest(f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise BadRequest("JSON body must be an object")
+        return payload
+
+
+class GateService:
+    """The service: owns the executors, pipeline, server and lifecycle."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.cache: Optional[ResultCache] = (
+            DiskCache(root=self.config.cache_dir)
+            if self.config.cache_dir else None)
+        # Network-tier jobs are microsecond-scale: keep them serial and
+        # in-process.  Solver tiers get the pool and the job timeout.
+        self.fast_executor = Executor(workers=1, cache=self.cache)
+        self.heavy_executor = Executor(workers=self.config.workers,
+                                       cache=self.cache,
+                                       timeout=self.config.timeout)
+        self.pipeline = GatePipeline(
+            self.fast_executor, cache=self.cache,
+            max_queue=self.config.max_queue, rate=self.config.rate,
+            burst=self.config.burst,
+            batch_window=self.config.batch_window_ms / 1e3,
+            batch_max=self.config.batch_max)
+        self.access_log: Optional[AccessLog] = None
+        self.port: Optional[int] = None  # actual port once bound
+        self._started = time.time()
+        self._draining = False
+        self._loop: Optional["asyncio.AbstractEventLoop"] = None
+        self._stop: Optional["asyncio.Event"] = None
+        self._own_observer = False
+        self._routes = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/v1/gate"): self._handle_gate,
+            ("POST", "/v1/sweep"): self._handle_sweep,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self) -> int:
+        """Blocking entry point (the CLI): serve until SIGTERM/SIGINT,
+        then drain; returns 0 on a clean shutdown."""
+        try:
+            asyncio.run(self.serve())
+        except KeyboardInterrupt:  # loops without signal handlers
+            pass
+        return 0
+
+    def request_shutdown(self) -> None:
+        """Begin graceful drain; safe to call from any thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    async def serve(self,
+                    ready: Optional[threading.Event] = None) -> None:
+        """Bind, serve until shutdown is requested, then drain."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._started = time.time()
+        # Own the observer unless the caller (e.g. ``--trace``) already
+        # attached one; owning it means metrics like cache.hit are live
+        # on /metrics and spans are flushed periodically so a
+        # long-lived server's collector cannot grow without bound.
+        self._own_observer = not obs.enabled()
+        if self._own_observer:
+            obs.enable()
+        if self.config.access_log:
+            self.access_log = AccessLog(self.config.access_log)
+        self._install_signal_handlers()
+
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        _LOG.info("serving on http://%s:%d (workers=%s, max_queue=%d, "
+                  "rate=%s)", self.config.host, self.port,
+                  self.config.workers, self.config.max_queue,
+                  self.config.rate)
+        flusher = self._loop.create_task(self._span_flusher())
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            try:
+                await asyncio.wait_for(self.pipeline.drain(),
+                                       self.config.drain_timeout)
+            except asyncio.TimeoutError:
+                _LOG.warning("drain timed out after %.1f s with %d jobs "
+                             "in flight", self.config.drain_timeout,
+                             self.pipeline.in_flight)
+            flusher.cancel()
+            try:
+                await flusher
+            except asyncio.CancelledError:
+                pass
+            self._flush_spans(final=True)
+            if self.access_log is not None:
+                self.access_log.close()
+            if self._own_observer:
+                obs.disable()
+            _LOG.info("drained; goodbye")
+
+    def _install_signal_handlers(self) -> None:
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(signum, self._stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without loop signals
+
+    async def _span_flusher(self) -> None:
+        while True:
+            await asyncio.sleep(SPAN_FLUSH_INTERVAL)
+            self._flush_spans()
+
+    def _flush_spans(self, final: bool = False) -> None:
+        """Bound the span collector: persist to the trace file if one
+        is configured, else discard.  Without this an always-on
+        observer would accumulate spans forever."""
+        if not self._own_observer:
+            return  # the enabling caller owns span collection
+        spans = obs.drain_spans()
+        if not spans or not self.config.trace:
+            return
+        try:
+            with open(self.config.trace, "a", encoding="utf-8") as handle:
+                for record in spans:
+                    handle.write(json.dumps(record, default=str) + "\n")
+        except OSError as exc:
+            if final:
+                _LOG.warning("could not flush %d spans: %s",
+                             len(spans), exc)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: "asyncio.StreamReader",
+                                 writer: "asyncio.StreamWriter") -> None:
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "?"
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer, client)
+                if not keep_alive or self._draining:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError):
+            pass  # client went away or idled out: routine
+        except BadRequest as exc:
+            try:
+                self._write_response(
+                    writer, HTTPStatus.BAD_REQUEST,
+                    self._json_body({"error": str(exc)}), keep_alive=False)
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+            self, reader: "asyncio.StreamReader") -> Optional[_Request]:
+        try:
+            line = await asyncio.wait_for(reader.readline(), IDLE_TIMEOUT)
+        except asyncio.TimeoutError:
+            return None  # idle keep-alive connection: close it
+        if not line:
+            return None
+        if len(line) > MAX_REQUEST_LINE:
+            raise BadRequest("request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise BadRequest("malformed request line")
+        method, target, version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADERS + 1):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADERS:
+                raise BadRequest("too many headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise BadRequest("malformed header")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise BadRequest(f"bad Content-Length {length_text!r}")
+        if length > MAX_BODY:
+            raise BadRequest(f"body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        headers["_http_version"] = version
+        return _Request(method=method, path=target.split("?", 1)[0],
+                        headers=headers, body=body)
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, request: _Request,
+                        writer: "asyncio.StreamWriter",
+                        client: str) -> bool:
+        t0 = time.perf_counter()
+        request_id = request.headers.get("x-request-id",
+                                         os.urandom(8).hex())
+        obs.counter("serve.requests").inc()
+        status = HTTPStatus.INTERNAL_SERVER_ERROR
+        body = b""
+        content_type = "application/json"
+        extra: List[Tuple[str, str]] = []
+        served: Optional[Dict[str, Any]] = None
+        with obs.span("serve.request", method=request.method,
+                      path=request.path, request_id=request_id):
+            try:
+                handler = self._routes.get((request.method, request.path))
+                if handler is None:
+                    if any(path == request.path
+                           for _m, path in self._routes):
+                        status = HTTPStatus.METHOD_NOT_ALLOWED
+                        body = self._json_body(
+                            {"error": f"method {request.method} not "
+                                      f"allowed on {request.path}"})
+                    else:
+                        status = HTTPStatus.NOT_FOUND
+                        body = self._json_body(
+                            {"error": f"no route {request.path}"})
+                else:
+                    status, payload, served = await handler(
+                        request, request_id)
+                    if request.path == "/metrics":
+                        content_type = "text/plain; version=0.0.4"
+                        body = payload.encode("utf-8")
+                    else:
+                        body = self._json_body(payload)
+            except BadRequest as exc:
+                status = HTTPStatus.BAD_REQUEST
+                body = self._json_body({"error": str(exc)})
+            except Overloaded as exc:
+                status = HTTPStatus.TOO_MANY_REQUESTS
+                retry_after = max(1, int(math.ceil(exc.retry_after)))
+                extra.append(("Retry-After", str(retry_after)))
+                body = self._json_body(
+                    {"error": exc.reason,
+                     "retry_after_s": round(exc.retry_after, 3)})
+            except JobFailed as exc:
+                status = HTTPStatus.INTERNAL_SERVER_ERROR
+                body = self._json_body({"error": f"evaluation failed: {exc}"})
+            except Exception as exc:  # never crash the connection loop
+                _LOG.exception("unhandled error serving %s %s",
+                               request.method, request.path)
+                status = HTTPStatus.INTERNAL_SERVER_ERROR
+                body = self._json_body(
+                    {"error": f"{type(exc).__name__}: {exc}"})
+
+        duration_ms = (time.perf_counter() - t0) * 1e3
+        obs.histogram("serve.latency_ms").observe(duration_ms)
+        obs.counter(f"serve.http_{status.value // 100}xx").inc()
+        keep_alive = (request.headers.get("connection", "").lower()
+                      != "close"
+                      and request.headers.get("_http_version") != "HTTP/1.0"
+                      and not self._draining)
+        self._write_response(writer, status, body, content_type=content_type,
+                             extra=extra, keep_alive=keep_alive,
+                             request_id=request_id)
+        await writer.drain()
+        if self.access_log is not None:
+            record = {"ts": utc_now_iso(), "client": client,
+                      "method": request.method, "path": request.path,
+                      "status": status.value,
+                      "duration_ms": round(duration_ms, 3),
+                      "bytes_out": len(body), "request_id": request_id,
+                      "trace_id": obs.current_trace_id()}
+            if served is not None:
+                record.update(served)
+            self.access_log.write(record)
+        return keep_alive
+
+    @staticmethod
+    def _json_body(payload: Any) -> bytes:
+        return (json.dumps(payload, separators=(",", ":"))
+                + "\n").encode("utf-8")
+
+    @staticmethod
+    def _write_response(writer: "asyncio.StreamWriter", status: HTTPStatus,
+                        body: bytes, content_type: str = "application/json",
+                        extra: Optional[List[Tuple[str, str]]] = None,
+                        keep_alive: bool = True,
+                        request_id: Optional[str] = None) -> None:
+        lines = [f"HTTP/1.1 {status.value} {status.phrase}",
+                 f"Content-Type: {content_type}",
+                 f"Content-Length: {len(body)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        if request_id:
+            lines.append(f"X-Request-Id: {request_id}")
+        for name, value in extra or []:
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+
+    # -- request validation -------------------------------------------------
+
+    def _build_spec(self, payload: Dict[str, Any],
+                    pattern: Optional[List[int]] = None
+                    ) -> Tuple[JobSpec, str]:
+        """Validate a gate request and build its JobSpec; returns the
+        spec and its tier."""
+        from ..micromag.experiments import GATE_ARITY
+
+        unknown = set(payload) - {"gate", "bits", "tier"} - set(_CASE_PARAMS)
+        if unknown:
+            raise BadRequest(f"unknown parameter(s): {sorted(unknown)}")
+        gate = payload.get("gate")
+        if gate not in GATE_ARITY:
+            raise BadRequest(f"unknown gate {gate!r}; choose from "
+                             f"{sorted(GATE_ARITY)}")
+        tier = payload.get("tier", "network")
+        if tier not in _TIERS:
+            raise BadRequest(f"unknown tier {tier!r}; choose from "
+                             f"{list(_TIERS)}")
+        bits = pattern if pattern is not None else payload.get("bits")
+        if (not isinstance(bits, (list, tuple))
+                or len(bits) != GATE_ARITY[gate]
+                or any(b not in (0, 1) for b in bits)):
+            raise BadRequest(f"bits must be {GATE_ARITY[gate]} values "
+                             f"of 0/1 for {gate}, got {bits!r}")
+        params: Dict[str, Any] = {
+            "gate": gate, "bits": [int(b) for b in bits], "tier": tier,
+            "calibrated": bool(payload.get("calibrated",
+                                           tier == "network"))}
+        for name in _CASE_PARAMS[1:]:
+            if payload.get(name) is not None:
+                params[name] = payload[name]
+        label = f"{gate}:{''.join(map(str, params['bits']))}@{tier}"
+        return JobSpec(fn="repro.micromag.experiments:run_gate_case",
+                       params=params, label=label), tier
+
+    async def _serve_spec(self, spec: JobSpec, tier: str) -> ServedResult:
+        if tier == "network":
+            return await self.pipeline.submit(spec, batchable=True)
+        return await self.pipeline.submit(spec,
+                                          executor=self.heavy_executor)
+
+    # -- handlers -----------------------------------------------------------
+
+    async def _handle_healthz(self, request: _Request, request_id: str):
+        status = (HTTPStatus.SERVICE_UNAVAILABLE if self._draining
+                  else HTTPStatus.OK)
+        from .. import __version__
+
+        payload = {"status": "draining" if self._draining else "ok",
+                   "version": __version__,
+                   "uptime_s": round(time.time() - self._started, 3),
+                   "in_flight": self.pipeline.in_flight}
+        return status, payload, None
+
+    async def _handle_metrics(self, request: _Request, request_id: str):
+        obs.gauge("serve.uptime_s").set(
+            round(time.time() - self._started, 3))
+        return HTTPStatus.OK, obs.render_prometheus(), None
+
+    async def _handle_gate(self, request: _Request, request_id: str):
+        payload = request.json()
+        spec, tier = self._build_spec(payload)
+        t0 = time.perf_counter()
+        served = await self._serve_spec(spec, tier)
+        duration_ms = (time.perf_counter() - t0) * 1e3
+        meta = {"source": served.source, "key": served.key,
+                "batch_size": served.batch_size,
+                "duration_ms": round(duration_ms, 3),
+                "request_id": request_id}
+        return (HTTPStatus.OK,
+                {"result": served.value, "served": meta},
+                {"source": served.source, "key": served.key})
+
+    async def _handle_sweep(self, request: _Request, request_id: str):
+        from ..core.logic import input_patterns
+        from ..micromag.experiments import GATE_ARITY
+
+        payload = request.json()
+        gate = payload.get("gate")
+        if gate not in GATE_ARITY:
+            raise BadRequest(f"unknown gate {gate!r}; choose from "
+                             f"{sorted(GATE_ARITY)}")
+        patterns = input_patterns(GATE_ARITY[gate])
+        specs = [self._build_spec(dict(payload), pattern=list(bits))
+                 for bits in patterns]
+        t0 = time.perf_counter()
+        results = await asyncio.gather(
+            *[self._serve_spec(spec, tier) for spec, tier in specs])
+        duration_ms = (time.perf_counter() - t0) * 1e3
+        sources: Dict[str, int] = {}
+        for served in results:
+            sources[served.source] = sources.get(served.source, 0) + 1
+        cases = [served.value for served in results]
+        meta = {"sources": sources, "duration_ms": round(duration_ms, 3),
+                "request_id": request_id}
+        return (HTTPStatus.OK,
+                {"gate": gate, "tier": specs[0][1],
+                 "cases": cases,
+                 "all_correct": all(case["correct"] for case in cases),
+                 "served": meta},
+                {"source": "+".join(sorted(sources)), "key": None})
+
+
+class ServerThread:
+    """Host a :class:`GateService` on a daemon thread (its own loop).
+
+    >>> with ServerThread(ServeConfig(port=0)) as server:   # doctest: +SKIP
+    ...     client = ServeClient(server.base_url)
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.service = GateService(config)
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self.service.serve(ready=self._ready))
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("service did not start within 30 s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._error}") from self._error
+        return self
+
+    @property
+    def port(self) -> int:
+        if self.service.port is None:
+            raise RuntimeError("service not started")
+        return self.service.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.service.config.host}:{self.port}"
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.service.request_shutdown()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service did not drain in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service crashed: {self._error}") from self._error
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

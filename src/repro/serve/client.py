@@ -1,0 +1,150 @@
+"""Stdlib HTTP client for the gate-evaluation service.
+
+``urllib``-based -- no new dependencies -- with retry semantics that
+mirror the engine: transient failures (connection refused/reset, 429,
+502/503/504) are retried up to ``retries`` times with the executor's
+exponential backoff policy (:func:`repro.runtime.executor.backoff_delay`),
+honouring the server's ``Retry-After`` hint when one is sent.  Anything
+else raises :class:`ServeError` with the HTTP status and decoded body.
+
+>>> client = ServeClient("http://127.0.0.1:8077")      # doctest: +SKIP
+>>> client.gate("maj3", [0, 1, 1])["result"]["correct"]  # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..runtime.executor import backoff_delay
+
+__all__ = ["ServeClient", "ServeError"]
+
+#: HTTP statuses worth retrying: overload shedding and transient
+#: upstream failures.
+RETRYABLE_STATUSES = (429, 502, 503, 504)
+#: Never sleep longer than this between retries, whatever Retry-After
+#: says -- a client loop must stay responsive.
+MAX_RETRY_SLEEP = 10.0
+
+
+class ServeError(Exception):
+    """A request failed for good (non-retryable, or retries exhausted)."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 body: Optional[Any] = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Minimal blocking client for :mod:`repro.serve`.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8077"`` (trailing slash tolerated).
+    timeout:
+        Per-request socket timeout [s].
+    retries:
+        Extra attempts after the first failure (same meaning as the
+        executor's ``retries``).
+    backoff:
+        Base of the exponential retry backoff [s].
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff: float = 0.1):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+
+    # -- endpoints ----------------------------------------------------------
+
+    def gate(self, gate: str, bits: Sequence[int], tier: str = "network",
+             **params: Any) -> Dict[str, Any]:
+        """``POST /v1/gate``: evaluate one input pattern."""
+        payload = {"gate": gate, "bits": list(bits), "tier": tier}
+        payload.update(params)
+        return self._request("POST", "/v1/gate", payload)
+
+    def sweep(self, gate: str, tier: str = "network",
+              **params: Any) -> Dict[str, Any]:
+        """``POST /v1/sweep``: the gate's full truth table."""
+        payload = {"gate": gate, "tier": tier}
+        payload.update(params)
+        return self._request("POST", "/v1/sweep", payload)
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` -- raw Prometheus text."""
+        return self._request("GET", "/metrics", decode_json=False)
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 decode_json: bool = True) -> Union[Dict[str, Any], str]:
+        url = self.base_url + path
+        data = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        last_error: Optional[ServeError] = None
+        for attempt in range(1, self.retries + 2):
+            if attempt > 1:
+                time.sleep(self._sleep_for(attempt - 1, last_error))
+            request = urllib.request.Request(
+                url, data=data, method=method,
+                headers={"Content-Type": "application/json",
+                         "Accept": "application/json"})
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as resp:
+                    text = resp.read().decode("utf-8")
+                return json.loads(text) if decode_json else text
+            except urllib.error.HTTPError as exc:
+                body = self._read_body(exc)
+                message = (body.get("error") if isinstance(body, dict)
+                           else None) or f"HTTP {exc.code}"
+                last_error = ServeError(message, status=exc.code, body=body)
+                last_error.retry_after = self._retry_after(exc)
+                if exc.code not in RETRYABLE_STATUSES:
+                    raise last_error from None
+            except urllib.error.URLError as exc:
+                last_error = ServeError(f"connection failed: {exc.reason}")
+                last_error.retry_after = None
+            except (ValueError, json.JSONDecodeError) as exc:
+                raise ServeError(f"invalid response: {exc}") from exc
+        raise last_error
+
+    def _sleep_for(self, retry_index: int,
+                   last_error: Optional[ServeError]) -> float:
+        delay = backoff_delay(self.backoff, retry_index)
+        hinted = getattr(last_error, "retry_after", None)
+        if hinted is not None:
+            delay = max(delay, hinted)
+        return min(delay, MAX_RETRY_SLEEP)
+
+    @staticmethod
+    def _retry_after(exc: "urllib.error.HTTPError") -> Optional[float]:
+        value = exc.headers.get("Retry-After") if exc.headers else None
+        try:
+            return float(value) if value is not None else None
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _read_body(exc: "urllib.error.HTTPError") -> Any:
+        try:
+            text = exc.read().decode("utf-8")
+            return json.loads(text)
+        except Exception:
+            return None

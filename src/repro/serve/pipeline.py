@@ -1,0 +1,353 @@
+"""The service's request pipeline: coalescing, batching, backpressure.
+
+Every gate evaluation entering the service flows through one
+:class:`GatePipeline.submit` call, which applies -- in order:
+
+1. **Single-flight coalescing.**  Requests are keyed by
+   :meth:`JobSpec.key`, the same content address the result cache
+   uses.  If an identical computation is already in flight, the new
+   request simply awaits its future ("coalesced"); under a thundering
+   herd of identical requests exactly one underlying job executes.
+2. **Cache fast path.**  A key with a stored result returns straight
+   from the :class:`ResultCache` ("cached") without touching the
+   executor, the admission queue or the rate limiter -- hits are too
+   cheap to be worth limiting.
+3. **Admission control.**  New work is bounded two ways: a counter of
+   jobs queued-or-running (``max_queue``) and an optional token-bucket
+   rate limiter.  Either limit raises :class:`Overloaded`, which the
+   HTTP layer maps to ``429`` with a ``Retry-After`` hint -- load is
+   shed at the door instead of growing an unbounded backlog.
+4. **Micro-batching.**  Requests marked batchable (network-tier
+   evaluations, which cost microseconds each) are collected for up to
+   ``batch_window`` seconds (or until ``batch_max`` of them pile up)
+   and submitted as ONE ``Executor.run`` batch -- one thread hop and
+   one report for the whole group ("batched").  Heavier tiers skip
+   the window and run as single-spec batches ("computed").
+
+The pipeline never blocks the event loop: executor calls go through
+:func:`repro.runtime.aio.run_async`, and compute runs as background
+tasks so a disconnecting client cannot cancel work that other
+coalesced requests are waiting on.
+
+Metrics (``repro.obs`` registry, served by ``GET /metrics``):
+``serve.coalesced``, ``serve.cache_fastpath``, ``serve.rejected_queue``,
+``serve.rejected_rate``, ``serve.batches``, ``serve.batched``,
+histogram ``serve.batch_size`` and gauge ``serve.in_flight``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..runtime.aio import run_async
+from ..runtime.cache import ResultCache
+from ..runtime.executor import Executor, JobFailed
+from ..runtime.report import STATUS_HIT
+from ..runtime.spec import JobSpec
+
+_LOG = obs.get_logger("serve.pipeline")
+
+#: ServedResult.source values.
+SOURCE_CACHED = "cached"        # result cache, no computation
+SOURCE_COMPUTED = "computed"    # executed as its own job
+SOURCE_BATCHED = "batched"      # executed inside a micro-batch (> 1)
+SOURCE_COALESCED = "coalesced"  # shared an in-flight identical request
+
+
+class Overloaded(Exception):
+    """The service is shedding load; retry after ``retry_after`` s."""
+
+    def __init__(self, reason: str, retry_after: float = 1.0):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = max(0.0, retry_after)
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter (``rate`` tokens/s, burst
+    capacity ``burst``; monotonic clock)."""
+
+    def __init__(self, rate: float, burst: Optional[float] = None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.capacity = float(burst) if burst else max(1.0, self.rate)
+        self.tokens = self.capacity
+        self._last = time.monotonic()
+
+    def _refill(self) -> None:
+        now = time.monotonic()
+        self.tokens = min(self.capacity,
+                          self.tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def take(self, n: float = 1.0) -> bool:
+        """Consume ``n`` tokens if available; False means rate-limited."""
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have accumulated."""
+        self._refill()
+        return max(0.0, (n - self.tokens) / self.rate)
+
+
+@dataclass
+class ServedResult:
+    """One pipeline answer: the job value plus how it was served."""
+
+    value: Any
+    source: str          # cached | computed | batched | coalesced
+    key: str
+    batch_size: int = 1
+
+
+@dataclass
+class _Resolved:
+    """What an in-flight future resolves to (shared by coalescers)."""
+
+    value: Any
+    source: str
+    batch_size: int = 1
+
+
+def _retrieve(future: "asyncio.Future") -> None:
+    """Done-callback marking exceptions retrieved (a leader abandoned
+    by a disconnecting client must not log 'exception never
+    retrieved')."""
+    if not future.cancelled():
+        future.exception()
+
+
+class GatePipeline:
+    """Single-flight + micro-batching + admission control (see module
+    docstring).
+
+    Parameters
+    ----------
+    executor:
+        Default :class:`Executor` for single (non-batched) jobs.
+    cache:
+        Shared :class:`ResultCache` for the fast path -- normally the
+        same instance the executor uses.  None disables the fast path
+        (the executor may still hit its own cache).
+    max_queue:
+        Upper bound on jobs queued-or-running; further new work is
+        rejected with 429 semantics.
+    rate / burst:
+        Token-bucket admission rate in new jobs per second (None
+        disables rate limiting) and its burst capacity.
+    batch_window:
+        Seconds a batchable request may wait for companions.
+    batch_max:
+        Flush a batch immediately once it reaches this many jobs.
+    salt:
+        Cache-key salt override (defaults to the package version).
+    """
+
+    def __init__(self, executor: Executor,
+                 cache: Optional[ResultCache] = None,
+                 max_queue: int = 64,
+                 rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 batch_window: float = 0.002,
+                 batch_max: int = 16,
+                 salt: Optional[str] = None):
+        self.executor = executor
+        self.cache = cache
+        self.max_queue = max(1, int(max_queue))
+        self.bucket = TokenBucket(rate, burst) if rate else None
+        self.batch_window = max(0.0, float(batch_window))
+        self.batch_max = max(1, int(batch_max))
+        self.salt = salt
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._pending = 0
+        self._batch: List[Tuple[str, JobSpec, "asyncio.Future",
+                                Executor]] = []
+        self._flush_task: Optional["asyncio.Task"] = None
+        self._tasks: set = set()
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently queued or running (not counting coalescers)."""
+        return self._pending
+
+    async def submit(self, spec: JobSpec, batchable: bool = False,
+                     executor: Optional[Executor] = None) -> ServedResult:
+        """Serve one request; see the module docstring for the order of
+        coalescing, cache fast path, admission and batching."""
+        key = spec.key(self.salt)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            obs.counter("serve.coalesced").inc()
+            resolved = await asyncio.shield(existing)
+            return ServedResult(resolved.value, SOURCE_COALESCED, key,
+                                resolved.batch_size)
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        future.add_done_callback(_retrieve)
+        # Register BEFORE the first await so concurrent identical
+        # requests coalesce deterministically.
+        self._inflight[key] = future
+        try:
+            if self.cache is not None:
+                found, value = await loop.run_in_executor(
+                    None, self.cache.get, key)
+                if found:
+                    obs.counter("serve.cache_fastpath").inc()
+                    resolved = _Resolved(value, SOURCE_CACHED)
+                    self._inflight.pop(key, None)
+                    future.set_result(resolved)
+                    return ServedResult(value, SOURCE_CACHED, key)
+        except asyncio.CancelledError:
+            # Client vanished during the cache lookup: nothing is
+            # running yet, so wake any coalescers with the cancellation.
+            self._inflight.pop(key, None)
+            future.cancel()
+            raise
+        except Exception as exc:  # malformed key and kin: surface it
+            self._inflight.pop(key, None)
+            future.set_exception(exc)
+            raise
+
+        try:
+            self._admit()
+        except Overloaded as exc:
+            self._inflight.pop(key, None)
+            future.set_exception(exc)  # coalescers get the 429 too
+            raise
+
+        self._pending += 1
+        obs.gauge("serve.in_flight").set(self._pending)
+        if batchable:
+            self._enqueue(key, spec, future, executor or self.executor)
+        else:
+            self._track(loop.create_task(self._compute_single(
+                key, spec, future, executor or self.executor)))
+        resolved = await asyncio.shield(future)
+        return ServedResult(resolved.value, resolved.source, key,
+                            resolved.batch_size)
+
+    async def drain(self) -> None:
+        """Flush any pending batch and wait for all in-flight work."""
+        self._flush_now()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)
+
+    # -- admission ----------------------------------------------------------
+
+    def _admit(self) -> None:
+        if self._pending >= self.max_queue:
+            obs.counter("serve.rejected_queue").inc()
+            raise Overloaded(
+                f"admission queue full ({self._pending} jobs in flight)",
+                retry_after=1.0)
+        if self.bucket is not None and not self.bucket.take():
+            obs.counter("serve.rejected_rate").inc()
+            raise Overloaded("rate limit exceeded",
+                             retry_after=self.bucket.retry_after())
+
+    # -- execution ----------------------------------------------------------
+
+    def _track(self, task: "asyncio.Task") -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _release(self, key: str) -> None:
+        self._inflight.pop(key, None)
+        self._pending -= 1
+        obs.gauge("serve.in_flight").set(self._pending)
+
+    @staticmethod
+    def _resolve(future: "asyncio.Future", outcome: Any,
+                 batch_size: int) -> None:
+        """Resolve a request future from one executor outcome."""
+        if future.done():
+            return
+        if outcome.ok:
+            if outcome.record.status == STATUS_HIT:
+                source = SOURCE_CACHED
+            elif batch_size > 1:
+                source = SOURCE_BATCHED
+            else:
+                source = SOURCE_COMPUTED
+            future.set_result(_Resolved(outcome.value, source, batch_size))
+        else:
+            future.set_exception(JobFailed(
+                outcome.record.error or "job failed after retries"))
+
+    async def _compute_single(self, key: str, spec: JobSpec,
+                              future: "asyncio.Future",
+                              executor: Executor) -> None:
+        try:
+            result = await run_async(executor, [spec])
+            self._resolve(future, result.outcomes[0], 1)
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+        finally:
+            self._release(key)
+
+    # -- micro-batching -----------------------------------------------------
+
+    def _enqueue(self, key: str, spec: JobSpec, future: "asyncio.Future",
+                 executor: Executor) -> None:
+        self._batch.append((key, spec, future, executor))
+        if len(self._batch) >= self.batch_max or self.batch_window == 0.0:
+            self._flush_now()
+        elif self._flush_task is None:
+            self._flush_task = asyncio.get_running_loop().create_task(
+                self._flush_after(self.batch_window))
+            self._track(self._flush_task)
+
+    def _flush_now(self) -> None:
+        """Snapshot the pending batch and run it as one executor call."""
+        batch, self._batch = self._batch, []
+        timer, self._flush_task = self._flush_task, None
+        if timer is not None and timer is not asyncio.current_task():
+            timer.cancel()
+        if batch:
+            self._track(asyncio.get_running_loop().create_task(
+                self._run_batch(batch)))
+
+    async def _flush_after(self, delay: float) -> None:
+        try:
+            await asyncio.sleep(delay)
+        except asyncio.CancelledError:
+            return  # an immediate flush already took the batch
+        self._flush_now()
+
+    async def _run_batch(self, batch: List[Tuple[str, JobSpec,
+                                                 "asyncio.Future",
+                                                 Executor]]) -> None:
+        size = len(batch)
+        obs.counter("serve.batches").inc()
+        obs.histogram("serve.batch_size").observe(size)
+        if size > 1:
+            obs.counter("serve.batched").inc(size)
+        executor = batch[0][3]  # batchable jobs share the fast executor
+        try:
+            result = await run_async(executor,
+                                     [spec for _key, spec, _f, _e in batch])
+            for (_key, _spec, future, _e), outcome in zip(
+                    batch, result.outcomes):
+                self._resolve(future, outcome, size)
+        except Exception as exc:
+            _LOG.warning("batch of %d failed: %s", size, exc)
+            for _key, _spec, future, _e in batch:
+                if not future.done():
+                    future.set_exception(exc)
+        finally:
+            for key, _spec, _future, _e in batch:
+                self._release(key)

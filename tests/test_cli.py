@@ -210,3 +210,82 @@ class TestTraceAndProfile:
             step = by_id.get(step["args"].get("parent_id"))
         assert chain[0] == "fdtd.step"
         assert "gate_case" in chain and chain[-1] == "profile"
+
+
+class TestCacheCommand:
+    @staticmethod
+    def _fill(root, n=2):
+        from repro.runtime import DiskCache
+
+        cache = DiskCache(root=root)
+        for i in range(n):
+            cache.put(format(i, "02x") * 20, {"payload": "x" * 128, "i": i})
+        return cache
+
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        self._fill(str(tmp_path))
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "result cache at" in out
+        assert "total" in out and "entries" in out
+
+    def test_stats_on_missing_root(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "nowhere")]) == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_prune_requires_max_bytes(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_empties_cache(self, tmp_path, capsys):
+        cache = self._fill(str(tmp_path))
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 of 2 entries" in out
+        assert cache.usage().entries == 0
+
+    def test_parse_size_suffixes(self):
+        import argparse
+
+        from repro.cli import _parse_size
+
+        assert _parse_size("512") == 512
+        assert _parse_size("10K") == 10 * 1024
+        assert _parse_size("64M") == 64 * (1 << 20)
+        assert _parse_size("2G") == 2 * (1 << 30)
+        assert _parse_size("1.5k") == 1536
+        assert _parse_size("10KB") == 10 * 1024
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size("lots")
+
+
+class TestServeParserWiring:
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8077
+        assert args.max_queue == 64
+        assert args.batch_window_ms == 2.0
+        assert args.batch_max == 16
+        assert args.rate is None
+        assert args.drain_timeout == 30.0
+        assert callable(args.func)
+
+    def test_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--max-queue", "8", "--rate", "250", "--burst", "50",
+             "--batch-window-ms", "5", "--batch-max", "32",
+             "--access-log", "a.jsonl", "--drain-timeout", "5"])
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.max_queue == 8
+        assert args.rate == 250.0 and args.burst == 50.0
+        assert args.batch_window_ms == 5.0 and args.batch_max == 32
+        assert args.access_log == "a.jsonl"
+        assert args.drain_timeout == 5.0

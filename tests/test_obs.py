@@ -352,3 +352,40 @@ class TestJobRecordTelemetryFields:
         stamp = utc_now_iso()
         assert stamp.endswith("+00:00")
         assert "T" in stamp
+
+
+class TestPrometheusExporter:
+    def test_counters_gauges_histograms_render(self):
+        obs.counter("serve.requests").inc(3)
+        obs.gauge("serve.uptime_s").set(12.5)
+        obs.histogram("serve.latency_ms").observe(0.8)
+        obs.histogram("serve.latency_ms").observe(3.0)
+        text = obs.render_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 3" in text
+        assert "repro_serve_uptime_s 12.5" in text
+        assert "# TYPE repro_serve_latency_ms histogram" in text
+        assert 'repro_serve_latency_ms_bucket{le="+Inf"} 2' in text
+        assert "repro_serve_latency_ms_count 2" in text
+        assert "repro_serve_latency_ms_sum 3.8" in text
+
+    def test_bucket_counts_are_cumulative(self):
+        for value in (0.5, 1.5, 3.0, 300.0):
+            obs.histogram("h").observe(value)
+        text = obs.render_prometheus()
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_h_bucket")]
+        counts = [float(l.split()[-1]) for l in lines]
+        assert counts == sorted(counts)  # monotone non-decreasing
+        assert counts[-1] == 4  # +Inf sees every observation
+
+    def test_unset_gauges_are_skipped(self):
+        obs.gauge("never.set")
+        assert "never_set" not in obs.render_prometheus()
+
+    def test_metric_name_sanitized(self):
+        from repro.obs.prometheus import metric_name
+
+        assert metric_name("serve.latency-ms") == "repro_serve_latency_ms"
+        assert metric_name("9lives") == "repro_9lives"

@@ -12,6 +12,7 @@ import json
 import os
 import subprocess
 import sys
+import threading
 import time
 
 import numpy as np
@@ -26,8 +27,11 @@ from repro.runtime import (
     JobSpec,
     MemoryCache,
     RunReport,
+    atomic_write,
     canonical_json,
+    prune_cache,
 )
+from repro.runtime.executor import backoff_delay
 
 SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src")
@@ -284,6 +288,172 @@ class TestRunReport:
         assert len(payload["jobs"]) == 3
         statuses = {job["status"] for job in payload["jobs"]}
         assert statuses == {"hit", "ok", "failed"}
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write(str(target), lambda fh: fh.write(b'{"ok": true}'))
+        assert json.loads(target.read_text()) == {"ok": True}
+
+    def test_failure_preserves_target_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("original")
+
+        def exploding_writer(handle):
+            handle.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError, match="disk full"):
+            atomic_write(str(target), exploding_writer)
+        assert target.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.json"]  # no .part leftovers
+
+    def test_dump_json_replaces_atomically(self, tmp_path):
+        executor = Executor(cache=MemoryCache())
+        report = executor.map(add, [{"a": 1, "b": 2}]).report
+        path = tmp_path / "report.json"
+        path.write_text("stale contents")
+        report.dump_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["n_jobs"] == 1
+        assert os.listdir(tmp_path) == ["report.json"]
+
+    def test_dump_json_serialization_failure_keeps_old_report(
+            self, tmp_path, monkeypatch):
+        """Regression: a crash while producing the new report must not
+        truncate the previous one on disk."""
+        executor = Executor(cache=MemoryCache())
+        report = executor.map(add, [{"a": 1, "b": 2}]).report
+        path = tmp_path / "report.json"
+        report.dump_json(str(path))
+        original = path.read_text()
+
+        def exploding(self):
+            raise RuntimeError("unserializable")
+
+        monkeypatch.setattr(RunReport, "to_json", exploding)
+        with pytest.raises(RuntimeError):
+            report.dump_json(str(path))
+        assert path.read_text() == original
+        assert os.listdir(tmp_path) == ["report.json"]
+
+
+class TestBackoffPolicy:
+    def test_first_retry_is_immediate_base(self):
+        assert backoff_delay(0.5, 1) == 0.5
+
+    def test_doubles_per_subsequent_retry(self):
+        assert [backoff_delay(0.25, i) for i in range(1, 5)] == \
+            [0.25, 0.5, 1.0, 2.0]
+
+
+class TestCacheConcurrency:
+    def test_threaded_put_get_same_key(self, tmp_path):
+        """Concurrent writers and readers of one key: readers must see
+        either a miss or a complete, internally consistent value --
+        never an exception or a torn read."""
+        cache = DiskCache(root=str(tmp_path))
+        key = "ab" * 20
+        value = {"arr": np.arange(64, dtype=float), "n": 64}
+        errors = []
+        hits = {"n": 0}
+        stop = threading.Event()
+
+        def writer():
+            try:
+                while not stop.is_set():
+                    cache.put(key, value)
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    found, loaded = cache.get(key)
+                    if found:
+                        hits["n"] += 1
+                        np.testing.assert_allclose(loaded["arr"],
+                                                   value["arr"])
+                        assert loaded["n"] == 64
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=writer) for _ in range(2)]
+                   + [threading.Thread(target=reader) for _ in range(2)])
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert hits["n"] > 0
+
+
+class TestCacheMaintenance:
+    @staticmethod
+    def _fill(cache, n=4, mtime_step=10.0):
+        """Store ``n`` entries and stagger their mtimes oldest-first."""
+        keys = [format(i, "02x") * 20 for i in range(n)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"payload": "x" * 256,
+                            "arr": np.arange(16, dtype=float), "i": i})
+        base = time.time() - 1000.0
+        for i, key in enumerate(keys):
+            json_path, _ = cache._paths(key)
+            when = base + i * mtime_step
+            os.utime(json_path, (when, when))
+        return keys
+
+    def test_usage_counts_entries_and_bytes(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        keys = self._fill(cache)
+        usage = cache.usage()
+        assert usage.entries == len(keys)
+        assert usage.total_bytes > 0
+        (salt_dir,) = usage.by_salt
+        assert usage.by_salt[salt_dir] == (usage.entries, usage.total_bytes)
+        payload = usage.as_dict()
+        assert payload["entries"] == len(keys)
+
+    def test_prune_to_zero_empties_cache(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        keys = self._fill(cache)
+        result = cache.prune(max_bytes=0)
+        assert result.scanned == len(keys)
+        assert result.removed == len(keys)
+        assert result.freed_bytes > 0
+        assert cache.usage().entries == 0
+        for key in keys:
+            found, _ = cache.get(key)
+            assert not found
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        keys = self._fill(cache)
+        usage = cache.usage()
+        # Room for all but one entry: only the single oldest goes.
+        result = cache.prune(max_bytes=usage.total_bytes - 1)
+        assert result.removed == 1
+        assert not cache.get(keys[0])[0]
+        for key in keys[1:]:
+            assert cache.get(key)[0]
+
+    def test_read_touch_promotes_entry(self, tmp_path):
+        """A cache hit bumps the entry's mtime, so eviction order is
+        true LRU rather than insertion order."""
+        cache = DiskCache(root=str(tmp_path))
+        keys = self._fill(cache)
+        assert cache.get(keys[0])[0]  # the oldest entry becomes newest
+        result = cache.prune(max_bytes=cache.usage().total_bytes - 1)
+        assert result.removed == 1
+        assert cache.get(keys[0])[0]      # promoted, survived
+        assert not cache.get(keys[1])[0]  # now-oldest was evicted
+
+    def test_prune_missing_root_is_a_noop(self, tmp_path):
+        result = prune_cache(str(tmp_path / "nowhere"), max_bytes=0)
+        assert result.scanned == 0 and result.removed == 0
 
 
 class TestGateSweep:

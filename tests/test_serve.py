@@ -1,0 +1,408 @@
+"""Tests for the gate-evaluation service (``repro.serve``).
+
+Covers the contract promised in docs/SERVING.md: single-flight
+coalescing (a 64-way thundering herd of identical requests executes
+exactly one job), micro-batching of network-tier requests into one
+executor call, bounded-queue and token-bucket admission control with
+429 semantics, corrupt cache entries recomputed through the coalescing
+path, the hand-rolled HTTP layer end to end (``ServerThread`` +
+``ServeClient``), and graceful drain -- including a real
+``python -m repro serve`` subprocess stopped with SIGTERM.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor as _TP
+
+import pytest
+
+from repro import obs
+from repro.runtime import DiskCache, Executor, JobSpec
+from repro.serve import (
+    GatePipeline,
+    Overloaded,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServerThread,
+    TokenBucket,
+)
+from repro.serve.pipeline import (
+    SOURCE_BATCHED,
+    SOURCE_CACHED,
+    SOURCE_COALESCED,
+    SOURCE_COMPUTED,
+)
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_observer():
+    """Never leak global tracer/metrics state into (or out of) a test."""
+    obs.disable()
+    obs.drain_spans()
+    obs.reset_metrics()
+    yield
+    obs.disable()
+    obs.drain_spans()
+    obs.reset_metrics()
+
+
+# -- module-level job functions (content-addressable by the cache) ----------
+
+CALLS = {"n": 0}
+_CALL_LOCK = threading.Lock()
+
+
+def counted_add(a, b):
+    """Records every real execution -- the coalescing tests assert on it."""
+    with _CALL_LOCK:
+        CALLS["n"] += 1
+    time.sleep(0.02)  # long enough that the herd overlaps the leader
+    return a + b
+
+
+def quick_add(a, b):
+    return a + b
+
+
+def _pipeline(tmp_path, **kwargs):
+    cache = DiskCache(root=str(tmp_path / "cache"))
+    executor = Executor(cache=cache, workers=1)
+    return GatePipeline(executor, cache=cache, **kwargs), executor
+
+
+def _metric_value(text, name):
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    raise AssertionError(f"metric {name} not found in:\n{text}")
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        assert bucket.take()
+        assert bucket.take()
+        assert not bucket.take()
+        assert bucket.retry_after() > 0.0
+        time.sleep(0.05)
+        assert bucket.take()
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0)
+
+
+class TestCoalescing:
+    def test_64_identical_requests_execute_once(self, tmp_path):
+        """ISSUE acceptance: 64 concurrent identical requests on a cold
+        cache -> exactly one underlying execution, 63 coalesced."""
+        obs.enable()
+        CALLS["n"] = 0
+        pipeline, _ = _pipeline(tmp_path)
+        spec = JobSpec(counted_add, {"a": 1, "b": 2})
+
+        async def herd():
+            return await asyncio.gather(
+                *(pipeline.submit(spec) for _ in range(64)))
+
+        results = asyncio.run(herd())
+        assert [r.value for r in results] == [3] * 64
+        assert CALLS["n"] == 1
+        assert obs.counter("executor.jobs").value == 1
+        assert obs.counter("serve.coalesced").value == 63
+        assert sum(r.source == SOURCE_COMPUTED for r in results) == 1
+        assert sum(r.source == SOURCE_COALESCED for r in results) == 63
+
+    def test_distinct_requests_do_not_coalesce(self, tmp_path):
+        pipeline, _ = _pipeline(tmp_path)
+        specs = [JobSpec(quick_add, {"a": i, "b": 10}) for i in range(3)]
+
+        async def main():
+            return await asyncio.gather(
+                *(pipeline.submit(s) for s in specs))
+
+        results = asyncio.run(main())
+        assert [r.value for r in results] == [10, 11, 12]
+        assert obs.counter("serve.coalesced").value == 0
+
+    def test_second_round_is_served_from_cache(self, tmp_path):
+        pipeline, _ = _pipeline(tmp_path)
+        spec = JobSpec(quick_add, {"a": 4, "b": 5})
+        first = asyncio.run(pipeline.submit(spec))
+        second = asyncio.run(pipeline.submit(spec))
+        assert first.source == SOURCE_COMPUTED
+        assert second.source == SOURCE_CACHED
+        assert second.value == 9
+        assert obs.counter("serve.cache_fastpath").value == 1
+
+    def test_corrupt_cache_entry_recomputes_not_500(self, tmp_path):
+        """A corrupt on-disk entry read through the coalescing path must
+        be treated as a miss and recomputed -- never surfaced as an
+        error to any of the coalesced requests."""
+        pipeline, executor = _pipeline(tmp_path)
+        spec = JobSpec(quick_add, {"a": 6, "b": 7})
+        asyncio.run(pipeline.submit(spec))  # populate the entry
+        json_path, _ = executor.cache._paths(spec.key(pipeline.salt))
+        with open(json_path, "w") as handle:
+            handle.write("{ truncated")
+
+        async def herd():
+            return await asyncio.gather(
+                *(pipeline.submit(spec) for _ in range(8)))
+
+        results = asyncio.run(herd())
+        assert [r.value for r in results] == [13] * 8
+        leaders = [r for r in results if r.source != SOURCE_COALESCED]
+        assert len(leaders) == 1
+        assert leaders[0].source in (SOURCE_COMPUTED, SOURCE_BATCHED)
+        # And the entry healed: the next lookup is a clean hit.
+        repaired = asyncio.run(pipeline.submit(spec))
+        assert repaired.source == SOURCE_CACHED
+
+
+class TestBatching:
+    def test_window_groups_requests_into_one_executor_call(self, tmp_path):
+        obs.enable()
+        pipeline, _ = _pipeline(tmp_path, batch_window=0.05)
+        specs = [JobSpec(quick_add, {"a": i, "b": 100}) for i in range(4)]
+
+        async def main():
+            return await asyncio.gather(
+                *(pipeline.submit(s, batchable=True) for s in specs))
+
+        results = asyncio.run(main())
+        assert [r.value for r in results] == [100, 101, 102, 103]
+        assert all(r.source == SOURCE_BATCHED for r in results)
+        assert all(r.batch_size == 4 for r in results)
+        assert obs.counter("serve.batches").value == 1
+        assert obs.counter("serve.batched").value == 4
+
+    def test_batch_max_flushes_immediately(self, tmp_path):
+        pipeline, _ = _pipeline(tmp_path, batch_window=5.0, batch_max=2)
+        specs = [JobSpec(quick_add, {"a": i, "b": 200}) for i in range(4)]
+
+        async def main():
+            return await asyncio.gather(
+                *(pipeline.submit(s, batchable=True) for s in specs))
+
+        t0 = time.monotonic()
+        results = asyncio.run(main())
+        assert time.monotonic() - t0 < 4.0  # never waited out the window
+        assert [r.value for r in results] == [200, 201, 202, 203]
+        assert all(r.batch_size == 2 for r in results)
+        assert obs.counter("serve.batches").value == 2
+
+    def test_lone_batchable_request_is_computed(self, tmp_path):
+        pipeline, _ = _pipeline(tmp_path, batch_window=0.01)
+        result = asyncio.run(pipeline.submit(
+            JobSpec(quick_add, {"a": 3, "b": 300}), batchable=True))
+        assert result.value == 303
+        assert result.source == SOURCE_COMPUTED
+        assert result.batch_size == 1
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_overloaded(self, tmp_path):
+        pipeline, _ = _pipeline(tmp_path, max_queue=2)
+        specs = [JobSpec(counted_add, {"a": i, "b": 0}) for i in range(6)]
+
+        async def main():
+            results = await asyncio.gather(
+                *(pipeline.submit(s) for s in specs),
+                return_exceptions=True)
+            await pipeline.drain()
+            return results
+
+        results = asyncio.run(main())
+        served = [r for r in results if not isinstance(r, Exception)]
+        rejected = [r for r in results if isinstance(r, Overloaded)]
+        assert len(served) == 2
+        assert len(rejected) == 4
+        assert all(r.retry_after > 0 for r in rejected)
+        assert obs.counter("serve.rejected_queue").value == 4
+
+    def test_rate_limit_rejects_with_retry_after(self, tmp_path):
+        pipeline, _ = _pipeline(tmp_path, rate=1.0, burst=1.0)
+        specs = [JobSpec(quick_add, {"a": i, "b": 1}) for i in range(2)]
+
+        async def main():
+            results = await asyncio.gather(
+                *(pipeline.submit(s) for s in specs),
+                return_exceptions=True)
+            await pipeline.drain()
+            return results
+
+        results = asyncio.run(main())
+        rejected = [r for r in results if isinstance(r, Overloaded)]
+        assert len(rejected) == 1
+        assert rejected[0].retry_after > 0
+        assert obs.counter("serve.rejected_rate").value == 1
+
+    def test_cache_hits_bypass_admission(self, tmp_path):
+        """Warm keys are served even when the service sheds new work."""
+        pipeline, _ = _pipeline(tmp_path, rate=1.0, burst=1.0)
+        spec = JobSpec(quick_add, {"a": 8, "b": 9})
+        asyncio.run(pipeline.submit(spec))  # consumes the only token
+        for _ in range(5):                  # all hits, none rejected
+            assert asyncio.run(pipeline.submit(spec)).source == SOURCE_CACHED
+        assert obs.counter("serve.rejected_rate").value == 0
+
+
+def _server(tmp_path, **overrides):
+    settings = dict(port=0, cache_dir=str(tmp_path / "cache"),
+                    access_log=str(tmp_path / "access.jsonl"))
+    settings.update(overrides)
+    return ServerThread(ServeConfig(**settings))
+
+
+class TestHttpService:
+    def test_healthz_gate_sweep_metrics(self, tmp_path):
+        with _server(tmp_path) as server:
+            client = ServeClient(server.base_url)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert "version" in health
+
+            first = client.gate("xor", [1, 0])
+            assert first["result"]["correct"] is True
+            assert first["served"]["source"] in (SOURCE_COMPUTED,
+                                                SOURCE_BATCHED)
+            again = client.gate("xor", [1, 0])
+            assert again["served"]["source"] == SOURCE_CACHED
+
+            sweep = client.sweep("maj3")
+            assert sweep["all_correct"] is True
+            assert len(sweep["cases"]) == 8
+
+            text = client.metrics()
+            assert "repro_serve_requests_total" in text
+            assert _metric_value(text, "repro_serve_requests_total") >= 4
+
+    def test_validation_and_routing_errors(self, tmp_path):
+        with _server(tmp_path) as server:
+            client = ServeClient(server.base_url, retries=0)
+            with pytest.raises(ServeError) as err:
+                client.gate("flux", [0, 1])
+            assert err.value.status == 400
+            with pytest.raises(ServeError) as err:
+                client.gate("maj3", [0, 1])        # wrong arity
+            assert err.value.status == 400
+            with pytest.raises(ServeError) as err:
+                client.gate("maj3", [0, 1, 1], tier="mumax3")
+            assert err.value.status == 400
+            with pytest.raises(ServeError) as err:
+                client.gate("maj3", [0, 1, 1], bogus_param=3)
+            assert err.value.status == 400
+            with pytest.raises(ServeError) as err:
+                client._request("POST", "/v1/nope", {})
+            assert err.value.status == 404
+            with pytest.raises(ServeError) as err:
+                client._request("GET", "/v1/gate")
+            assert err.value.status == 405
+
+    def test_http_herd_executes_once(self, tmp_path):
+        """The acceptance scenario over real HTTP: 64 concurrent
+        identical POST /v1/gate requests, cold cache -> one execution
+        (every non-leader answer is coalesced or cached)."""
+        with _server(tmp_path) as server:
+            client = ServeClient(server.base_url, timeout=60.0)
+
+            def post(_):
+                return client.gate("maj3", [1, 0, 1])
+
+            with _TP(max_workers=64) as pool:
+                answers = list(pool.map(post, range(64)))
+
+            assert all(a["result"]["correct"] for a in answers)
+            sources = [a["served"]["source"] for a in answers]
+            leaders = [s for s in sources
+                       if s in (SOURCE_COMPUTED, SOURCE_BATCHED)]
+            assert len(leaders) == 1
+            assert all(s in (SOURCE_COALESCED, SOURCE_CACHED)
+                       for s in sources if s not in leaders)
+
+            text = client.metrics()
+            assert _metric_value(text, "repro_executor_jobs_total") == 1
+            coalesced = _metric_value(text, "repro_serve_coalesced_total")
+            cached = _metric_value(text, "repro_serve_cache_fastpath_total")
+            assert coalesced + cached == 63
+
+    def test_rate_limited_server_returns_429(self, tmp_path):
+        with _server(tmp_path, rate=0.001, burst=1.0) as server:
+            client = ServeClient(server.base_url, retries=0)
+            first = client.gate("xor", [0, 1])
+            assert first["result"]["correct"] is True
+            with pytest.raises(ServeError) as err:
+                client.gate("xor", [1, 1])  # different key, no tokens left
+            assert err.value.status == 429
+            assert err.value.retry_after is not None
+            assert err.value.retry_after >= 1.0
+
+    def test_client_retries_through_429(self, tmp_path):
+        with _server(tmp_path, rate=2.0, burst=1.0) as server:
+            client = ServeClient(server.base_url, retries=5, backoff=0.05)
+            assert client.gate("xor", [0, 0])["result"]["correct"] is True
+            # Token bucket is empty now; the client must absorb the 429
+            # and succeed on a retry once it refills.
+            assert client.gate("xor", [1, 0])["result"]["correct"] is True
+
+    def test_graceful_drain_writes_access_log(self, tmp_path):
+        server = _server(tmp_path)
+        server.start()
+        client = ServeClient(server.base_url)
+        client.gate("xor", [1, 1])
+        server.stop()
+        lines = [json.loads(line) for line in
+                 open(tmp_path / "access.jsonl", encoding="utf-8")]
+        assert len(lines) >= 1
+        gate_line = next(l for l in lines if l["path"] == "/v1/gate")
+        assert gate_line["status"] == 200
+        assert gate_line["method"] == "POST"
+        assert gate_line["request_id"]
+        assert gate_line["duration_ms"] >= 0
+        # Port is released after drain.
+        with pytest.raises(Exception):
+            urllib.request.urlopen(server.base_url + "/healthz", timeout=0.5)
+
+
+class TestServeSubprocess:
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        """`python -m repro serve` exits 0 on SIGTERM after finishing
+        in-flight work, leaving a flushed access log behind."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        access = tmp_path / "access.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--cache-dir", str(tmp_path / "cache"),
+             "--access-log", str(access)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            base = f"http://127.0.0.1:{port}"
+            client = ServeClient(base, retries=8, backoff=0.25)
+            assert client.health()["status"] == "ok"
+            assert client.gate("xor", [0, 1])["result"]["correct"] is True
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        lines = access.read_text().strip().splitlines()
+        assert len(lines) >= 2  # healthz + gate at minimum
+        assert any(json.loads(l)["path"] == "/v1/gate" for l in lines)
