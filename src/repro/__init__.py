@@ -77,6 +77,7 @@ from .physics import FECOB, DispersionRelation, FilmStack, Material, Wave
 
 __version__ = "1.0.0"
 
+from . import errors  # noqa: E402
 from . import obs  # noqa: E402
 from .runtime import (  # noqa: E402 -- needs __version__ for the key salt
     DiskCache,
@@ -111,6 +112,7 @@ __all__ = [
     "MemoryCache",
     "ResultCache",
     "RunReport",
+    "errors",
     "obs",
     "__version__",
 ]

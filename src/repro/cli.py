@@ -12,7 +12,10 @@ Python:
 * ``adder WIDTH`` -- circuit-level comparison of an n-bit adder;
 * ``sweep maj3|xor`` -- the full 2^n truth-table grid through the
   orchestration engine (:mod:`repro.runtime`): parallel across input
-  patterns, content-addressed-cached across invocations;
+  patterns, content-addressed-cached across invocations; with
+  ``--resume`` (and optionally ``--journal PATH``) a killed sweep
+  restarts from its write-ahead job journal, skipping completed jobs
+  (see docs/RESILIENCE.md);
 * ``profile maj3|xor [--tier ...]`` -- run one gate case under the
   span tracer (:mod:`repro.obs`) and print the top spans by
   cumulative time;
@@ -181,18 +184,33 @@ def _cmd_adder(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
     from .micromag.experiments import sweep_gate_truth_table
+    from .resilience import JobJournal
     from .runtime import DiskCache, Executor, JobFailed
 
     cache = None if args.no_cache else DiskCache(root=args.cache_dir)
+    journal = None
+    if args.resume or args.journal:
+        journal_path = args.journal or os.path.join(
+            args.cache_dir, f"journal-{args.gate}-{args.tier}.jsonl")
+        journal = JobJournal(journal_path, resume=args.resume)
+        if args.resume:
+            print(f"resuming from {journal_path}: "
+                  f"{journal.state.summary()}")
     executor = Executor(workers=args.workers, cache=cache,
-                        timeout=args.timeout, retries=args.retries)
+                        timeout=args.timeout, retries=args.retries,
+                        journal=journal)
     try:
         sweep = sweep_gate_truth_table(args.gate, tier=args.tier,
                                        executor=executor)
     except JobFailed as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if journal is not None:
+            journal.close()
     print(sweep.format_table())
     print()
     print(sweep.report.format_table())
@@ -202,9 +220,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         stats = cache.stats
         print(f"cache: {stats.hits} hits / {stats.misses} misses "
               f"({stats.hit_rate * 100:.0f} % hit rate), "
-              f"{stats.writes} writes")
+              f"{stats.writes} writes"
+              + (f", {stats.quarantined} quarantined"
+                 if stats.quarantined else ""))
     else:
         print("cache: disabled")
+    if journal is not None:
+        print(f"journal: {journal.path} ({journal.state.summary()})")
     if args.json:
         sweep.report.dump_json(args.json)
         print(f"telemetry written to {args.json}")
@@ -261,7 +283,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue, rate=args.rate, burst=args.burst,
         batch_window_ms=args.batch_window_ms, batch_max=args.batch_max,
         timeout=args.timeout, access_log=args.access_log,
-        drain_timeout=args.drain_timeout)
+        drain_timeout=args.drain_timeout,
+        deadline_s=args.deadline_s,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset_s)
     return GateService(config).run()
 
 
@@ -302,6 +327,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                  f"{usage.total_bytes / 1024:.1f}"])
     print(format_table(["salt", "entries", "KiB"], rows,
                        title=f"result cache at {usage.root}"))
+    print(f"quarantined entries: {usage.quarantined}")
     return 0
 
 
@@ -370,6 +396,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retry attempts per failed job")
     p_sweep.add_argument("--json", metavar="PATH",
                          help="dump the telemetry RunReport as JSON")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="replay the job journal and skip completed "
+                              "jobs (restarting interrupted ones)")
+    p_sweep.add_argument("--journal", metavar="PATH", default=None,
+                         help="write-ahead job journal path (default "
+                              "<cache-dir>/journal-<gate>-<tier>.jsonl "
+                              "when journalling is on; --resume implies "
+                              "journalling)")
     # Accept the global engine flags after the subcommand too
     # (``sweep maj3 --no-cache``); SUPPRESS keeps the subparser from
     # clobbering values parsed at the top level.
@@ -432,6 +466,19 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="max seconds to wait for in-flight work "
                               "on shutdown (default 30)")
+    p_serve.add_argument("--deadline-s", type=float, default=None,
+                         metavar="S",
+                         help="default per-request deadline [s] "
+                              "(504 on expiry; the x-deadline-ms "
+                              "header overrides it)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=5,
+                         metavar="N",
+                         help="consecutive failures that open a tier's "
+                              "circuit breaker (default 5)")
+    p_serve.add_argument("--breaker-reset-s", type=float, default=30.0,
+                         metavar="S",
+                         help="seconds an open circuit waits before "
+                              "admitting a probe (default 30)")
     p_serve.add_argument("--workers", type=int, metavar="N",
                          default=argparse.SUPPRESS,
                          help=argparse.SUPPRESS)
@@ -466,6 +513,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     from . import obs
+    from .resilience import faults
+
+    try:
+        # Chaos testing: a JSON fault plan in $REPRO_FAULTS arms
+        # deterministic fault injection for this process and (via the
+        # inherited environment) its pool workers.
+        faults.install_from_env()
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
     if args.log_level is not None:
         try:

@@ -160,15 +160,22 @@ def build_wave_simulator(fab: FabricatedGate, frequency: float,
     """FDTD simulator for one input pattern on a fabricated gate.
 
     Absorbers are placed on all four canvas sides; the fabrication
-    margin guarantees only open waveguide ends reach them.
+    margin guarantees only open waveguide ends reach them.  A default
+    :class:`~repro.resilience.FieldWatchdog` rides along every gate
+    solve, so a blown-up field raises a typed
+    :class:`~repro.errors.NumericalDivergenceError` (caught by the
+    experiment ladder's tier degradation) instead of silently decoding
+    garbage.
     """
+    from ..resilience.guardrails import FieldWatchdog
+
     dims = fab.layout.dimensions
     absorber = (absorber_width if absorber_width is not None
                 else 1.5 * dims.wavelength)
     sim = ScalarWaveSimulator(
         mask=fab.mask, dx=fab.cell_size, wavelength=dims.wavelength,
         frequency=frequency, damping_time=damping_time,
-        absorber_width=absorber)
+        absorber_width=absorber, watchdog=FieldWatchdog(every=500))
     for name, bit in input_bits.items():
         if name not in fab.terminal_masks:
             raise KeyError(f"unknown input terminal {name!r}")

@@ -1,0 +1,118 @@
+"""Typed exception hierarchy for the reproduction.
+
+Every failure mode the engine is expected to *handle* -- as opposed to
+programmer errors, which stay plain ``ValueError``/``TypeError`` -- is
+a subclass of :class:`ReproError`, so callers can catch the whole
+family or a precise leaf:
+
+* :class:`JobTimeout` -- a job attempt exceeded its wall-time bound
+  (the executor's per-job timeout, or a propagated request deadline);
+* :class:`JobFailed` -- a batch contained jobs that exhausted their
+  retries (:meth:`repro.runtime.RunResult.raise_on_failure`);
+* :class:`CacheCorrupt` -- an on-disk result cache entry failed to
+  decode; the entry is quarantined, the lookup reported as a miss;
+* :class:`NumericalDivergenceError` -- a solver health watchdog caught
+  non-finite values or runaway drift, with step diagnostics attached;
+* :class:`CircuitOpen` -- a serving-tier circuit breaker is rejecting
+  work for a failing job family;
+* :class:`FaultInjected` -- an error deliberately raised by the
+  fault-injection framework (:mod:`repro.resilience.faults`);
+* :class:`CheckpointError` -- a solver checkpoint could not be read.
+
+The hierarchy is dependency-free (no numpy, no package imports) so any
+tier -- runtime, solvers, serving, CLI -- can import it without cycles.
+See ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "CacheCorrupt",
+    "CheckpointError",
+    "CircuitOpen",
+    "FaultInjected",
+    "JobFailed",
+    "JobTimeout",
+    "NumericalDivergenceError",
+    "ReproError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every handled failure mode in the package."""
+
+
+class JobTimeout(ReproError):
+    """A job attempt exceeded its wall-time bound.
+
+    Raised by the executor's per-job timeout and by the serving tier
+    when a propagated request deadline expires before the result.
+    """
+
+
+class JobFailed(ReproError):
+    """Raised by :meth:`RunResult.raise_on_failure` when jobs failed."""
+
+
+class CacheCorrupt(ReproError):
+    """An on-disk cache entry failed to decode.
+
+    Carries the content key and the decode failure; the cache treats
+    the lookup as a miss and moves the damaged files to the quarantine
+    directory instead of serving (or silently deleting) them.
+    """
+
+    def __init__(self, key: str, reason: str):
+        super().__init__(f"corrupt cache entry {key}: {reason}")
+        self.key = key
+        self.reason = reason
+
+
+class NumericalDivergenceError(ReproError):
+    """A solver health watchdog detected numerical divergence.
+
+    Attributes
+    ----------
+    solver:
+        Which tier diverged (``"fdtd"``, ``"llg"``, ...).
+    step:
+        Step count at the failing health check.
+    t:
+        Physical simulation time [s] at the check.
+    diagnostics:
+        Field diagnostics gathered at the check -- non-finite cell
+        count, peak amplitude, |m| drift and the like.
+    """
+
+    def __init__(self, solver: str, step: int, t: float, reason: str,
+                 diagnostics: Optional[Dict[str, Any]] = None):
+        detail = ", ".join(f"{k}={v}" for k, v in (diagnostics or {}).items())
+        message = (f"{solver} diverged at step {step} (t = {t:.4g} s): "
+                   f"{reason}" + (f" [{detail}]" if detail else ""))
+        super().__init__(message)
+        self.solver = solver
+        self.step = step
+        self.t = t
+        self.reason = reason
+        self.diagnostics = dict(diagnostics or {})
+
+
+class CircuitOpen(ReproError):
+    """A circuit breaker is open: the job family keeps failing and new
+    work is rejected fast instead of burning the executor."""
+
+    def __init__(self, name: str, retry_after: float = 1.0):
+        super().__init__(f"circuit {name!r} is open; retry in "
+                         f"{retry_after:.1f} s")
+        self.name = name
+        self.retry_after = max(0.0, retry_after)
+
+
+class FaultInjected(ReproError):
+    """An error deliberately injected by an armed fault plan."""
+
+
+class CheckpointError(ReproError):
+    """A solver checkpoint file is missing required state or corrupt."""

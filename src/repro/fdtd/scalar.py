@@ -25,11 +25,15 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs
+from ..errors import CheckpointError
+from ..resilience import faults
+from ..resilience.checkpoint import CheckpointManager
+from ..resilience.guardrails import Watchdog
 
 
 @dataclass
@@ -103,6 +107,15 @@ class ScalarWaveSimulator:
         report liveness without any tracing machinery.
     progress_every:
         Heartbeat period in steps (default 200).
+    watchdog:
+        Optional :class:`~repro.resilience.guardrails.FieldWatchdog`
+        observing the field after each step (self-throttled to its own
+        ``every`` period); raises
+        :class:`~repro.errors.NumericalDivergenceError` on blow-up.
+    checkpoint:
+        Optional :class:`~repro.resilience.CheckpointManager`
+        persisting :meth:`state_dict` every ``every_steps`` steps;
+        :meth:`restore_checkpoint` resumes from the last snapshot.
     """
 
     def __init__(self, mask: np.ndarray, dx: float, wavelength: float,
@@ -111,7 +124,9 @@ class ScalarWaveSimulator:
                  absorber_sides: Tuple[str, ...] = ("left", "right",
                                                     "top", "bottom"),
                  progress: Optional[Callable[[int, float], None]] = None,
-                 progress_every: int = 200):
+                 progress_every: int = 200,
+                 watchdog: Optional[Watchdog] = None,
+                 checkpoint: Optional[CheckpointManager] = None):
         mask = np.asarray(mask, dtype=bool)
         if mask.ndim != 2:
             raise ValueError("mask must be 2-D (ny, nx)")
@@ -146,6 +161,8 @@ class ScalarWaveSimulator:
         self.step_count = 0
         self.progress = progress
         self.progress_every = max(1, int(progress_every))
+        self.watchdog = watchdog
+        self.checkpoint = checkpoint
         self._n_cells = int(mask.sum())
         self._laplacian_scale = (self.speed * self.dt / dx) ** 2
         # Shifted neighbour masks with wrap-around explicitly forbidden
@@ -157,6 +174,10 @@ class ScalarWaveSimulator:
             edge_index[axis] = 0 if shift == 1 else -1
             shifted[tuple(edge_index)] = False
             self._neighbour_masks[(axis, shift)] = shifted
+        masks = self._neighbour_masks
+        self._neighbour_count = (masks[(0, 1)].astype(float)
+                                 + masks[(0, -1)] + masks[(1, 1)]
+                                 + masks[(1, -1)])
 
     # -- construction helpers -----------------------------------------------------
 
@@ -250,14 +271,20 @@ class ScalarWaveSimulator:
         call is wrapped in an ``fdtd.step`` span and updates the
         ``fdtd.steps`` / ``fdtd.cell_updates`` counters and the
         ``fdtd.steps_per_s`` gauge; disabled, the instrumentation is a
-        single flag check.
+        single flag check.  Likewise the resilience hooks: with no
+        watchdog, no checkpoint manager and no armed fault plan the
+        solver takes the bare :meth:`_advance` loop.
         """
+        advance = self._advance
+        if (self.watchdog is not None or self.checkpoint is not None
+                or faults.active()):
+            advance = self._advance_guarded
         if not obs.enabled():
-            return self._advance(n_steps)
+            return advance(n_steps)
         t0 = time.perf_counter()
         with obs.span("fdtd.step", steps=int(n_steps),
                       cells=self._n_cells):
-            self._advance(n_steps)
+            advance(n_steps)
         elapsed = time.perf_counter() - t0
         obs.counter("fdtd.steps").inc(int(n_steps))
         obs.counter("fdtd.cell_updates").inc(int(n_steps) * self._n_cells)
@@ -269,8 +296,7 @@ class ScalarWaveSimulator:
         c2 = self._laplacian_scale
         dt = self.dt
         masks = self._neighbour_masks
-        neighbours = (masks[(0, 1)].astype(float) + masks[(0, -1)]
-                      + masks[(1, 1)] + masks[(1, -1)])
+        neighbours = self._neighbour_count
         heartbeat = self.progress
         every = self.progress_every
         count = self.step_count
@@ -294,6 +320,63 @@ class ScalarWaveSimulator:
             if heartbeat is not None and count % every == 0:
                 heartbeat(count, self.t)
         self.step_count = count
+
+    def _advance_guarded(self, n_steps: int) -> None:
+        """Leapfrog loop with per-step resilience hooks.
+
+        Taken only when a watchdog, a checkpoint manager or an armed
+        fault plan is present; the bare :meth:`_advance` hot path is
+        untouched otherwise.
+        """
+        watchdog = self.watchdog
+        manager = self.checkpoint
+        for _ in range(n_steps):
+            self._advance(1)
+            if faults.active():
+                spec = faults.trip("fdtd.step")
+                if spec is not None and spec.kind == "nan":
+                    iy, ix = np.argwhere(self.mask)[0]
+                    self.u[iy, ix] = np.nan
+            if watchdog is not None:
+                watchdog.observe(self.t, step=self.step_count, u=self.u)
+            if manager is not None:
+                manager.maybe_save(self.step_count, self.state_dict)
+
+    # -- checkpoint/resume ---------------------------------------------------
+
+    def state_dict(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Solver state in :class:`CheckpointManager` format: the two
+        leapfrog field planes plus scalar bookkeeping."""
+        return ({"u": self.u, "u_prev": self.u_prev},
+                {"solver": "fdtd", "t": self.t,
+                 "step_count": self.step_count,
+                 "shape": [self.ny, self.nx]})
+
+    def load_state(self, arrays: Dict[str, np.ndarray],
+                   meta: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (shape-checked)."""
+        if tuple(meta.get("shape", ())) != (self.ny, self.nx):
+            raise CheckpointError(
+                f"checkpoint grid {meta.get('shape')} does not match "
+                f"simulator grid {[self.ny, self.nx]}")
+        self.u = np.array(arrays["u"], dtype=float)
+        self.u_prev = np.array(arrays["u_prev"], dtype=float)
+        self.t = float(meta["t"])
+        self.step_count = int(meta["step_count"])
+
+    def restore_checkpoint(self) -> bool:
+        """Resume from the attached manager's last snapshot.
+
+        Returns True when a snapshot was restored, False when no
+        checkpoint file exists yet (fresh run).
+        """
+        if self.checkpoint is None:
+            raise CheckpointError("no CheckpointManager attached")
+        if not self.checkpoint.exists():
+            return False
+        arrays, meta = self.checkpoint.load()
+        self.load_state(arrays, meta)
+        return True
 
     def run_until(self, t_end: float) -> None:
         """Advance to (at least) physical time ``t_end`` [s]."""

@@ -159,7 +159,8 @@ def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
                   frequency: Optional[float] = None,
                   n_d1: int = 2, cells_per_wavelength: int = 10,
                   temperature: float = 0.0,
-                  seed: Optional[int] = None) -> Dict[str, Any]:
+                  seed: Optional[int] = None,
+                  remediate: bool = True) -> Dict[str, Any]:
     """Evaluate ONE input pattern of a triangle gate -- as a job.
 
     This is the unit of work the paper's validation grid is made of
@@ -193,13 +194,23 @@ def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
         deterministically from the job's identifying parameters
         (:func:`repro.micromag.fields.thermal.seed_from_key`), so
         cached thermal runs reproduce bit-exact across processes.
+    remediate:
+        Numerical-divergence policy (default True): an LLG run that
+        trips its magnetisation watchdog is retried with a halved dt
+        (bounded by :class:`~repro.resilience.RemediationPolicy`), and
+        a tier whose retry budget is exhausted degrades to the
+        next-coarser tier (llg -> fdtd -> network), recording
+        ``degraded_from`` in the result.  ``remediate=False`` lets the
+        :class:`~repro.errors.NumericalDivergenceError` propagate.
+        The default is deliberately not part of sweep cache keys.
 
     Returns
     -------
     dict
         ``{"gate", "tier", "bits", "outputs": {name: {"logic",
         "amplitude", "phase", "margin"}}, "normalized": [...],
-        "expected", "correct", "fanout_matched"}``.
+        "expected", "correct", "fanout_matched"}``, plus
+        ``"degraded_from"`` / ``"dt_halvings"`` when remediation acted.
     """
     from ..core.logic import check_bits, majority, xor as xor_fn
 
@@ -215,22 +226,71 @@ def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
         raise ValueError(f"unknown tier {tier!r}; choose from "
                          "'network', 'fdtd', 'llg'")
 
+    from ..errors import NumericalDivergenceError
+    from ..resilience.guardrails import run_with_dt_remediation
+
     with obs.span("gate_case", gate=gate, tier=tier,
                   bits="".join(map(str, bits))):
-        if tier in ("network", "fdtd"):
-            result, normalized = _evaluate_model_tier(gate, bits, tier,
-                                                      calibrated, frequency)
-            outputs = {
-                name: {"logic": det.logic_value, "amplitude": det.amplitude,
-                       "phase": det.phase, "margin": det.margin}
-                for name, det in result.outputs.items()}
-            return {"gate": gate, "tier": tier, "bits": list(bits),
-                    "outputs": outputs, "normalized": list(normalized),
-                    "expected": expected, "correct": result.correct,
-                    "fanout_matched": result.fanout_matched}
+        attempt_tier = tier
+        degraded_from: Optional[str] = None
+        while True:
+            try:
+                case = _evaluate_tier(gate, bits, expected, attempt_tier,
+                                      calibrated, frequency, n_d1,
+                                      cells_per_wavelength, temperature,
+                                      seed, remediate,
+                                      run_with_dt_remediation)
+                break
+            except NumericalDivergenceError as exc:
+                coarser = {"llg": "fdtd", "fdtd": "network"}.get(attempt_tier)
+                if not remediate or coarser is None:
+                    raise
+                obs.get_logger("micromag.experiments").warning(
+                    "%s tier diverged for %s %s (%s); degrading to %s",
+                    attempt_tier, gate, bits, exc, coarser)
+                if obs.enabled():
+                    obs.counter("resilience.degraded").inc()
+                degraded_from = degraded_from or attempt_tier
+                attempt_tier = coarser
+        if degraded_from is not None:
+            case["degraded_from"] = degraded_from
+        return case
+
+
+def _evaluate_tier(gate: str, bits: Tuple[int, ...], expected: int,
+                   tier: str, calibrated: bool, frequency: Optional[float],
+                   n_d1: int, cells_per_wavelength: int, temperature: float,
+                   seed: Optional[int], remediate: bool,
+                   run_with_dt_remediation: Any) -> Dict[str, Any]:
+    """One tier of the degradation ladder, with LLG dt remediation."""
+    if tier in ("network", "fdtd"):
+        result, normalized = _evaluate_model_tier(gate, bits, tier,
+                                                  calibrated, frequency)
+        outputs = {
+            name: {"logic": det.logic_value, "amplitude": det.amplitude,
+                   "phase": det.phase, "margin": det.margin}
+            for name, det in result.outputs.items()}
+        return {"gate": gate, "tier": tier, "bits": list(bits),
+                "outputs": outputs, "normalized": list(normalized),
+                "expected": expected, "correct": result.correct,
+                "fanout_matched": result.fanout_matched}
+
+    def run(dt: Optional[float]) -> Dict[str, Any]:
         return _evaluate_llg_tier(gate, bits, expected,
                                   frequency or 28e9, n_d1,
-                                  cells_per_wavelength, temperature, seed)
+                                  cells_per_wavelength, temperature, seed,
+                                  dt=dt)
+
+    if not remediate:
+        return run(None)
+    from .gate_experiment import LlgGateExperiment
+
+    base_dt = LlgGateExperiment.dt  # dataclass field default
+    case, dt_used, halvings = run_with_dt_remediation(run, base_dt)
+    if halvings:
+        case["dt_halvings"] = halvings
+        case["dt"] = dt_used
+    return case
 
 
 def _evaluate_model_tier(gate: str, bits: Tuple[int, ...], tier: str,
@@ -264,14 +324,19 @@ def _evaluate_model_tier(gate: str, bits: Tuple[int, ...], tier: str,
 def _evaluate_llg_tier(gate: str, bits: Tuple[int, ...], expected: int,
                        frequency: float, n_d1: int,
                        cells_per_wavelength: int, temperature: float,
-                       seed: Optional[int]) -> Dict[str, Any]:
+                       seed: Optional[int],
+                       dt: Optional[float] = None) -> Dict[str, Any]:
     """Scaled micromagnetic evaluation of one pattern.
 
     Runs the pattern *and* the all-zeros reference (the paper's
     "predefined phase" / unanimous normalisation), then decodes with
-    the same detectors as the model tiers.
+    the same detectors as the model tiers.  A
+    :class:`~repro.resilience.MagnetisationWatchdog` rides along both
+    runs; ``dt`` overrides the experiment's integrator step (the
+    dt-halving remediation knob).
     """
     from ..core.detection import PhaseDetector, ThresholdDetector
+    from ..resilience.guardrails import MagnetisationWatchdog
     from .fields.thermal import seed_from_key
     from .gate_experiment import scaled_maj3_experiment, scaled_xor_experiment
 
@@ -286,12 +351,15 @@ def _evaluate_llg_tier(gate: str, bits: Tuple[int, ...], expected: int,
         experiment = factory(frequency=frequency, n_d1=n_d1,
                              cells_per_wavelength=cells_per_wavelength)
         experiment.temperature = temperature
+        if dt is not None:
+            experiment.dt = dt
         if seed is not None:
             experiment.rng = np.random.default_rng(seed)
         return experiment
 
-    reference = build().run_case((0,) * len(bits))
-    case = build().run_case(bits)
+    reference = build().run_case(
+        (0,) * len(bits), watchdog=MagnetisationWatchdog())
+    case = build().run_case(bits, watchdog=MagnetisationWatchdog())
 
     outputs: Dict[str, Dict[str, float]] = {}
     normalized: List[float] = []
@@ -422,6 +490,13 @@ def sweep_gate_truth_table(gate: str = "maj3", tier: str = "network",
         result = executor.run(specs)
     if raise_on_failure:
         result.raise_on_failure()
+    for outcome in result:
+        # Surface graceful tier degradation in the RunReport telemetry.
+        if (outcome.ok and isinstance(outcome.value, dict)
+                and outcome.value.get("degraded_from")):
+            note = f"degraded_from={outcome.value['degraded_from']}"
+            outcome.record.notes = (f"{outcome.record.notes}; {note}"
+                                    if outcome.record.notes else note)
     cases = {tuple(outcome.value["bits"]): outcome.value
              for outcome in result if outcome.ok}
     return GateSweep(gate=gate, tier=tier, cases=cases,

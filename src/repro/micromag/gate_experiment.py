@@ -109,15 +109,21 @@ class LlgGateExperiment:
         return sim, probes
 
     def run_case(self, bits: Sequence[int],
-                 sample_every: int = 4) -> LlgGateCase:
-        """Simulate one input pattern to steady state and demodulate."""
+                 sample_every: int = 4,
+                 watchdog=None, checkpoint=None) -> LlgGateCase:
+        """Simulate one input pattern to steady state and demodulate.
+
+        ``watchdog`` / ``checkpoint`` are handed straight to
+        :meth:`Simulation.run` (see :mod:`repro.resilience`).
+        """
         bits = tuple(int(b) for b in bits)
         if len(bits) != len(self.input_names):
             raise ValueError(f"expected {len(self.input_names)} bits")
         sim, probes = self._build_simulation(bits)
         measure_time = self.measure_periods / self.frequency
         sim.run(duration=self.settle_time + measure_time, dt=self.dt,
-                sample_every=sample_every)
+                sample_every=sample_every, watchdog=watchdog,
+                checkpoint=checkpoint)
         amplitudes = {}
         phases = {}
         for name, probe in probes.items():

@@ -27,6 +27,8 @@ import numpy as np
 from .mesh import normalize_field
 from .. import obs
 from ..constants import MU0
+from ..resilience import faults
+from ..resilience.guardrails import Watchdog
 
 #: RHS signature: (t, m) -> dm/dt
 RHSFunction = Callable[[float, np.ndarray], np.ndarray]
@@ -50,6 +52,26 @@ def _record_step(t0: Optional[float], rejected: int = 0) -> None:
         obs.counter("llg.rk45.rejected").inc(rejected)
     if elapsed > 0:
         obs.gauge("llg.steps_per_s").set(1.0 / elapsed)
+
+
+def _guard_step(watchdog: Optional[Watchdog], t: float, m: np.ndarray,
+                mask: Optional[np.ndarray]) -> None:
+    """Per-step resilience hook shared by the three integrators.
+
+    Runs *before* renormalisation so the watchdog sees the raw |m|
+    drift a blown-up step produces.  Costs two predicate checks per
+    step when no fault plan is armed and no watchdog is attached.
+    """
+    if faults.active():
+        spec = faults.trip("llg.step")
+        if spec is not None and spec.kind == "nan":
+            if mask is not None and np.asarray(mask).any():
+                idx = tuple(np.argwhere(mask)[0])
+                m[(0,) + idx] = np.nan
+            else:
+                m.flat[0] = np.nan
+    if watchdog is not None:
+        watchdog.observe(t, m=m, mask=mask)
 
 
 def cross(a: np.ndarray, b: np.ndarray, out: np.ndarray = None) -> np.ndarray:
@@ -107,11 +129,13 @@ class RK4Integrator:
 
     def __init__(self, rhs: RHSFunction, renormalize: bool = True,
                  mask: np.ndarray = None,
-                 progress: Optional[ProgressCallback] = None):
+                 progress: Optional[ProgressCallback] = None,
+                 watchdog: Optional[Watchdog] = None):
         self.rhs = rhs
         self.renormalize = renormalize
         self.mask = mask
         self.progress = progress
+        self.watchdog = watchdog
 
     def step(self, t: float, m: np.ndarray, dt: float) -> np.ndarray:
         """Advance ``m`` by one step of size ``dt``; returns the new state."""
@@ -123,6 +147,7 @@ class RK4Integrator:
         k3 = self.rhs(t + dt / 2.0, m + (dt / 2.0) * k2)
         k4 = self.rhs(t + dt, m + dt * k3)
         new = m + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        _guard_step(self.watchdog, t + dt, new, self.mask)
         if self.renormalize:
             normalize_field(new, self.mask)
         _record_step(t0)
@@ -142,11 +167,13 @@ class HeunIntegrator:
 
     def __init__(self, rhs: RHSFunction, renormalize: bool = True,
                  mask: np.ndarray = None,
-                 progress: Optional[ProgressCallback] = None):
+                 progress: Optional[ProgressCallback] = None,
+                 watchdog: Optional[Watchdog] = None):
         self.rhs = rhs
         self.renormalize = renormalize
         self.mask = mask
         self.progress = progress
+        self.watchdog = watchdog
 
     def step(self, t: float, m: np.ndarray, dt: float) -> np.ndarray:
         """One Heun step of size ``dt``."""
@@ -159,6 +186,7 @@ class HeunIntegrator:
             normalize_field(predictor, self.mask)
         k2 = self.rhs(t + dt, predictor)
         new = m + (dt / 2.0) * (k1 + k2)
+        _guard_step(self.watchdog, t + dt, new, self.mask)
         if self.renormalize:
             normalize_field(new, self.mask)
         _record_step(t0)
@@ -199,7 +227,8 @@ class RK45Integrator:
     def __init__(self, rhs: RHSFunction, tolerance: float = 1e-5,
                  dt_min: float = 1e-17, dt_max: float = 1e-11,
                  renormalize: bool = True, mask: np.ndarray = None,
-                 progress: Optional[ProgressCallback] = None):
+                 progress: Optional[ProgressCallback] = None,
+                 watchdog: Optional[Watchdog] = None):
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
         if dt_min <= 0 or dt_max <= dt_min:
@@ -211,6 +240,7 @@ class RK45Integrator:
         self.renormalize = renormalize
         self.mask = mask
         self.progress = progress
+        self.watchdog = watchdog
         self.last_dt: Optional[float] = None
         self.rejected_steps = 0
 
@@ -243,6 +273,7 @@ class RK45Integrator:
                     m4 += dt * bi * ki
             error = float(np.max(np.abs(m5 - m4)))
             if error <= self.tolerance or dt <= self.dt_min * 1.0000001:
+                _guard_step(self.watchdog, t + dt, m5, self.mask)
                 if self.renormalize:
                     normalize_field(m5, self.mask)
                 # PI-free step-size update with safety factor 0.9.

@@ -22,7 +22,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import CheckpointError
 from ..physics.materials import Material
+from ..resilience.checkpoint import CheckpointManager
+from ..resilience.guardrails import Watchdog
 from .fields.anisotropy import UniaxialAnisotropyField
 from .fields.demag import DemagField, ThinFilmDemagField
 from .fields.exchange import ExchangeField
@@ -193,7 +196,9 @@ class Simulation:
 
     def run(self, duration: float, dt: float,
             sample_every: int = 1,
-            snapshot_times: Optional[Sequence[float]] = None
+            snapshot_times: Optional[Sequence[float]] = None,
+            watchdog: Optional[Watchdog] = None,
+            checkpoint: Optional[CheckpointManager] = None
             ) -> Dict[str, np.ndarray]:
         """Fixed-step time evolution (RK4, or Heun when thermal).
 
@@ -210,6 +215,15 @@ class Simulation:
         snapshot_times:
             Optional times [s] at which full magnetisation snapshots are
             stored (returned under key ``"snapshots"``).
+        watchdog:
+            Optional
+            :class:`~repro.resilience.guardrails.MagnetisationWatchdog`
+            handed to the integrator; raises
+            :class:`~repro.errors.NumericalDivergenceError` when the
+            magnetisation blows up.
+        checkpoint:
+            Optional :class:`~repro.resilience.CheckpointManager`
+            persisting :meth:`state_dict` periodically during the run.
 
         Returns
         -------
@@ -222,9 +236,11 @@ class Simulation:
             raise ValueError("dt must be positive")
         n_steps = int(round(duration / dt))
         if self.thermal is not None:
-            integrator = HeunIntegrator(self._rhs, mask=self.mask)
+            integrator = HeunIntegrator(self._rhs, mask=self.mask,
+                                        watchdog=watchdog)
         else:
-            integrator = RK4Integrator(self._rhs, mask=self.mask)
+            integrator = RK4Integrator(self._rhs, mask=self.mask,
+                                       watchdog=watchdog)
 
         pending = sorted(snapshot_times) if snapshot_times else []
         snapshots: Dict[float, np.ndarray] = {}
@@ -240,8 +256,28 @@ class Simulation:
                     probe.record(self.t, self.m)
             while pending and self.t >= pending[0] - dt / 2.0:
                 snapshots[pending.pop(0)] = self.m.copy()
+            if checkpoint is not None:
+                checkpoint.maybe_save(step + 1, self.state_dict)
         return {"result": RunResult(t_final=self.t, n_steps=n_steps),
                 "snapshots": snapshots}
+
+    # -- checkpoint/resume ----------------------------------------------------------
+
+    def state_dict(self) -> Tuple[Dict[str, np.ndarray], Dict[str, float]]:
+        """Solver state in :class:`CheckpointManager` format."""
+        return ({"m": self.m},
+                {"solver": "llg", "t": self.t,
+                 "shape": list(self.mesh.field_shape)})
+
+    def load_state(self, arrays: Dict[str, np.ndarray],
+                   meta: Dict[str, float]) -> None:
+        """Restore a :meth:`state_dict` snapshot (shape-checked)."""
+        if tuple(meta.get("shape", ())) != tuple(self.mesh.field_shape):
+            raise CheckpointError(
+                f"checkpoint field shape {meta.get('shape')} does not "
+                f"match mesh field shape {list(self.mesh.field_shape)}")
+        self.m = np.array(arrays["m"], dtype=float)
+        self.t = float(meta["t"])
 
     def relax(self, tolerance: float = 1.0, max_time: float = 20e-9,
               dt0: float = 1e-13, high_damping: float = 0.5) -> RunResult:

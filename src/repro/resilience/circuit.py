@@ -1,0 +1,122 @@
+"""Per-job-family circuit breaker for the serving tier.
+
+Classic three-state breaker:
+
+* **closed** -- requests flow; consecutive failures are counted.
+* **open** -- after ``fail_threshold`` consecutive failures the
+  breaker rejects immediately with
+  :class:`repro.errors.CircuitOpen` (mapped to HTTP 503 +
+  ``Retry-After`` by the service) instead of queueing more work onto
+  a job family that keeps blowing up the executor.
+* **half-open** -- once ``reset_timeout`` has elapsed, a single probe
+  request is admitted; success closes the breaker, failure re-opens
+  it for another timeout.
+
+Cache hits bypass the breaker entirely (the pipeline checks it only
+on the compute path), so an open breaker degrades the service to
+cached-results-only rather than taking it down -- which is exactly
+what ``/healthz`` reports as ``"degraded"``.
+
+The breaker is synchronous and lock-free by design: the serving
+pipeline drives it from a single asyncio event loop.  ``clock`` is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from .. import obs
+from ..errors import CircuitOpen
+
+__all__ = ["CircuitBreaker"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one job family.
+
+    Parameters
+    ----------
+    name:
+        Family label, carried into :class:`CircuitOpen` and metrics.
+    fail_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout:
+        Seconds an open breaker waits before admitting a probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, name: str, fail_threshold: int = 5,
+                 reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.name = name
+        self.fail_threshold = int(fail_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.clock = clock
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+    def allow(self) -> None:
+        """Admit a request or raise :class:`CircuitOpen`.
+
+        An open breaker past its reset timeout transitions to
+        half-open and admits this request as the probe.
+        """
+        if self.state == STATE_CLOSED:
+            return
+        if self.state == STATE_OPEN:
+            elapsed = self.clock() - (self.opened_at or 0.0)
+            if elapsed < self.reset_timeout:
+                if obs.enabled():
+                    obs.counter("resilience.circuit_rejected").inc()
+                raise CircuitOpen(self.name,
+                                  retry_after=self.reset_timeout - elapsed)
+            self.state = STATE_HALF_OPEN
+            return  # this request is the probe
+        # Half-open with a probe already in flight: reject further work
+        # until the probe reports back.
+        if obs.enabled():
+            obs.counter("resilience.circuit_rejected").inc()
+        raise CircuitOpen(self.name, retry_after=self.reset_timeout)
+
+    def record_success(self) -> None:
+        if self.state != STATE_CLOSED and obs.enabled():
+            obs.counter("resilience.circuit_closed").inc()
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == STATE_HALF_OPEN or \
+                self.failures >= self.fail_threshold:
+            if self.state != STATE_OPEN:
+                self.trips += 1
+                if obs.enabled():
+                    obs.counter("resilience.circuit_opened").inc()
+            self.state = STATE_OPEN
+            self.opened_at = self.clock()
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == STATE_OPEN
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"state": self.state, "failures": self.failures,
+                "trips": self.trips}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CircuitBreaker({self.name!r}, state={self.state}, "
+                f"failures={self.failures}/{self.fail_threshold})")

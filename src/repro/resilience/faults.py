@@ -1,0 +1,213 @@
+"""Seeded, deterministic fault injection.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` triggers, each
+bound to a named *site* in the codebase (``"executor.invoke"``,
+``"cache.load"``, ``"fdtd.step"``, ...).  Production code calls
+:func:`trip` at each site; when no plan is installed the call is a
+single module-attribute check (the same zero-overhead-when-disabled
+contract as :mod:`repro.obs`), and chaos tests install a plan -- in
+process via :func:`install`, or across process boundaries via the
+``REPRO_FAULTS`` environment variable holding the plan's JSON.
+
+Determinism: every site keeps a monotonically increasing hit counter,
+and a spec fires on hits ``at .. at + count - 1`` of its site.  Two
+runs with the same plan and the same call sequence inject the same
+faults at the same places -- there is no randomness at trip time (the
+plan ``seed`` is carried for experiment bookkeeping and for callers
+that want to derive randomized plans up front).
+
+Fault kinds
+-----------
+``crash``
+    ``os._exit(EXIT_CODE)`` -- an un-catchable process death, the
+    moral equivalent of ``kill -9`` or an OOM kill.
+``slow``
+    ``time.sleep(delay_s)`` -- degraded I/O or a straggler worker.
+``error``
+    raises :class:`repro.errors.FaultInjected`.
+``nan``
+    returned to the call site, which poisons its state (solvers write
+    a NaN into the field at the armed step).
+``corrupt``
+    returned to the call site, which damages the artefact it was
+    about to produce (the disk cache truncates the entry it writes).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import FaultInjected
+
+__all__ = [
+    "ENV_VAR",
+    "EXIT_CODE",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "install",
+    "install_from_env",
+    "installed_plan",
+    "trip",
+    "uninstall",
+]
+
+log = logging.getLogger("repro.resilience")
+
+ENV_VAR = "REPRO_FAULTS"
+#: Exit status used by ``crash`` faults, distinguishable from normal
+#: failure codes in chaos tests.
+EXIT_CODE = 86
+
+KINDS = ("crash", "slow", "error", "nan", "corrupt")
+
+#: Kinds that :func:`trip` executes itself; ``nan``/``corrupt`` are
+#: returned for the call site to act on.
+_BUILTIN_KINDS = ("crash", "slow", "error")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic trigger: fire ``kind`` at hits ``at`` through
+    ``at + count - 1`` of ``site``."""
+
+    site: str
+    kind: str
+    at: int = 1
+    count: int = 1
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+        if self.at < 1:
+            raise ValueError("FaultSpec.at is 1-based and must be >= 1")
+        if self.count < 1:
+            raise ValueError("FaultSpec.count must be >= 1")
+
+    def matches(self, hit: int) -> bool:
+        return self.at <= hit < self.at + self.count
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of fault specs plus a bookkeeping seed."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "specs": [vars(s) for s in self.specs],
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        specs = [FaultSpec(**spec) for spec in data.get("specs", [])]
+        return cls(specs=specs, seed=int(data.get("seed", 0)))
+
+    def sites(self) -> List[str]:
+        return sorted({s.site for s in self.specs})
+
+
+# ---------------------------------------------------------------------------
+# Module state.  ``_PLAN is None`` is THE fast path: every guarded
+# production site reads it once and moves on.
+
+_PLAN: Optional[FaultPlan] = None
+_HITS: Dict[str, int] = {}
+
+
+def active() -> bool:
+    """True when a fault plan is armed in this process."""
+    return _PLAN is not None
+
+
+def installed_plan() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+def install(plan: FaultPlan) -> None:
+    """Arm ``plan`` and reset all site hit counters."""
+    global _PLAN
+    _PLAN = plan
+    _HITS.clear()
+    log.warning("fault plan armed: %d spec(s) at sites %s",
+                len(plan.specs), plan.sites())
+
+
+def uninstall() -> None:
+    global _PLAN
+    _PLAN = None
+    _HITS.clear()
+
+
+def install_from_env(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Arm the plan serialized in ``$REPRO_FAULTS``, if present.
+
+    Returns True when a plan was installed.  Called from the CLI entry
+    point and from pool workers, so a chaos harness can fault a whole
+    process tree by exporting one variable.
+    """
+    raw = (environ if environ is not None else os.environ).get(ENV_VAR)
+    if not raw:
+        return False
+    try:
+        install(FaultPlan.from_json(raw))
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ValueError(f"malformed {ENV_VAR}: {exc}") from exc
+    return True
+
+
+def trip(site: str) -> Optional[FaultSpec]:
+    """Advance ``site``'s hit counter and fire any armed fault.
+
+    ``crash``/``slow``/``error`` faults are executed here;  a ``nan``
+    or ``corrupt`` spec is *returned* so the call site can poison the
+    artefact only it knows how to damage.  Returns None when nothing
+    fires -- including always when no plan is armed.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    hit = _HITS.get(site, 0) + 1
+    _HITS[site] = hit
+    for spec in plan.specs:
+        if spec.site != site or not spec.matches(hit):
+            continue
+        _fire_counter(site, spec.kind)
+        if spec.kind == "crash":
+            log.error("fault[crash] at %s hit %d: exiting %d",
+                      site, hit, EXIT_CODE)
+            os._exit(EXIT_CODE)
+        if spec.kind == "slow":
+            log.warning("fault[slow] at %s hit %d: sleeping %.3fs",
+                        site, hit, spec.delay_s)
+            time.sleep(spec.delay_s)
+            return spec
+        if spec.kind == "error":
+            log.warning("fault[error] at %s hit %d", site, hit)
+            raise FaultInjected(f"injected error at {site} (hit {hit})")
+        log.warning("fault[%s] at %s hit %d", spec.kind, site, hit)
+        return spec
+    return None
+
+
+def site_hits(site: str) -> int:
+    """Hit counter for ``site`` (diagnostics/tests)."""
+    return _HITS.get(site, 0)
+
+
+def _fire_counter(site: str, kind: str) -> None:
+    from .. import obs
+    if obs.enabled():
+        obs.counter("resilience.fault_injected").inc()
+        obs.counter(f"resilience.fault_injected.{kind}").inc()

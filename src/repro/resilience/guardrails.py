@@ -1,0 +1,219 @@
+"""Numerical health watchdogs and remediation policies.
+
+A watchdog rides along a solver loop: the solver calls
+:meth:`Watchdog.observe` after every step, the watchdog runs its
+actual check only every ``every``-th call (so the hot loop pays a
+counter increment and a modulo), and a failed check raises
+:class:`repro.errors.NumericalDivergenceError` carrying the step,
+simulation time and field diagnostics of the blown-up state.
+
+Two concrete checks cover the two solver tiers:
+
+* :class:`FieldWatchdog` (FDTD) -- finiteness of the scalar field plus
+  an amplitude-runaway bound: a driven *damped* wave system has a
+  bounded steady-state amplitude, so the peak exceeding
+  ``growth_factor`` times the first observed peak (or an absolute
+  ``max_amplitude``) means the leapfrog scheme left its stability
+  region.
+* :class:`MagnetisationWatchdog` (LLG) -- finiteness of ``m`` plus the
+  drift of ``|m|`` from 1, checked *before* the integrator's
+  renormalisation would mask it.
+
+Remediation: :func:`run_with_dt_remediation` wraps a ``run(dt)``
+callable and, on divergence, retries with a halved time step up to
+``RemediationPolicy.dt_halvings`` times -- the standard fix when an
+explicit integrator is marginally outside its stability bound.  Tier
+degradation (LLG -> FDTD -> network) lives with the experiment ladder
+in :mod:`repro.micromag.experiments`, which records ``degraded_from``
+in its results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from .. import obs
+from ..errors import NumericalDivergenceError
+
+__all__ = [
+    "FieldWatchdog",
+    "MagnetisationWatchdog",
+    "RemediationPolicy",
+    "Watchdog",
+    "run_with_dt_remediation",
+]
+
+T = TypeVar("T")
+
+
+class Watchdog:
+    """Self-throttling health check attached to a solver loop.
+
+    Subclasses implement :meth:`check`; the solver calls
+    :meth:`observe` every step and pays only an integer modulo on the
+    ``every - 1`` steps in between checks.
+    """
+
+    #: Solver tag carried into :class:`NumericalDivergenceError`.
+    solver = "solver"
+
+    def __init__(self, every: int = 100):
+        if every < 1:
+            raise ValueError("watchdog period must be >= 1 step")
+        self.every = int(every)
+        self.calls = 0
+        self.checks = 0
+
+    def observe(self, t: float, step: Optional[int] = None, **fields: Any) -> None:
+        """Record one solver step; runs the check every ``every`` calls."""
+        self.calls += 1
+        if self.calls % self.every:
+            return
+        self.checks += 1
+        if obs.enabled():
+            obs.counter("resilience.watchdog_checks").inc()
+        self.check(self.calls if step is None else int(step), float(t), fields)
+
+    def check(self, step: int, t: float, fields: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def fail(self, step: int, t: float, reason: str, **diagnostics: Any) -> None:
+        """Raise the typed divergence error (and count it)."""
+        if obs.enabled():
+            obs.counter("resilience.divergence").inc()
+            obs.counter(f"resilience.divergence.{self.solver}").inc()
+        raise NumericalDivergenceError(self.solver, step, t, reason,
+                                       diagnostics)
+
+
+class FieldWatchdog(Watchdog):
+    """Finiteness + amplitude-runaway guard for the scalar FDTD field.
+
+    Parameters
+    ----------
+    every:
+        Check period in solver steps.
+    growth_factor:
+        Relative runaway bound: peak amplitude above ``growth_factor``
+        times the first checked peak fails.  The driven-damped wave
+        equation reaches a bounded steady state, so growth by orders
+        of magnitude can only be numerical instability.
+    max_amplitude:
+        Optional absolute peak bound [field units]; checked in
+        addition when given.
+    """
+
+    solver = "fdtd"
+
+    def __init__(self, every: int = 500, growth_factor: float = 1e3,
+                 max_amplitude: Optional[float] = None):
+        super().__init__(every)
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must exceed 1")
+        self.growth_factor = float(growth_factor)
+        self.max_amplitude = max_amplitude
+        self.baseline_peak: Optional[float] = None
+
+    def check(self, step: int, t: float, fields: Dict[str, Any]) -> None:
+        u = np.asarray(fields["u"])
+        finite = np.isfinite(u)
+        if not finite.all():
+            self.fail(step, t, "non-finite field values",
+                      nonfinite_cells=int(u.size - finite.sum()),
+                      checked_cells=int(u.size))
+        peak = float(np.max(np.abs(u)))
+        if self.max_amplitude is not None and peak > self.max_amplitude:
+            self.fail(step, t, "field amplitude above absolute bound",
+                      peak=peak, bound=float(self.max_amplitude))
+        if self.baseline_peak is None:
+            # First check fixes the reference scale (post source ramp-up
+            # for any sensible period); a silent field stays unset so a
+            # late-starting drive does not pin the baseline at ~0.
+            if peak > 0.0:
+                self.baseline_peak = peak
+            return
+        if peak > self.growth_factor * self.baseline_peak:
+            self.fail(step, t, "runaway amplitude growth",
+                      peak=peak, baseline=self.baseline_peak,
+                      growth_factor=self.growth_factor)
+
+
+class MagnetisationWatchdog(Watchdog):
+    """Finiteness + unit-norm drift guard for LLG magnetisation fields.
+
+    ``max_drift`` bounds ``max | |m| - 1 |`` over the checked cells.
+    Integrators call :meth:`observe` with the *raw* post-step state,
+    before renormalisation would hide the drift.
+    """
+
+    solver = "llg"
+
+    def __init__(self, every: int = 50, max_drift: float = 1e-2):
+        super().__init__(every)
+        if max_drift <= 0:
+            raise ValueError("max_drift must be positive")
+        self.max_drift = float(max_drift)
+
+    def check(self, step: int, t: float, fields: Dict[str, Any]) -> None:
+        m = np.asarray(fields["m"])
+        mask = fields.get("mask")
+        finite = np.isfinite(m)
+        if not finite.all():
+            self.fail(step, t, "non-finite magnetisation",
+                      nonfinite_values=int(m.size - finite.sum()),
+                      checked_values=int(m.size))
+        norm = np.sqrt(np.sum(m * m, axis=0))
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if not mask.any():
+                return
+            norm = norm[mask]
+        drift = float(np.max(np.abs(norm - 1.0)))
+        if drift > self.max_drift:
+            self.fail(step, t, "|m| drifted off the unit sphere",
+                      max_drift=drift, bound=self.max_drift)
+
+
+@dataclass(frozen=True)
+class RemediationPolicy:
+    """How to respond when a guarded run diverges.
+
+    ``dt_halvings`` bounds the retry budget of
+    :func:`run_with_dt_remediation`; ``degrade`` lets the experiment
+    ladder fall back to the next-coarser model tier when the budget is
+    exhausted (see ``run_gate_case``).
+    """
+
+    dt_halvings: int = 2
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dt_halvings < 0:
+            raise ValueError("dt_halvings must be >= 0")
+
+
+def run_with_dt_remediation(
+        run: Callable[[float], T], dt: float,
+        policy: Optional[RemediationPolicy] = None,
+) -> Tuple[T, float, int]:
+    """Run ``run(dt)``, halving ``dt`` on numerical divergence.
+
+    Returns ``(result, dt_used, halvings)``.  Re-raises the last
+    :class:`NumericalDivergenceError` once ``policy.dt_halvings``
+    retries are spent.
+    """
+    policy = policy or RemediationPolicy()
+    attempt_dt = float(dt)
+    for halvings in range(policy.dt_halvings + 1):
+        try:
+            return run(attempt_dt), attempt_dt, halvings
+        except NumericalDivergenceError:
+            if halvings == policy.dt_halvings:
+                raise
+            attempt_dt *= 0.5
+            if obs.enabled():
+                obs.counter("resilience.dt_halved").inc()
+    raise AssertionError("unreachable")  # pragma: no cover

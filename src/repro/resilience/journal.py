@@ -1,0 +1,154 @@
+"""Write-ahead job journal for crash-safe sweep resume.
+
+The executor appends one JSONL record *before* a job attempt starts
+(``start``) and one after its outcome is known (``done``), flushing
+each record to the OS so a ``kill -9`` loses at most the record being
+typed.  On ``python -m repro sweep --resume`` the journal is replayed
+first:
+
+* a key with a ``done`` record completed -- its result is already in
+  the write-through result cache, so the executor serves it as a hit
+  and never re-executes it;
+* a key with a ``start`` but no ``done`` was **interrupted** mid-run
+  -- it is re-executed (its solver restarts, from its last checkpoint
+  when one was configured);
+* unknown keys are ordinary new work.
+
+The journal is advisory bookkeeping, not a second result store: job
+*values* live only in the result cache.  Records are append-only, one
+JSON object per line; a truncated final line (the in-flight record at
+kill time) is ignored on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, TextIO
+
+from .. import obs
+from ..errors import ReproError
+
+__all__ = ["JobJournal", "JournalState", "read_journal"]
+
+EVENT_START = "start"
+EVENT_DONE = "done"
+
+
+@dataclass
+class JournalState:
+    """Replayed view of a journal file."""
+
+    records: int = 0
+    #: key -> final status ("ok"/"failed"/...) of journalled-complete jobs.
+    completed: Dict[str, str] = field(default_factory=dict)
+    #: keys with a start but no done record (killed mid-execution).
+    interrupted: Set[str] = field(default_factory=set)
+    #: key -> label, for reporting.
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{len(self.completed)} completed, "
+                f"{len(self.interrupted)} interrupted "
+                f"({self.records} record(s))")
+
+
+def read_journal(path: str) -> JournalState:
+    """Replay ``path`` (missing file -> empty state)."""
+    state = JournalState()
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError:
+        return state
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final record from a kill mid-write
+            key = record.get("key")
+            event = record.get("event")
+            if not key or event not in (EVENT_START, EVENT_DONE):
+                continue
+            state.records += 1
+            if record.get("label"):
+                state.labels[key] = record["label"]
+            if event == EVENT_START:
+                state.interrupted.add(key)
+            else:
+                state.interrupted.discard(key)
+                state.completed[key] = str(record.get("status", "ok"))
+    return state
+
+
+class JobJournal:
+    """Append-only write-ahead journal bound to one file.
+
+    Parameters
+    ----------
+    path:
+        Journal file; parent directories are created.
+    resume:
+        When True, replay the existing file into :attr:`state` and
+        append to it; when False, start a fresh (truncated) journal.
+    """
+
+    def __init__(self, path: str, resume: bool = False):
+        self.path = str(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self.state = read_journal(self.path) if resume else JournalState()
+        self._handle: Optional[TextIO] = open(
+            self.path, "a" if resume else "w", encoding="utf-8")
+
+    # -- replayed view ------------------------------------------------------
+
+    def completed_status(self, key: str) -> Optional[str]:
+        """Status of a journalled-complete job, or None."""
+        return self.state.completed.get(key)
+
+    def was_interrupted(self, key: str) -> bool:
+        return key in self.state.interrupted
+
+    # -- write-ahead records ------------------------------------------------
+
+    def start(self, key: str, label: str = "") -> None:
+        self._append({"event": EVENT_START, "key": key, "label": label})
+
+    def done(self, key: str, status: str, **extra: Any) -> None:
+        record = {"event": EVENT_DONE, "key": key, "status": status}
+        record.update(extra)
+        self._append(record)
+        self.state.completed[key] = status
+        self.state.interrupted.discard(key)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        handle = self._handle
+        if handle is None:
+            raise ReproError(f"journal {self.path} is closed")
+        from ..runtime.report import utc_now_iso  # lazy: import cycle
+
+        record["ts"] = utc_now_iso()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush through to the OS so a SIGKILL right after a record is
+        # written cannot lose it -- that is the write-ahead guarantee.
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.state.records += 1
+        if obs.enabled():
+            obs.counter("resilience.journal_records").inc()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -36,6 +36,7 @@ See ``docs/RUNTIME.md`` for the job model and the cache layout.
 from .aio import run_async, submit_async
 from .cache import (
     DEFAULT_CACHE_ROOT,
+    QUARANTINE_DIR,
     CacheStats,
     CacheUsage,
     DiskCache,
@@ -44,6 +45,7 @@ from .cache import (
     ResultCache,
     atomic_write,
     cache_stats,
+    count_quarantined,
     prune_cache,
     scan_cache,
 )
@@ -71,12 +73,14 @@ __all__ = [
     "JobTimeout",
     "MemoryCache",
     "PruneResult",
+    "QUARANTINE_DIR",
     "ResultCache",
     "RunReport",
     "RunResult",
     "atomic_write",
     "backoff_delay",
     "cache_stats",
+    "count_quarantined",
     "callable_ref",
     "canonical_json",
     "job_key",

@@ -41,8 +41,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import obs
+from ..errors import CacheCorrupt
+from ..resilience import faults
 
 DEFAULT_CACHE_ROOT = ".repro_cache"
+
+#: Namespace directory (under the cache root) holding quarantined
+#: corrupt entries; excluded from scans, stats and pruning.
+QUARANTINE_DIR = "quarantine"
 
 _LOG = obs.get_logger("runtime.cache")
 
@@ -72,6 +78,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Corrupt entries moved aside (DiskCache only).
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -86,7 +94,8 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, float]:
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "hit_rate": self.hit_rate}
+                "writes": self.writes, "quarantined": self.quarantined,
+                "hit_rate": self.hit_rate}
 
 
 class ResultCache:
@@ -229,6 +238,8 @@ class DiskCache(ResultCache):
         self.salt = salt
         safe_salt = re.sub(r"[^A-Za-z0-9._-]", "_", salt)
         self.directory = os.path.join(root, safe_salt)
+        self.quarantine_directory = os.path.join(
+            root, QUARANTINE_DIR, safe_salt)
 
     def _paths(self, key: str) -> Tuple[str, str]:
         if not self._KEY_RE.match(key):
@@ -245,6 +256,8 @@ class DiskCache(ResultCache):
 
     def _load(self, key: str) -> Tuple[bool, Any]:
         json_path, npz_path = self._paths(key)
+        if faults.active():
+            faults.trip("cache.load")
         try:
             with open(json_path, "r", encoding="utf-8") as handle:
                 text = handle.read()
@@ -260,11 +273,14 @@ class DiskCache(ResultCache):
                     arrays = {name: npz[name] for name in npz.files}
             value = _decode(document["value"], arrays)
         except (OSError, ValueError, KeyError) as exc:
-            # Corrupt or half-written entry: a miss, not an error.
-            _LOG.warning("corrupt cache entry %s: %s: %s", key,
-                         type(exc).__name__, exc)
+            # Corrupt or half-written entry: a miss for the caller, but
+            # the damaged files are preserved under quarantine/ for
+            # post-mortem instead of being recomputed over silently.
+            corrupt = CacheCorrupt(key, f"{type(exc).__name__}: {exc}")
+            _LOG.warning("%s; quarantining", corrupt)
             if obs.enabled():
                 obs.counter("cache.corrupt").inc()
+            self._quarantine(key, json_path, npz_path)
             return False, None
         try:
             # Touch the entry so mtime-LRU pruning keeps hot results.
@@ -275,8 +291,29 @@ class DiskCache(ResultCache):
             obs.counter("cache.bytes_read").inc(bytes_read)
         return True, value
 
+    def _quarantine(self, key: str, json_path: str,
+                    npz_path: str) -> None:
+        """Move a corrupt entry's files into the quarantine namespace."""
+        os.makedirs(self.quarantine_directory, exist_ok=True)
+        moved = 0
+        for path in (json_path, npz_path):
+            target = os.path.join(self.quarantine_directory,
+                                  os.path.basename(path))
+            try:
+                os.replace(path, target)
+                moved += 1
+            except OSError:
+                pass  # sidecar absent, or a concurrent reader moved it
+        if moved:
+            self.stats.quarantined += 1
+            if obs.enabled():
+                obs.counter("cache.quarantined").inc()
+
     def _store(self, key: str, value: Any) -> None:
         json_path, npz_path = self._paths(key)
+        corrupt_fault = None
+        if faults.active():
+            corrupt_fault = faults.trip("cache.store")
         arrays: Dict[str, np.ndarray] = {}
         payload = _encode(value, arrays)
         document = {"key": key, "salt": self.salt,
@@ -284,9 +321,10 @@ class DiskCache(ResultCache):
         os.makedirs(os.path.dirname(json_path), exist_ok=True)
         if arrays:
             atomic_write(npz_path, lambda fh: np.savez(fh, **arrays))
-        atomic_write(
-            json_path,
-            lambda fh: fh.write(json.dumps(document).encode("utf-8")))
+        text = json.dumps(document).encode("utf-8")
+        if corrupt_fault is not None and corrupt_fault.kind == "corrupt":
+            text = text[:max(1, len(text) // 2)]  # torn write
+        atomic_write(json_path, lambda fh: fh.write(text))
         if obs.enabled():
             written = os.path.getsize(json_path)
             if arrays:
@@ -336,10 +374,13 @@ class CacheUsage:
     total_bytes: int = 0
     by_salt: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     #: (entries, bytes) per salt namespace.
+    quarantined: int = 0
+    #: Corrupt entries parked under ``quarantine/`` (JSON documents).
 
     def as_dict(self) -> Dict[str, Any]:
         return {"root": self.root, "entries": self.entries,
                 "total_bytes": self.total_bytes,
+                "quarantined": self.quarantined,
                 "by_salt": {salt: {"entries": n, "bytes": size}
                             for salt, (n, size) in
                             sorted(self.by_salt.items())}}
@@ -372,6 +413,8 @@ def scan_cache(root: str = DEFAULT_CACHE_ROOT,
     except OSError:
         return entries
     for salt_dir in namespaces:
+        if salt_dir == QUARANTINE_DIR:
+            continue  # quarantined entries are not servable results
         if salts is not None and salt_dir not in salts:
             continue
         directory = os.path.join(root, salt_dir)
@@ -409,7 +452,28 @@ def cache_stats(root: str = DEFAULT_CACHE_ROOT,
         usage.total_bytes += entry.size_bytes
         n, size = usage.by_salt.get(entry.salt_dir, (0, 0))
         usage.by_salt[entry.salt_dir] = (n + 1, size + entry.size_bytes)
+    usage.quarantined = count_quarantined(root, salts=salts)
     return usage
+
+
+def count_quarantined(root: str = DEFAULT_CACHE_ROOT,
+                      salts: Optional[List[str]] = None) -> int:
+    """Number of quarantined entries (JSON documents) under ``root``."""
+    base = os.path.join(root, QUARANTINE_DIR)
+    count = 0
+    try:
+        namespaces = sorted(os.listdir(base))
+    except OSError:
+        return 0
+    for salt_dir in namespaces:
+        if salts is not None and salt_dir not in salts:
+            continue
+        directory = os.path.join(base, salt_dir)
+        if not os.path.isdir(directory):
+            continue
+        for _dirpath, _dirnames, filenames in os.walk(directory):
+            count += sum(1 for f in filenames if f.endswith(".json"))
+    return count
 
 
 def prune_cache(root: str = DEFAULT_CACHE_ROOT,

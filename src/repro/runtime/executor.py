@@ -40,6 +40,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..errors import JobFailed, JobTimeout
+from ..resilience import faults
+from ..resilience.journal import JobJournal
 from .cache import ResultCache
 from .report import (
     MODE_CACHED,
@@ -68,13 +71,9 @@ def backoff_delay(base: float, retry_index: int) -> float:
     return base * 2 ** max(0, retry_index - 1)
 
 
-class JobTimeout(Exception):
-    """A job attempt exceeded the executor's per-job timeout."""
-
-
-class JobFailed(Exception):
-    """Raised by :meth:`RunResult.raise_on_failure` when jobs failed."""
-
+# JobTimeout / JobFailed historically lived here; they now sit in the
+# typed hierarchy of :mod:`repro.errors` and are re-exported above for
+# backward compatibility.
 
 #: (index into the submitted batch, spec, content key).
 _Job = Tuple[int, JobSpec, str]
@@ -95,14 +94,24 @@ class _ShippedResult:
 
 
 def _invoke(ref: str, params: Dict[str, Any],
-            ctx: Optional[obs.TraceContext] = None) -> Any:
+            ctx: Optional[obs.TraceContext] = None,
+            fault_plan: Optional[str] = None) -> Any:
     """Worker-side entry point: resolve the callable and run it.
 
     Module-level (not a closure) so it pickles to worker processes.
     When a :class:`~repro.obs.TraceContext` is shipped along, the
     worker collects spans under the parent's trace id and returns them
-    bundled with the value.
+    bundled with the value.  A serialized fault plan (or the
+    ``REPRO_FAULTS`` environment variable, which worker processes
+    inherit) is armed once per worker so chaos tests reach pool
+    workers too; hit counters persist across jobs within one worker.
     """
+    if fault_plan is not None and not faults.active():
+        faults.install(faults.FaultPlan.from_json(fault_plan))
+    elif not faults.active():
+        faults.install_from_env()
+    if faults.active():
+        faults.trip("executor.invoke")
     if ctx is None:
         return resolve_ref(ref)(**params)
     obs.activate(ctx)
@@ -212,6 +221,12 @@ class Executor:
         ``backoff * 2**(n - 1)`` seconds.
     salt:
         Cache-key salt override; defaults to the package version salt.
+    journal:
+        Optional :class:`~repro.resilience.journal.JobJournal`.  When
+        set, every job writes a ``start`` record before executing and
+        a ``done`` record at its outcome, and jobs the replayed
+        journal marks interrupted are flagged in their telemetry
+        (``python -m repro sweep --resume`` builds on this).
     """
 
     def __init__(self, workers: Optional[int] = None,
@@ -219,7 +234,8 @@ class Executor:
                  timeout: Optional[float] = None,
                  retries: int = 2,
                  backoff: float = 0.1,
-                 salt: Optional[str] = None):
+                 salt: Optional[str] = None,
+                 journal: Optional[JobJournal] = None):
         if workers == 0:
             workers = os.cpu_count() or 1
         self.workers = max(1, int(workers or 1))
@@ -228,6 +244,8 @@ class Executor:
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self.salt = salt
+        self.journal = journal
+        self._interrupted_now: set = set()
 
     # -- public API ---------------------------------------------------------
 
@@ -242,6 +260,7 @@ class Executor:
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
         pending: List[_Job] = []
         trace_id = obs.current_trace_id()
+        self._interrupted_now = set()
         if obs.enabled():
             obs.counter("executor.jobs").inc(len(specs))
 
@@ -257,8 +276,20 @@ class Executor:
                         status=STATUS_HIT, mode=MODE_CACHED, attempts=0,
                         wall_time=time.perf_counter() - t0,
                         started_at=started, trace_id=trace_id)
+                    if (self.journal is not None
+                            and self.journal.completed_status(key) is not None
+                            and obs.enabled()):
+                        obs.counter("resilience.resumed_skipped").inc()
                     outcomes[index] = JobOutcome(spec, key, value, record)
+                    self._commit(outcomes[index])
                     continue
+            if (self.journal is not None
+                    and self.journal.was_interrupted(key)):
+                self._interrupted_now.add(key)
+                _LOG.warning("job %s was interrupted in a previous run; "
+                             "re-executing", spec.display_label)
+                if obs.enabled():
+                    obs.counter("resilience.resumed_interrupted").inc()
             pending.append((index, spec, key))
 
         serial_jobs = pending
@@ -279,16 +310,32 @@ class Executor:
 
         for index, spec, key in serial_jobs:
             outcomes[index] = self._run_serial(spec, key)
+            self._commit(outcomes[index])
 
         for outcome in outcomes:
             assert outcome is not None
             report.add(outcome.record)
-            if (self.cache is not None
-                    and outcome.record.status == STATUS_OK):
-                self.cache.put(outcome.key, outcome.value)
         finished = report.finish()
         _LOG.info("run finished: %s", finished.summary().replace("\n", "; "))
         return RunResult(list(outcomes), finished)
+
+    def _commit(self, outcome: JobOutcome) -> None:
+        """Durably commit one outcome the moment it is known.
+
+        Write-through semantics: the result cache entry and the
+        journal ``done`` record land as each job finishes, not when
+        the whole batch does -- a run killed mid-batch keeps every
+        completed result, which is what makes ``--resume`` cheap.
+        """
+        if outcome.key in self._interrupted_now:
+            outcome.record.notes = "resumed-after-interrupt"
+        if (self.cache is not None
+                and outcome.record.status == STATUS_OK):
+            self.cache.put(outcome.key, outcome.value)
+        if (self.journal is not None
+                and outcome.record.status != STATUS_HIT):
+            self.journal.done(outcome.key, outcome.record.status,
+                              attempts=outcome.record.attempts)
 
     def map(self, fn: Any, params_list: Sequence[Dict[str, Any]],
             label: str = "") -> RunResult:
@@ -329,6 +376,8 @@ class Executor:
         round_number = 0
         trace_id = obs.current_trace_id()
         ctx = obs.current_context()
+        plan = faults.installed_plan()
+        plan_json = plan.to_json() if plan is not None else None
 
         try:
             while remaining:
@@ -340,12 +389,17 @@ class Executor:
                         time.sleep(delay)
                 submitted: List[Tuple[cf.Future, _Job]] = []
                 for job in remaining:
-                    index, spec, _key = job
+                    index, spec, key = job
                     attempts[index] += 1
+                    if attempts[index] == 1:
+                        if self.journal is not None:
+                            self.journal.start(key, spec.display_label)
+                        if obs.enabled():
+                            obs.counter("executor.executed").inc()
                     started.setdefault(index, utc_now_iso())
                     submitted.append(
                         (pool.submit(_invoke, spec.ref, spec.param_dict(),
-                                     ctx),
+                                     ctx, plan_json),
                          job))
                 retry_round: List[_Job] = []
                 for future, job in submitted:
@@ -390,6 +444,7 @@ class Executor:
                                       wall_time=spent[index],
                                       started_at=started.get(index),
                                       trace_id=trace_id))
+                        self._commit(outcomes[index])
                 remaining = retry_round
         except BrokenProcessPool:
             _LOG.warning("worker pool broke mid-run; surviving jobs "
@@ -397,8 +452,8 @@ class Executor:
         finally:
             try:
                 pool.shutdown(wait=not abandoned, cancel_futures=True)
-            except Exception:
-                pass
+            except (OSError, RuntimeError):
+                pass  # a broken pool may refuse a clean shutdown
 
         return [job for job in jobs
                 if outcomes[job[0]] is None
@@ -426,6 +481,7 @@ class Executor:
                           wall_time=spent[index], error=errors.get(index),
                           started_at=(started or {}).get(index),
                           trace_id=obs.current_trace_id()))
+            self._commit(outcomes[index])
 
     # -- serial path --------------------------------------------------------
 
@@ -436,6 +492,10 @@ class Executor:
         error: Optional[str] = None
         started = utc_now_iso()
         trace_id = obs.current_trace_id()
+        if self.journal is not None:
+            self.journal.start(key, spec.display_label)
+        if obs.enabled():
+            obs.counter("executor.executed").inc()
         with obs.span("executor.job", label=spec.display_label,
                       mode="serial"):
             for attempt in range(1, self.retries + 2):
@@ -448,6 +508,8 @@ class Executor:
                         obs.counter("executor.retry").inc()
                 t0 = time.perf_counter()
                 try:
+                    if faults.active():
+                        faults.trip("executor.invoke")
                     with obs.span("executor.attempt", attempt=attempt):
                         value = _call_with_timeout(fn, params, self.timeout)
                 except Exception as exc:

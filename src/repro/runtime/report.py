@@ -53,6 +53,9 @@ class JobRecord:
     #: (None when tracing was disabled) -- correlates JobRecords with
     #: span logs.
     trace_id: Optional[str] = None
+    #: Resilience annotations ("resumed-after-interrupt",
+    #: "degraded_from=llg", ...); None for an uneventful job.
+    notes: Optional[str] = None
 
     @property
     def retries(self) -> int:
@@ -66,6 +69,7 @@ class JobRecord:
                 "wall_time_s": round(self.wall_time, 6),
                 "started_at": self.started_at,
                 "trace_id": self.trace_id,
+                "notes": self.notes,
                 "error": self.error}
 
 

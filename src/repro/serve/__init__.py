@@ -15,7 +15,11 @@ long-lived asyncio HTTP service with production semantics:
 * **observability** -- Prometheus ``/metrics`` from the
   :mod:`repro.obs` registry, JSONL access logs with request/trace ids;
 * **graceful drain** -- SIGTERM/SIGINT stops accepting, finishes
-  in-flight work and flushes artifacts.
+  in-flight work and flushes artifacts;
+* **resilience** -- per-tier circuit breakers (``503 Retry-After``
+  while open, ``/healthz`` reports ``degraded``) and request deadlines
+  (``x-deadline-ms`` header or ``--deadline-s``, ``504`` on expiry);
+  see ``docs/RESILIENCE.md``.
 
 Endpoints: ``POST /v1/gate``, ``POST /v1/sweep``, ``GET /healthz``,
 ``GET /metrics``.  Start one with ``python -m repro serve [--port
@@ -24,6 +28,7 @@ Endpoints: ``POST /v1/gate``, ``POST /v1/sweep``, ``GET /healthz``,
 See ``docs/SERVING.md``.
 """
 
+from ..errors import CircuitOpen, JobTimeout
 from .app import (
     AccessLog,
     GateService,
@@ -40,8 +45,10 @@ from .pipeline import (
 
 __all__ = [
     "AccessLog",
+    "CircuitOpen",
     "GatePipeline",
     "GateService",
+    "JobTimeout",
     "Overloaded",
     "ServeClient",
     "ServeConfig",

@@ -43,6 +43,7 @@ from http import HTTPStatus
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..errors import CircuitOpen, JobTimeout
 from ..runtime.cache import DEFAULT_CACHE_ROOT, DiskCache, ResultCache
 from ..runtime.executor import Executor, JobFailed
 from ..runtime.report import utc_now_iso
@@ -84,6 +85,9 @@ class ServeConfig:
     access_log: Optional[str] = None  # JSONL access-log path
     trace: Optional[str] = None      # periodic span flush target (JSONL)
     drain_timeout: float = 30.0
+    deadline_s: Optional[float] = None  # default request deadline
+    breaker_threshold: int = 5       # failures that open a tier's circuit
+    breaker_reset_s: float = 30.0    # open time before a probe is let in
 
 
 class AccessLog:
@@ -150,7 +154,9 @@ class GateService:
             max_queue=self.config.max_queue, rate=self.config.rate,
             burst=self.config.burst,
             batch_window=self.config.batch_window_ms / 1e3,
-            batch_max=self.config.batch_max)
+            batch_max=self.config.batch_max,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_reset_s=self.config.breaker_reset_s)
         self.access_log: Optional[AccessLog] = None
         self.port: Optional[int] = None  # actual port once bound
         self._started = time.time()
@@ -380,6 +386,16 @@ class GateService:
                 body = self._json_body(
                     {"error": exc.reason,
                      "retry_after_s": round(exc.retry_after, 3)})
+            except CircuitOpen as exc:
+                status = HTTPStatus.SERVICE_UNAVAILABLE
+                retry_after = max(1, int(math.ceil(exc.retry_after)))
+                extra.append(("Retry-After", str(retry_after)))
+                body = self._json_body(
+                    {"error": str(exc),
+                     "retry_after_s": round(exc.retry_after, 3)})
+            except JobTimeout as exc:
+                status = HTTPStatus.GATEWAY_TIMEOUT
+                body = self._json_body({"error": str(exc)})
             except JobFailed as exc:
                 status = HTTPStatus.INTERNAL_SERVER_ERROR
                 body = self._json_body({"error": f"evaluation failed: {exc}"})
@@ -472,23 +488,54 @@ class GateService:
         return JobSpec(fn="repro.micromag.experiments:run_gate_case",
                        params=params, label=label), tier
 
-    async def _serve_spec(self, spec: JobSpec, tier: str) -> ServedResult:
+    def _deadline_for(self, request: _Request) -> Optional[float]:
+        """Per-request deadline [s]: ``x-deadline-ms`` header, falling
+        back to the configured default (None = unbounded)."""
+        raw = request.headers.get("x-deadline-ms")
+        if raw is None:
+            return self.config.deadline_s
+        try:
+            value = float(raw)
+        except ValueError:
+            raise BadRequest(f"bad x-deadline-ms {raw!r}")
+        if value <= 0 or not math.isfinite(value):
+            raise BadRequest("x-deadline-ms must be a positive number")
+        return value / 1e3
+
+    async def _serve_spec(self, spec: JobSpec, tier: str,
+                          deadline: Optional[float] = None) -> ServedResult:
+        breaker_key = f"tier:{tier}"
         if tier == "network":
-            return await self.pipeline.submit(spec, batchable=True)
+            return await self.pipeline.submit(spec, batchable=True,
+                                              deadline=deadline,
+                                              breaker_key=breaker_key)
         return await self.pipeline.submit(spec,
-                                          executor=self.heavy_executor)
+                                          executor=self.heavy_executor,
+                                          deadline=deadline,
+                                          breaker_key=breaker_key)
 
     # -- handlers -----------------------------------------------------------
 
     async def _handle_healthz(self, request: _Request, request_id: str):
-        status = (HTTPStatus.SERVICE_UNAVAILABLE if self._draining
-                  else HTTPStatus.OK)
         from .. import __version__
 
-        payload = {"status": "draining" if self._draining else "ok",
+        circuits = self.pipeline.circuit_states()
+        degraded = any(snap["state"] != "closed"
+                       for snap in circuits.values())
+        if self._draining:
+            status, health = HTTPStatus.SERVICE_UNAVAILABLE, "draining"
+        elif degraded:
+            # Still 200: the service is alive and serving cached work;
+            # orchestrators must not restart it for an open breaker.
+            status, health = HTTPStatus.OK, "degraded"
+        else:
+            status, health = HTTPStatus.OK, "ok"
+        payload = {"status": health,
                    "version": __version__,
                    "uptime_s": round(time.time() - self._started, 3),
                    "in_flight": self.pipeline.in_flight}
+        if circuits:
+            payload["circuits"] = circuits
         return status, payload, None
 
     async def _handle_metrics(self, request: _Request, request_id: str):
@@ -499,8 +546,9 @@ class GateService:
     async def _handle_gate(self, request: _Request, request_id: str):
         payload = request.json()
         spec, tier = self._build_spec(payload)
+        deadline = self._deadline_for(request)
         t0 = time.perf_counter()
-        served = await self._serve_spec(spec, tier)
+        served = await self._serve_spec(spec, tier, deadline)
         duration_ms = (time.perf_counter() - t0) * 1e3
         meta = {"source": served.source, "key": served.key,
                 "batch_size": served.batch_size,
@@ -522,9 +570,11 @@ class GateService:
         patterns = input_patterns(GATE_ARITY[gate])
         specs = [self._build_spec(dict(payload), pattern=list(bits))
                  for bits in patterns]
+        deadline = self._deadline_for(request)
         t0 = time.perf_counter()
         results = await asyncio.gather(
-            *[self._serve_spec(spec, tier) for spec, tier in specs])
+            *[self._serve_spec(spec, tier, deadline)
+              for spec, tier in specs])
         duration_ms = (time.perf_counter() - t0) * 1e3
         sources: Dict[str, int] = {}
         for served in results:

@@ -29,9 +29,21 @@ The pipeline never blocks the event loop: executor calls go through
 tasks so a disconnecting client cannot cancel work that other
 coalesced requests are waiting on.
 
+Resilience (see ``docs/RESILIENCE.md``): each job family (the
+``breaker_key`` the caller passes, normally the solver tier) gets a
+:class:`~repro.resilience.CircuitBreaker`; once a family fails
+repeatedly new work for it is rejected with
+:class:`~repro.errors.CircuitOpen` (503 semantics) until a probe
+succeeds.  The breaker check sits *after* the cache fast path, so an
+open circuit still serves cached results -- degraded, not dead.  A
+``deadline`` bounds how long one request waits; on expiry the caller
+gets :class:`~repro.errors.JobTimeout` (504) while the computation
+keeps running for coalesced waiters and the cache.
+
 Metrics (``repro.obs`` registry, served by ``GET /metrics``):
 ``serve.coalesced``, ``serve.cache_fastpath``, ``serve.rejected_queue``,
-``serve.rejected_rate``, ``serve.batches``, ``serve.batched``,
+``serve.rejected_rate``, ``serve.rejected_circuit``,
+``serve.deadline_exceeded``, ``serve.batches``, ``serve.batched``,
 histogram ``serve.batch_size`` and gauge ``serve.in_flight``.
 """
 
@@ -43,6 +55,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..errors import CircuitOpen, JobTimeout, ReproError
+from ..resilience.circuit import CircuitBreaker
 from ..runtime.aio import run_async
 from ..runtime.cache import ResultCache
 from ..runtime.executor import Executor, JobFailed
@@ -150,6 +164,9 @@ class GatePipeline:
         Flush a batch immediately once it reaches this many jobs.
     salt:
         Cache-key salt override (defaults to the package version).
+    breaker_threshold / breaker_reset_s:
+        Consecutive-failure count that opens a job family's circuit
+        breaker, and how long it stays open before admitting a probe.
     """
 
     def __init__(self, executor: Executor,
@@ -159,7 +176,9 @@ class GatePipeline:
                  burst: Optional[float] = None,
                  batch_window: float = 0.002,
                  batch_max: int = 16,
-                 salt: Optional[str] = None):
+                 salt: Optional[str] = None,
+                 breaker_threshold: int = 5,
+                 breaker_reset_s: float = 30.0):
         self.executor = executor
         self.cache = cache
         self.max_queue = max(1, int(max_queue))
@@ -167,6 +186,9 @@ class GatePipeline:
         self.batch_window = max(0.0, float(batch_window))
         self.batch_max = max(1, int(batch_max))
         self.salt = salt
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_reset_s = float(breaker_reset_s)
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._inflight: Dict[str, "asyncio.Future"] = {}
         self._pending = 0
         self._batch: List[Tuple[str, JobSpec, "asyncio.Future",
@@ -181,15 +203,39 @@ class GatePipeline:
         """Jobs currently queued or running (not counting coalescers)."""
         return self._pending
 
+    def breaker(self, key: str) -> CircuitBreaker:
+        """The circuit breaker for job family ``key`` (created lazily)."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(key,
+                                     fail_threshold=self.breaker_threshold,
+                                     reset_timeout=self.breaker_reset_s)
+            self._breakers[key] = breaker
+        return breaker
+
+    def circuit_states(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of every breaker: ``{family: {state, failures,
+        trips}}`` -- what ``/healthz`` reports."""
+        return {name: breaker.snapshot()
+                for name, breaker in sorted(self._breakers.items())}
+
     async def submit(self, spec: JobSpec, batchable: bool = False,
-                     executor: Optional[Executor] = None) -> ServedResult:
+                     executor: Optional[Executor] = None,
+                     deadline: Optional[float] = None,
+                     breaker_key: Optional[str] = None) -> ServedResult:
         """Serve one request; see the module docstring for the order of
-        coalescing, cache fast path, admission and batching."""
+        coalescing, cache fast path, admission and batching.
+
+        ``deadline`` bounds the wait in seconds (``JobTimeout`` on
+        expiry; the computation is shielded and keeps running for
+        coalesced waiters).  ``breaker_key`` names the job family whose
+        circuit breaker guards -- and is driven by -- this request.
+        """
         key = spec.key(self.salt)
         existing = self._inflight.get(key)
         if existing is not None:
             obs.counter("serve.coalesced").inc()
-            resolved = await asyncio.shield(existing)
+            resolved = await self._await_resolved(existing, deadline)
             return ServedResult(resolved.value, SOURCE_COALESCED, key,
                                 resolved.batch_size)
 
@@ -220,6 +266,19 @@ class GatePipeline:
             future.set_exception(exc)
             raise
 
+        breaker = self.breaker(breaker_key) if breaker_key else None
+        if breaker is not None:
+            try:
+                # After the cache fast path on purpose: an open circuit
+                # rejects new COMPUTE work but cached answers still
+                # flow -- the service degrades instead of going dark.
+                breaker.allow()
+            except CircuitOpen as exc:
+                obs.counter("serve.rejected_circuit").inc()
+                self._inflight.pop(key, None)
+                future.set_exception(exc)  # coalescers get the 503 too
+                raise
+
         try:
             self._admit()
         except Overloaded as exc:
@@ -234,9 +293,35 @@ class GatePipeline:
         else:
             self._track(loop.create_task(self._compute_single(
                 key, spec, future, executor or self.executor)))
-        resolved = await asyncio.shield(future)
+        try:
+            resolved = await self._await_resolved(future, deadline)
+        except JobTimeout:
+            raise  # job still running: not a verdict on the family
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
         return ServedResult(resolved.value, resolved.source, key,
                             resolved.batch_size)
+
+    @staticmethod
+    async def _await_resolved(future: "asyncio.Future",
+                              deadline: Optional[float]) -> _Resolved:
+        """Await a (shielded) result future, bounded by ``deadline``."""
+        if deadline is None:
+            return await asyncio.shield(future)
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError:
+            obs.counter("serve.deadline_exceeded").inc()
+            raise JobTimeout(
+                f"deadline of {deadline * 1e3:.0f} ms exceeded; the "
+                "computation continues for coalesced waiters and the "
+                "cache") from None
 
     async def drain(self) -> None:
         """Flush any pending batch and wait for all in-flight work."""
@@ -293,7 +378,12 @@ class GatePipeline:
         try:
             result = await run_async(executor, [spec])
             self._resolve(future, result.outcomes[0], 1)
+        except ReproError as exc:  # typed failure: expected, not logged
+            if not future.done():
+                future.set_exception(exc)
         except Exception as exc:
+            obs.counter("resilience.unexpected_error").inc()
+            _LOG.exception("unexpected error computing %s", key)
             if not future.done():
                 future.set_exception(exc)
         finally:
@@ -343,8 +433,14 @@ class GatePipeline:
             for (_key, _spec, future, _e), outcome in zip(
                     batch, result.outcomes):
                 self._resolve(future, outcome, size)
-        except Exception as exc:
+        except ReproError as exc:
             _LOG.warning("batch of %d failed: %s", size, exc)
+            for _key, _spec, future, _e in batch:
+                if not future.done():
+                    future.set_exception(exc)
+        except Exception as exc:
+            obs.counter("resilience.unexpected_error").inc()
+            _LOG.exception("unexpected error in batch of %d", size)
             for _key, _spec, future, _e in batch:
                 if not future.done():
                     future.set_exception(exc)

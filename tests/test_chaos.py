@@ -1,0 +1,154 @@
+"""End-to-end chaos drill for crash-safe sweeps.
+
+The scenario from docs/RESILIENCE.md, run for real: a ``python -m repro
+sweep`` subprocess is armed with a slow-I/O fault plan via the
+``REPRO_FAULTS`` environment variable and killed with SIGKILL (kill -9)
+mid-run, after the write-ahead journal shows some patterns completed
+but before the sweep finishes.  A second, in-process ``--resume`` run
+must then produce the exact truth table of an uninterrupted sweep while
+re-executing only the missing patterns -- asserted through the
+``executor.*`` / ``cache.*`` / ``resilience.*`` metrics, not just the
+stdout.  A third leg corrupts a cached entry on disk and shows the
+resume quarantines it and recomputes exactly that one pattern.
+"""
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.resilience import FaultPlan, FaultSpec, faults, read_journal
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+N_PATTERNS = 4  # XOR truth table
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_state():
+    yield
+    faults.uninstall()
+    obs.disable()
+    obs.drain_spans()
+    obs.reset_metrics()
+
+
+def _truth_table_block(stdout: str) -> list:
+    """The rendered truth-table lines (title until the blank line)."""
+    lines = stdout.splitlines()
+    for index, line in enumerate(lines):
+        if "XOR FO2 truth-table sweep" in line:
+            block = []
+            for row in lines[index:]:
+                if not row.strip():
+                    break
+                block.append(row.rstrip())
+            return block
+    raise AssertionError(f"no truth table in output:\n{stdout}")
+
+
+def _wait_for_completed(journal_path: str, minimum: int,
+                        timeout: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        done = len(read_journal(journal_path).completed)
+        if done >= minimum:
+            return done
+        time.sleep(0.02)
+    raise AssertionError(
+        f"journal never reached {minimum} completed jobs "
+        f"({read_journal(journal_path).summary()})")
+
+
+def _resume(cache_dir: str, journal_path: str, capsys) -> tuple:
+    """Run ``sweep --resume`` in-process; return (stdout, counters)."""
+    obs.enable()
+    try:
+        rc = main(["--workers", "1", "sweep", "xor", "--tier", "network",
+                   "--cache-dir", cache_dir, "--journal", journal_path,
+                   "--resume"])
+        counters = dict(obs.metrics_snapshot()["counters"])
+    finally:
+        obs.disable()
+        obs.drain_spans()
+        obs.reset_metrics()
+    assert rc == 0
+    return capsys.readouterr().out, counters
+
+
+class TestKillNineResume:
+    def test_sweep_survives_kill_and_corruption(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        journal_path = str(tmp_path / "journal.jsonl")
+
+        # Reference: an uninterrupted sweep in a separate cache.
+        assert main(["--workers", "1", "sweep", "xor", "--tier", "network",
+                     "--cache-dir", str(tmp_path / "reference")]) == 0
+        reference_table = _truth_table_block(capsys.readouterr().out)
+
+        # Leg 1: arm a slow-I/O plan so every pattern takes ~0.4 s, then
+        # kill -9 the sweep as soon as two patterns are journalled done.
+        plan = FaultPlan(specs=[
+            FaultSpec(site="executor.invoke", kind="slow", at=1,
+                      count=100, delay_s=0.4)])
+        env = dict(os.environ,
+                   PYTHONPATH=SRC_DIR, REPRO_FAULTS=plan.to_json())
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "--workers", "1",
+             "sweep", "xor", "--tier", "network",
+             "--cache-dir", cache_dir, "--journal", journal_path],
+            env=env, cwd=str(tmp_path),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            _wait_for_completed(journal_path, 2)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=60)
+        assert proc.returncode == -signal.SIGKILL
+
+        state = read_journal(journal_path)
+        completed = len(state.completed)
+        assert 2 <= completed < N_PATTERNS  # killed mid-sweep
+
+        # Leg 2: --resume finishes the sweep.  Completed patterns are
+        # served from cache+journal; only the missing ones execute.
+        out, counters = _resume(cache_dir, journal_path, capsys)
+        assert _truth_table_block(out) == reference_table
+        assert all(row.endswith("yes") for row in reference_table[-4:])
+        assert f"resuming from {journal_path}" in out
+        assert counters.get("resilience.resumed_skipped", 0) == completed
+        assert counters.get("executor.executed", 0) \
+            == N_PATTERNS - completed
+        assert counters.get("cache.hit", 0) == completed
+
+        # Leg 3: corrupt one cached result on disk.  The next resume
+        # must quarantine it and re-execute exactly that pattern --
+        # zero re-execution of the healthy three.
+        entries = sorted(glob.glob(
+            os.path.join(cache_dir, "*", "*", "*.json")))
+        assert len(entries) == N_PATTERNS
+        with open(entries[0], "w", encoding="utf-8") as handle:
+            handle.write('{"oops": ')  # torn write
+        out, counters = _resume(cache_dir, journal_path, capsys)
+        assert _truth_table_block(out) == reference_table
+        assert counters.get("cache.quarantined", 0) == 1
+        assert counters.get("executor.executed", 0) == 1
+        assert counters.get("resilience.resumed_skipped", 0) \
+            == N_PATTERNS - 1
+        assert "1 quarantined" in out
+        quarantined = glob.glob(os.path.join(
+            cache_dir, "quarantine", "**", "*.json"), recursive=True)
+        assert len(quarantined) == 1
+
+        # A final resume is fully cached: the journal now covers all
+        # four patterns and nothing executes.
+        out, counters = _resume(cache_dir, journal_path, capsys)
+        assert counters.get("executor.executed", 0) == 0
+        assert counters.get("resilience.resumed_skipped", 0) == N_PATTERNS
+        assert "4 completed, 0 interrupted" in out

@@ -19,12 +19,14 @@ import subprocess
 import sys
 import threading
 import time
+import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor as _TP
 
 import pytest
 
 from repro import obs
+from repro.resilience import FaultPlan, FaultSpec, faults
 from repro.runtime import DiskCache, Executor, JobSpec
 from repro.serve import (
     GatePipeline,
@@ -53,6 +55,7 @@ def _clean_observer():
     obs.drain_spans()
     obs.reset_metrics()
     yield
+    faults.uninstall()
     obs.disable()
     obs.drain_spans()
     obs.reset_metrics()
@@ -377,6 +380,129 @@ class TestHttpService:
             urllib.request.urlopen(server.base_url + "/healthz", timeout=0.5)
 
 
+def _post(base, path, payload, headers=None, timeout=30.0):
+    """Raw POST returning (status, headers, body) without raising."""
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_returns_504(self, tmp_path):
+        """A request whose deadline expires gets 504 while the
+        computation keeps running for coalescers and the cache."""
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="executor.invoke", kind="slow", at=1,
+                      count=100, delay_s=1.0)]))
+        with _server(tmp_path) as server:
+            t0 = time.monotonic()
+            status, _headers, body = _post(
+                server.base_url, "/v1/gate",
+                {"gate": "xor", "bits": [0, 1]},
+                headers={"x-deadline-ms": "150"})
+            elapsed = time.monotonic() - t0
+            assert status == 504
+            assert "deadline" in body["error"]
+            assert elapsed < 0.9  # answered well before the 1 s job
+            faults.uninstall()
+            # The shielded computation finished behind the 504: the
+            # same key is now (or soon) a cache hit, not a recompute.
+            status, _headers, body = _post(
+                server.base_url, "/v1/gate",
+                {"gate": "xor", "bits": [0, 1]}, timeout=30.0)
+            assert status == 200
+            assert body["result"]["correct"] is True
+
+    def test_configured_default_deadline_applies(self, tmp_path):
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="executor.invoke", kind="slow", at=1,
+                      count=100, delay_s=1.0)]))
+        with _server(tmp_path, deadline_s=0.15) as server:
+            status, _headers, body = _post(
+                server.base_url, "/v1/gate",
+                {"gate": "xor", "bits": [1, 0]})
+            assert status == 504
+            faults.uninstall()
+
+    def test_bad_deadline_header_is_400(self, tmp_path):
+        with _server(tmp_path) as server:
+            for bad in ("soon", "-5", "0", "inf"):
+                status, _headers, body = _post(
+                    server.base_url, "/v1/gate",
+                    {"gate": "xor", "bits": [0, 1]},
+                    headers={"x-deadline-ms": bad})
+                assert status == 400, bad
+                assert "x-deadline-ms" in body["error"]
+
+
+class TestCircuitBreaker:
+    def test_open_circuit_rejects_with_503_and_degrades_healthz(
+            self, tmp_path):
+        with _server(tmp_path, breaker_threshold=1,
+                     breaker_reset_s=60.0) as server:
+            client = ServeClient(server.base_url, retries=0)
+            # Warm one key while the tier is healthy.
+            assert client.gate("xor", [0, 0])["result"]["correct"] is True
+
+            faults.install(FaultPlan(specs=[
+                FaultSpec(site="executor.invoke", kind="error", at=1,
+                          count=100)]))
+            with pytest.raises(ServeError) as err:
+                client.gate("xor", [0, 1])  # fails -> breaker opens
+            assert err.value.status == 500
+
+            status, headers, body = _post(
+                server.base_url, "/v1/gate",
+                {"gate": "xor", "bits": [1, 1]})
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 1
+            assert body["retry_after_s"] > 0
+            assert "circuit" in body["error"]
+
+            health = client.health()
+            assert health["status"] == "degraded"
+            assert health["circuits"]["tier:network"]["state"] == "open"
+
+            # Cached keys are still served while the circuit is open.
+            status, _headers, body = _post(
+                server.base_url, "/v1/gate",
+                {"gate": "xor", "bits": [0, 0]})
+            assert status == 200
+            assert body["served"]["source"] == SOURCE_CACHED
+
+            text = client.metrics()
+            assert _metric_value(
+                text, "repro_serve_rejected_circuit_total") >= 1
+            faults.uninstall()
+
+    def test_circuit_recovers_through_half_open_probe(self, tmp_path):
+        with _server(tmp_path, breaker_threshold=1,
+                     breaker_reset_s=0.3) as server:
+            client = ServeClient(server.base_url, retries=0)
+            # Exactly enough fault hits to fail all three attempts
+            # (retries=2 extra attempts) of one job, then go inert.
+            faults.install(FaultPlan(specs=[
+                FaultSpec(site="executor.invoke", kind="error", at=1,
+                          count=3)]))
+            with pytest.raises(ServeError) as err:
+                client.gate("xor", [0, 1])
+            assert err.value.status == 500
+            assert client.health()["status"] == "degraded"
+
+            time.sleep(0.4)  # past the reset timeout: probe admitted
+            answer = client.gate("xor", [1, 0])
+            assert answer["result"]["correct"] is True
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["circuits"]["tier:network"]["state"] == "closed"
+
+
 class TestServeSubprocess:
     def test_sigterm_drains_cleanly(self, tmp_path):
         """`python -m repro serve` exits 0 on SIGTERM after finishing
@@ -406,3 +532,56 @@ class TestServeSubprocess:
         lines = access.read_text().strip().splitlines()
         assert len(lines) >= 2  # healthz + gate at minimum
         assert any(json.loads(l)["path"] == "/v1/gate" for l in lines)
+
+    def test_sigterm_drains_in_flight_microbatch(self, tmp_path):
+        """SIGTERM while a micro-batch is still collecting must flush
+        the batch and answer every waiter before the process exits."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--cache-dir", str(tmp_path / "cache"),
+             "--batch-window-ms", "2000"],  # far longer than the test
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            base = f"http://127.0.0.1:{port}"
+            client = ServeClient(base, retries=8, backoff=0.25)
+            assert client.health()["status"] == "ok"
+
+            answers = {}
+
+            def post(bits):
+                answers[tuple(bits)] = _post(
+                    base, "/v1/gate", {"gate": "xor", "bits": bits},
+                    timeout=30.0)
+
+            threads = [threading.Thread(target=post, args=([0, 1],)),
+                       threading.Thread(target=post, args=([1, 0],))]
+            for thread in threads:
+                thread.start()
+            # Wait until both jobs are admitted into the (2 s) batch
+            # window, then interrupt the collection with SIGTERM.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if client.health()["in_flight"] >= 2:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("batch never formed")
+            proc.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=30)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert set(answers) == {(0, 1), (1, 0)}
+        for status, _headers, body in answers.values():
+            assert status == 200
+            assert body["result"]["correct"] is True
+            assert body["served"]["source"] == SOURCE_BATCHED
+            assert body["served"]["batch_size"] == 2
