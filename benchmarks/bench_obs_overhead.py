@@ -24,7 +24,7 @@ import time
 import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from bench_common import emit  # noqa: E402
+from bench_common import emit, write_bench_json  # noqa: E402
 
 try:
     from repro import obs
@@ -122,16 +122,28 @@ def _report(timing: dict) -> str:
     ])
 
 
+def _write_trajectory(timing: dict) -> None:
+    write_bench_json("obs_overhead", {
+        "baseline": (timing["baseline_s"], "s"),
+        "disabled": (timing["disabled_s"], "s"),
+        "enabled": (timing["enabled_s"], "s"),
+        "disabled_overhead": (timing["disabled_overhead"], "ratio"),
+        "enabled_overhead": (timing["enabled_overhead"], "ratio"),
+    })
+
+
 def bench_obs_overhead(benchmark):
     timing = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit("OBS OVERHEAD (tracing disabled must stay under 5 %)",
          _report(timing))
+    _write_trajectory(timing)
     assert timing["disabled_overhead"] < BUDGET
 
 
 def main() -> int:
     timing = measure()
     print(_report(timing))
+    _write_trajectory(timing)
     return 0 if timing["disabled_overhead"] < BUDGET else 1
 
 

@@ -29,7 +29,7 @@ import threading
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from bench_common import emit  # noqa: E402
+from bench_common import emit, write_bench_json  # noqa: E402
 
 try:
     from repro.serve import ServeConfig, ServerThread
@@ -137,10 +137,21 @@ def _report(result):
     return "\n".join(lines)
 
 
+def _write_trajectory(result) -> None:
+    metrics = {}
+    for regime in ("cold", "warm"):
+        stats = result[regime]
+        metrics[f"{regime}_rps"] = (stats["rps"], "req/s")
+        for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+            metrics[f"{regime}_{quantile[:-3]}"] = (stats[quantile], "ms")
+    write_bench_json("serve_throughput", metrics)
+
+
 def bench_serve_throughput(benchmark):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit("SERVE THROUGHPUT (warm cache must sustain the req/s floor)",
          _report(result))
+    _write_trajectory(result)
     assert result["cold"]["errors"] == 0
     assert result["warm"]["errors"] == 0
     assert result["warm"]["rps"] >= MIN_WARM_RPS
@@ -150,6 +161,7 @@ def main() -> int:
     result = measure()
     emit("SERVE THROUGHPUT (warm cache must sustain the req/s floor)",
          _report(result))
+    _write_trajectory(result)
     if result["cold"]["errors"] or result["warm"]["errors"]:
         return 1
     return 0 if result["warm"]["rps"] >= MIN_WARM_RPS else 1

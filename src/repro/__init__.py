@@ -22,6 +22,13 @@ Subpackages
     gate-level simulator (full adder, adders, voting trees).
 ``repro.evaluation``
     ME transducer and CMOS reference models; the Table III generator.
+``repro.compiler``
+    Spin-wave circuit compiler: boolean spec (truth table or
+    expression) -> majority/XOR netlist -> placed triangle-gate fabric
+    on the lambda grid -> design-rule check (d1-d4 phase rules,
+    spacings, crossings, FO2 budget) -> auto-characterization through
+    the evaluation stack.  ``python -m repro compile`` and
+    ``POST /v1/compile`` drive it.
 ``repro.runtime``
     Parallel experiment orchestration: declarative job specs with
     content-addressed keys, in-memory/on-disk result caches, a

@@ -2,7 +2,7 @@
 
 from .netlist import GATE_PORT_COUNTS, TRIANGLE_FAN_OUT, GateInstance, Netlist
 from .components import DirectionalCoupler, Repeater, fanout_chain
-from .simulator import CircuitReport, CircuitSimulator
+from .simulator import CascadeSimulator, CircuitReport, CircuitSimulator
 from .cascade import CascadeAnalyzer, CascadeReport, StageModel, triangle_stage_model
 from .hamming import (
     hamming74_corrector_netlist,
@@ -25,6 +25,7 @@ __all__ = [
     "DirectionalCoupler",
     "Repeater",
     "fanout_chain",
+    "CascadeSimulator",
     "CircuitReport",
     "CircuitSimulator",
     "CascadeAnalyzer",

@@ -13,6 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..errors import (
+    CombinationalLoopError,
+    DanglingNetError,
+    DriveConflictError,
+    FanOutExceededError,
+)
+
 #: Gate types the circuit layer understands and their port signatures.
 GATE_PORT_COUNTS: Dict[str, Tuple[int, int]] = {
     # type: (n_inputs, n_outputs)
@@ -125,8 +132,7 @@ class Netlist:
                                  f"{net!r}")
             owners = drivers.get(net, [])
             if len(owners) > 1:
-                raise ValueError(f"net {net!r} driven by multiple gates: "
-                                 f"{owners}")
+                raise DriveConflictError(net, owners, netlist=self.name)
 
     # -- queries ------------------------------------------------------------------
 
@@ -172,8 +178,7 @@ class Netlist:
             ready = sorted(g for g in remaining
                            if dependencies[g] <= done)
             if not ready:
-                raise ValueError(
-                    f"combinational loop among gates: {sorted(remaining)}")
+                raise CombinationalLoopError(remaining, netlist=self.name)
             order.extend(ready)
             done.update(ready)
             remaining.difference_update(ready)
@@ -184,31 +189,37 @@ class Netlist:
 
         Raises
         ------
-        ValueError
-            On dangling gate inputs (no driver and not primary),
-            undriven primary outputs, or fan-out above the budget
-            (2 for gate outputs, the triangle native FO2; use splitter
-            components for more).
+        repro.errors.DanglingNetError
+            A gate input (or primary output) has no driver and is not a
+            primary input.
+        repro.errors.FanOutExceededError
+            A net feeds more than one consumer; each SW output drives
+            exactly one next-stage input -- use the gate's second FO2
+            output or a SPLITTER component for more.
+        repro.errors.CombinationalLoopError
+            The gates form a combinational cycle.
+
+        All three subclass :class:`repro.errors.NetlistError` (itself a
+        ``ValueError`` for backwards compatibility).
         """
         drivers = self.net_drivers()
         loads = self.net_loads()
         for gate in self.gates.values():
             for net in gate.inputs:
                 if net not in drivers and net not in self.primary_inputs:
-                    raise ValueError(
-                        f"gate {gate.name!r} input net {net!r} has no driver")
+                    raise DanglingNetError(net, gate.name,
+                                           netlist=self.name)
         for net in self.primary_outputs:
             if net not in drivers and net not in self.primary_inputs:
-                raise ValueError(f"primary output {net!r} has no driver")
+                raise DanglingNetError(net, "<primary output>",
+                                       netlist=self.name)
         # Fan-out budget: one physical detector feeds one next-stage
         # input (assumption (v)); an FO2 gate exposes two output nets.
         for net, users in loads.items():
             consumers = len(users) + (1 if net in self.primary_outputs else 0)
             if consumers > 1:
-                raise ValueError(
-                    f"net {net!r} feeds {consumers} consumers; each SW "
-                    "output drives exactly one input -- use the gate's "
-                    "second output or a SPLITTER component")
+                raise FanOutExceededError(net, consumers,
+                                          netlist=self.name)
         self.topological_order()
 
     @property

@@ -178,6 +178,20 @@ class CircuitSimulator:
                              delay=stage_count * TABLE_DELAY,
                              stage_count=stage_count)
 
+    def truth_table(self) -> Dict[Tuple[int, ...], Dict[str, int]]:
+        """Exhaustive evaluation: input assignment -> primary outputs.
+
+        Enumerates all ``2^n`` assignments of the primary inputs (in
+        declaration order) and returns ``{bits: {output_net: bit}}``.
+        """
+        from itertools import product
+
+        names = self.netlist.primary_inputs
+        table: Dict[Tuple[int, ...], Dict[str, int]] = {}
+        for bits in product((0, 1), repeat=len(names)):
+            table[bits] = self.run(dict(zip(names, bits))).outputs
+        return table
+
     def exhaustive_check(self, reference) -> bool:
         """Compare every input assignment against a reference function.
 
@@ -202,3 +216,16 @@ class CircuitSimulator:
             if got != want:
                 return False
         return True
+
+
+class CascadeSimulator(CircuitSimulator):
+    """Netlist evaluator for cascaded (multi-stage) triangle circuits.
+
+    The construction path runs :meth:`Netlist.validate` first, so a
+    malformed hand-written netlist (dangling nets, combinational loops,
+    fan-out above the FO2 budget) raises a typed
+    :class:`repro.errors.NetlistError` instead of silently evaluating
+    garbage.  Beyond :class:`CircuitSimulator` it adds
+    :meth:`truth_table` exhaustive enumeration -- the contract the
+    synthesis fixtures and the compiler's equivalence check rely on.
+    """

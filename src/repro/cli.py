@@ -24,7 +24,14 @@ Python:
   coalescing, micro-batching, 429 backpressure, ``/metrics`` and
   graceful drain on SIGTERM;
 * ``cache stats|prune [--max-bytes N]`` -- inspect the on-disk result
-  cache or evict least-recently-used entries down to a byte budget.
+  cache or evict least-recently-used entries down to a byte budget;
+* ``compile SPEC [--characterize]`` -- the spin-wave circuit compiler
+  (:mod:`repro.compiler`): synthesize an arbitrary boolean function
+  (builtin name, inline JSON spec, equation list like
+  ``'s = a ^ b; c = maj(a, b, 0)'``, or a spec file) into a placed
+  triangle-gate fabric, design-rule check it, and optionally push it
+  through the energy/delay/error-rate characterizer (exit 1 on DRC
+  violations; see docs/COMPILER.md).
 
 Global flags (before the subcommand): ``--workers N`` fans cache
 misses out over N worker processes (0 = one per CPU); ``--no-cache``
@@ -331,6 +338,102 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .compiler import DesignRules, compile_spec, write_report
+    from .runtime.cache import atomic_write
+
+    if args.report is not None and not args.characterize:
+        print("compile: --report requires --characterize",
+              file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.rules is not None:
+        text = args.rules
+        if not text.strip().startswith("{") and os.path.exists(text):
+            with open(text, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            parsed = json.loads(text)
+        except ValueError as exc:
+            print(f"compile: bad --rules JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(parsed, dict):
+            print("compile: --rules must be a JSON object",
+                  file=sys.stderr)
+            return 2
+        overrides.update(parsed)
+    for name in ("gate_clearance", "row_clearance", "col_clearance"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    try:
+        rules = DesignRules.from_dict(overrides) if overrides else None
+    except (TypeError, ValueError) as exc:
+        print(f"compile: bad rule deck: {exc}", file=sys.stderr)
+        return 2
+
+    executor = None
+    if args.characterize:
+        from .runtime import DiskCache, Executor
+
+        cache = None if args.no_cache else DiskCache(root=args.cache_dir)
+        executor = Executor(workers=args.workers, cache=cache)
+    try:
+        result = compile_spec(args.spec, rules=rules,
+                              characterize_circuit=args.characterize,
+                              tier=args.tier, executor=executor,
+                              raise_on_violation=False)
+    except ValueError as exc:
+        print(f"compile: {exc}", file=sys.stderr)
+        return 2
+
+    stats = result.placement.stats()
+    kinds = ", ".join(f"{kind} x{count}"
+                      for kind, count in stats["gate_kinds"].items())
+    print(f"compiled {result.spec.name!r}: {stats['gates']} gates "
+          f"({kinds}), {stats['columns']} columns, "
+          f"{stats['wires']} wires")
+    print(f"fabric: {stats['width_lambda']:.0f} x "
+          f"{stats['height_lambda']:.0f} lambda "
+          f"({stats['area_um2']:.3f} um^2), wire length "
+          f"{stats['wire_length_lambda']:.0f} lambda")
+    drc = result.drc
+    if drc.clean:
+        print(f"DRC: clean ({len(drc.checks_run)} checks, "
+              f"{drc.crossings} crossings)")
+    else:
+        print(f"DRC: {len(drc.violations)} violation(s)")
+        for violation in drc.violations:
+            print(f"  {violation}")
+
+    if result.characterization is not None:
+        report = result.characterization
+        functional = report.functional
+        verdict = ("equivalent" if functional["equivalent"]
+                   else f"{len(functional['mismatches'])} MISMATCHES")
+        print(f"functional: {verdict} over "
+              f"{functional['patterns']} patterns")
+        sw = report.spin_wave
+        print(f"spin wave: energy {sw['energy_j']:.3e} J, delay "
+              f"{sw['delay_s'] * 1e9:.2f} ns, area {sw['area_m2']:.3e} m^2")
+        rates = report.error_rates
+        print(f"error rate @ {rates['tier']} tier: "
+              f"{rates['circuit_error_rate']:.4f}")
+        if args.report is not None:
+            write_report(report, args.report)
+            print(f"characterization report written to {args.report}")
+
+    if args.out is not None:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        atomic_write(args.out,
+                     lambda handle: handle.write(payload.encode("utf-8")))
+        print(f"compile result written to {args.out}")
+    return 0 if drc.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -499,12 +602,70 @@ def build_parser() -> argparse.ArgumentParser:
                               "until at most N bytes remain (suffixes "
                               "K/M/G accepted; 0 empties the cache)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="compile a boolean-function spec into a placed, "
+             "DRC-checked triangle-gate fabric (docs/COMPILER.md)")
+    p_compile.add_argument(
+        "spec",
+        help="builtin name (maj3, xor2, full_adder, parity4, and_or), "
+             "inline JSON spec, equation list ('s = a ^ b; ...'), or "
+             "a spec file path")
+    p_compile.add_argument("--characterize", action="store_true",
+                           help="run the energy/delay/error-rate "
+                                "characterizer on the compiled circuit")
+    p_compile.add_argument("--tier", choices=["network", "fdtd", "llg"],
+                           default="network",
+                           help="simulation tier for the characterizer's "
+                                "error sweeps (default network)")
+    p_compile.add_argument("--rules", metavar="JSON", default=None,
+                           help="design-rule deck overrides: inline JSON "
+                                "or a JSON file path")
+    p_compile.add_argument("--gate-clearance", type=float, default=None,
+                           metavar="L",
+                           help="required minimum gate spacing [lambda]")
+    p_compile.add_argument("--row-clearance", type=float, default=None,
+                           metavar="L",
+                           help="placer vertical packing target [lambda]")
+    p_compile.add_argument("--col-clearance", type=float, default=None,
+                           metavar="L",
+                           help="placer horizontal packing target "
+                                "[lambda]")
+    p_compile.add_argument("--out", metavar="PATH", default=None,
+                           help="write the full compile result "
+                                "(netlist + placement + DRC) as JSON")
+    p_compile.add_argument("--report", metavar="PATH", default=None,
+                           help="write the characterization report as "
+                                "JSON (requires --characterize)")
+    p_compile.add_argument("--cache-dir", default=".repro_cache",
+                           help="result-cache directory for "
+                                "characterization sweeps")
+    p_compile.add_argument("--workers", type=int, metavar="N",
+                           default=argparse.SUPPRESS,
+                           help=argparse.SUPPRESS)
+    p_compile.add_argument("--no-cache", action="store_true",
+                           default=argparse.SUPPRESS,
+                           help=argparse.SUPPRESS)
+    p_compile.set_defaults(func=_cmd_compile)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits itself on usage errors such as an unknown
+        # subcommand (code 2, usage already printed).  Convert those to
+        # a return so embedders -- and the ``python -m repro`` entry --
+        # see one int-returning contract.  The clean --help/--version
+        # exit (code 0) stands: callers expect argparse's behaviour
+        # there.
+        code = exc.code
+        if code in (0, None):
+            raise
+        return code if isinstance(code, int) else 2
     if getattr(args, "func", None) is None:
         # No subcommand: print usage, conventional CLI misuse code.
         parser.print_usage(sys.stderr)

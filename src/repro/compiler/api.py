@@ -1,0 +1,179 @@
+"""The compile driver: spec in, placed + checked + characterized out.
+
+One call, four phases, each observable as a ``compile.*`` span:
+
+1. :func:`~repro.compiler.synth.synthesize` -- boolean function to a
+   validated triangle-gate netlist (exhaustively equivalence-checked);
+2. :func:`~repro.compiler.place.place` -- netlist to a 2-D fabric with
+   routed waveguides, all coordinates in lambda multiples;
+3. :func:`~repro.compiler.drc.check` -- the full design-rule battery
+   (phase lambda-multiples, spacings, crossings, fan-out);
+4. :func:`~repro.compiler.characterize.characterize` (opt-in) --
+   energy/delay/area/error-rate figures against the evaluation models
+   and the requested simulation tier.
+
+:func:`compile_job` is the same flow as a flat JSON-in / JSON-out
+callable, addressable as ``"repro.compiler.api:compile_job"`` in a
+:class:`repro.runtime.JobSpec` -- that is what makes ``/v1/compile``
+requests content-addressed-cacheable and coalescable like any gate
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .. import obs
+from ..circuits.netlist import Netlist
+from .characterize import CharacterizationReport, characterize
+from .drc import DesignRules, DRCReport, check
+from .place import Placement, place
+from .spec import CircuitSpec, load_spec
+from .synth import synthesize
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
+    """JSON form of a netlist (gates in declaration order)."""
+    return {
+        "name": netlist.name,
+        "primary_inputs": list(netlist.primary_inputs),
+        "primary_outputs": list(netlist.primary_outputs),
+        "gates": [
+            {"name": inst.name, "type": inst.gate_type,
+             "inputs": list(inst.inputs),
+             "outputs": [net for net in inst.outputs]}
+            for inst in netlist.gates.values()
+        ],
+    }
+
+
+def netlist_from_dict(payload: Mapping[str, Any]) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output."""
+    netlist = Netlist(str(payload.get("name", "circuit")))
+    for net in payload.get("primary_inputs", []):
+        netlist.add_input(net)
+    for net in payload.get("primary_outputs", []):
+        netlist.add_output(net)
+    for gate in payload.get("gates", []):
+        netlist.add_gate(gate["name"], gate["type"], gate["inputs"],
+                         gate["outputs"])
+    netlist.validate()
+    return netlist
+
+
+@dataclass
+class CompileResult:
+    """Everything one compile produced."""
+
+    spec: CircuitSpec
+    netlist: Netlist
+    placement: Placement
+    drc: DRCReport
+    characterization: Optional[CharacterizationReport] = None
+
+    @property
+    def clean(self) -> bool:
+        """True when the placement passed every design rule."""
+        return self.drc.clean
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON form (the ``/v1/compile`` response body)."""
+        payload: Dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "netlist": netlist_to_dict(self.netlist),
+            "placement": self.placement.to_dict(),
+            "drc": self.drc.to_dict(),
+            "clean": self.clean,
+        }
+        if self.characterization is not None:
+            payload["characterization"] = self.characterization.to_dict()
+        return payload
+
+
+def compile_spec(source: Union[str, Mapping[str, Any], CircuitSpec],
+                 rules: Optional[DesignRules] = None,
+                 characterize_circuit: bool = False,
+                 tier: str = "network",
+                 executor: Optional[Any] = None,
+                 raise_on_violation: bool = True,
+                 **case_kwargs: Any) -> CompileResult:
+    """Compile a circuit spec into a placed, checked triangle fabric.
+
+    Parameters
+    ----------
+    source:
+        A :class:`CircuitSpec`, its dict form, or any string
+        :func:`~repro.compiler.spec.load_spec` accepts (builtin name,
+        inline JSON, equation list, file path).
+    rules:
+        The technology rule deck; defaults to the paper's.
+    characterize_circuit:
+        Also run the auto-characterizer (energy/delay/error report).
+    tier:
+        Simulation tier for the characterizer's error-rate sweeps.
+    executor:
+        Optional :class:`repro.runtime.Executor` shared by the sweeps.
+    raise_on_violation:
+        Raise the first :class:`repro.errors.DRCViolation` (with the
+        full report attached as ``.report``) instead of returning a
+        dirty result.
+
+    Raises
+    ------
+    ValueError
+        Malformed spec (bad expression, wrong table size, constant
+        output, too many inputs).
+    repro.errors.NetlistError
+        The synthesized netlist failed its structural self-check.
+    repro.errors.DRCViolation
+        The placement breaks a design rule (when
+        ``raise_on_violation``); the message names the offending pair.
+    """
+    if isinstance(source, CircuitSpec):
+        spec = source
+    elif isinstance(source, Mapping):
+        spec = CircuitSpec.from_dict(source)
+    else:
+        spec = load_spec(source)
+    rules = rules if rules is not None else DesignRules()
+
+    with obs.span("compile", circuit=spec.name):
+        with obs.span("compile.synthesize"):
+            netlist = synthesize(spec)
+        with obs.span("compile.place"):
+            placement = place(netlist, rules)
+        with obs.span("compile.drc"):
+            drc = check(placement, raise_on_violation=raise_on_violation)
+        obs.counter("compile.circuits").inc()
+        if not drc.clean:
+            obs.counter("compile.drc_violations").inc(len(drc.violations))
+        report = None
+        if characterize_circuit:
+            with obs.span("compile.characterize", tier=tier):
+                report = characterize(netlist, spec,
+                                      placement_stats=placement.stats(),
+                                      tier=tier, executor=executor,
+                                      **case_kwargs)
+    return CompileResult(spec=spec, netlist=netlist, placement=placement,
+                         drc=drc, characterization=report)
+
+
+def compile_job(spec: Mapping[str, Any],
+                rules: Optional[Mapping[str, Any]] = None,
+                characterize: bool = False,
+                tier: str = "network") -> Dict[str, Any]:
+    """JobSpec-addressable compile: plain JSON in, plain JSON out.
+
+    ``JobSpec(fn="repro.compiler.api:compile_job", params={...})`` --
+    every parameter is JSON-canonicalisable, so identical compile
+    requests share one content-addressed cache entry and coalesce
+    in-flight.  DRC violations are *data* here (``clean: false`` plus
+    the violation list), not exceptions: a dirty compile is a valid,
+    cacheable answer for a service client.
+    """
+    deck = DesignRules.from_dict(dict(rules)) if rules else None
+    result = compile_spec(spec, rules=deck,
+                          characterize_circuit=characterize, tier=tier,
+                          raise_on_violation=False)
+    return result.to_dict()

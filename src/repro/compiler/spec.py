@@ -1,0 +1,382 @@
+"""Circuit specifications: what the compiler's front door accepts.
+
+A :class:`CircuitSpec` names a combinational boolean function --
+ordered primary inputs plus one definition per output -- without saying
+anything about gates or geometry.  Definitions come in two forms:
+
+* a **truth table**: a string of ``2^n`` bits, one per input pattern in
+  counting order (:func:`repro.core.logic.input_patterns` -- the first
+  declared input is the most significant bit), e.g. the 3-input
+  majority is ``"00010111"``;
+* an **expression** over the input names with ``~`` (NOT), ``&`` (AND),
+  ``^`` (XOR), ``|`` (OR), parentheses, the literals ``0``/``1`` and
+  the function form ``maj(a, b, c)`` -- the native triangle gate.
+
+Specs are plain JSON data (``{"name", "inputs", "outputs"}``), so they
+travel unchanged through config files, the CLI, :class:`JobSpec`
+parameters (``/v1/compile``) and the content-addressed result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..core.logic import input_patterns, majority
+
+#: Compiling is exponential in input count (truth-table equivalence is
+#: checked exhaustively); the front door refuses beyond this arity.
+MAX_INPUTS = 6
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_TABLE_RE = re.compile(r"^[01]+$")
+
+TruthTable = Tuple[int, ...]
+
+
+# -- expression parsing -------------------------------------------------------------
+
+class _ExprParser:
+    """Recursive-descent parser for the spec expression grammar.
+
+    Precedence (loosest first): ``|``, ``^``, ``&``, unary ``~``.
+    Produces a nested-tuple AST: ``("var", name)``, ``("const", 0|1)``,
+    ``("not", x)``, ``("and"|"or"|"xor", x, y)``, ``("maj", x, y, z)``.
+    """
+
+    _TOKEN_RE = re.compile(
+        r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<const>[01])"
+        r"|(?P<op>[~&^|(),!]))")
+
+    def __init__(self, text: str, inputs: Sequence[str]):
+        self.text = text
+        self.inputs = set(inputs)
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    def _tokenize(self, text: str) -> List[str]:
+        tokens: List[str] = []
+        index = 0
+        while index < len(text):
+            match = self._TOKEN_RE.match(text, index)
+            if match is None:
+                if text[index:].strip():
+                    raise ValueError(
+                        f"unexpected character {text[index:].strip()[0]!r} "
+                        f"in expression {text!r}")
+                break
+            tokens.append(match.group("name") or match.group("const")
+                          or match.group("op"))
+            index = match.end()
+        return tokens
+
+    def _peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def _take(self) -> str:
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        got = self._take()
+        if got != token:
+            raise ValueError(f"expected {token!r} in expression "
+                             f"{self.text!r}, got {got or 'end'!r}")
+
+    def parse(self) -> Tuple:
+        tree = self._or()
+        if self.pos != len(self.tokens):
+            raise ValueError(f"trailing tokens after expression in "
+                             f"{self.text!r}: {self.tokens[self.pos:]}")
+        return tree
+
+    def _or(self) -> Tuple:
+        left = self._xor()
+        while self._peek() == "|":
+            self._take()
+            left = ("or", left, self._xor())
+        return left
+
+    def _xor(self) -> Tuple:
+        left = self._and()
+        while self._peek() == "^":
+            self._take()
+            left = ("xor", left, self._and())
+        return left
+
+    def _and(self) -> Tuple:
+        left = self._unary()
+        while self._peek() == "&":
+            self._take()
+            left = ("and", left, self._unary())
+        return left
+
+    def _unary(self) -> Tuple:
+        token = self._peek()
+        if token in ("~", "!"):
+            self._take()
+            return ("not", self._unary())
+        if token == "(":
+            self._take()
+            tree = self._or()
+            self._expect(")")
+            return tree
+        if token in ("0", "1"):
+            self._take()
+            return ("const", int(token))
+        if _NAME_RE.match(token or ""):
+            self._take()
+            if token.lower() == "maj" and self._peek() == "(":
+                self._take()
+                args = [self._or()]
+                while self._peek() == ",":
+                    self._take()
+                    args.append(self._or())
+                self._expect(")")
+                if len(args) != 3:
+                    raise ValueError(
+                        f"maj() takes exactly 3 arguments in {self.text!r}")
+                return ("maj",) + tuple(args)
+            if token not in self.inputs:
+                raise ValueError(f"unknown input {token!r} in expression "
+                                 f"{self.text!r}; declared inputs: "
+                                 f"{sorted(self.inputs)}")
+            return ("var", token)
+        raise ValueError(f"malformed expression {self.text!r}")
+
+
+def parse_expression(text: str, inputs: Sequence[str]) -> Tuple:
+    """Parse one definition expression into its AST (see _ExprParser)."""
+    return _ExprParser(text, inputs).parse()
+
+
+def evaluate_expression(tree: Tuple, values: Mapping[str, int]) -> int:
+    """Evaluate an expression AST on one input assignment."""
+    kind = tree[0]
+    if kind == "var":
+        return values[tree[1]]
+    if kind == "const":
+        return tree[1]
+    if kind == "not":
+        return 1 - evaluate_expression(tree[1], values)
+    args = [evaluate_expression(sub, values) for sub in tree[1:]]
+    if kind == "and":
+        return args[0] & args[1]
+    if kind == "or":
+        return args[0] | args[1]
+    if kind == "xor":
+        return args[0] ^ args[1]
+    if kind == "maj":
+        return majority(*args)
+    raise ValueError(f"unknown AST node {kind!r}")
+
+
+# -- the spec -----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """A named boolean function: the compiler's input contract.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (used for report files and telemetry labels).
+    inputs:
+        Ordered primary input names; the first is the most significant
+        bit of truth-table indexing.
+    outputs:
+        Output name -> definition (truth-table bit string of length
+        ``2^len(inputs)``, or an expression -- see the module
+        docstring).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"bad circuit name {self.name!r}")
+        if not self.inputs:
+            raise ValueError("spec needs at least one input")
+        if len(self.inputs) > MAX_INPUTS:
+            raise ValueError(
+                f"{len(self.inputs)} inputs exceed the compiler's "
+                f"{MAX_INPUTS}-input budget (truth-table equivalence is "
+                "checked exhaustively)")
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ValueError(f"duplicate input names in {self.inputs}")
+        for net in self.inputs:
+            if not _NAME_RE.match(net):
+                raise ValueError(f"bad input name {net!r}")
+        if not self.outputs:
+            raise ValueError("spec needs at least one output")
+        for out, definition in self.outputs.items():
+            if not _NAME_RE.match(out):
+                raise ValueError(f"bad output name {out!r}")
+            if out in self.inputs:
+                raise ValueError(f"output {out!r} shadows an input")
+            if not isinstance(definition, str) or not definition.strip():
+                raise ValueError(f"output {out!r} needs a truth table or "
+                                 "expression string")
+        # Parse/validate every definition now: a malformed spec must
+        # fail at the front door, not mid-compile.
+        for out in self.outputs:
+            self.truth_table(out)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CircuitSpec":
+        """Build a spec from its JSON form.
+
+        ``{"name": ..., "inputs": [...], "outputs": {out: def, ...}}``;
+        ``name`` defaults to ``"circuit"``.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError("spec must be a JSON object")
+        unknown = set(payload) - {"name", "inputs", "outputs"}
+        if unknown:
+            raise ValueError(f"unknown spec field(s): {sorted(unknown)}")
+        inputs = payload.get("inputs")
+        if not isinstance(inputs, (list, tuple)):
+            raise ValueError("spec 'inputs' must be a list of names")
+        outputs = payload.get("outputs")
+        if not isinstance(outputs, Mapping):
+            raise ValueError("spec 'outputs' must be an object "
+                             "{name: truth table or expression}")
+        return cls(name=str(payload.get("name", "circuit")),
+                   inputs=tuple(str(net) for net in inputs),
+                   outputs={str(k): str(v) for k, v in outputs.items()})
+
+    @classmethod
+    def from_json(cls, text: str) -> "CircuitSpec":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"invalid spec JSON: {exc}")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_equations(cls, text: str,
+                       name: str = "circuit") -> "CircuitSpec":
+        """Parse the CLI shorthand ``out1 = expr1; out2 = expr2``.
+
+        Inputs are inferred: every name referenced on a right-hand side
+        that is not itself an output, in first-appearance order.
+        """
+        outputs: Dict[str, str] = {}
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            lhs, sep, rhs = clause.partition("=")
+            if not sep:
+                raise ValueError(f"equation {clause!r} is missing '='; "
+                                 "expected 'out = expression'")
+            out = lhs.strip()
+            if not _NAME_RE.match(out):
+                raise ValueError(f"bad output name {out!r}")
+            if out in outputs:
+                raise ValueError(f"output {out!r} defined twice")
+            outputs[out] = rhs.strip()
+        if not outputs:
+            raise ValueError("no equations found; expected "
+                             "'out = expression [; ...]'")
+        inputs: List[str] = []
+        for rhs in outputs.values():
+            for token in re.findall(r"[A-Za-z_][A-Za-z0-9_]*", rhs):
+                if (token.lower() != "maj" and token not in outputs
+                        and token not in inputs):
+                    inputs.append(token)
+        return cls(name=name, inputs=tuple(inputs), outputs=outputs)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    def truth_table(self, output: str) -> TruthTable:
+        """The output's truth table in counting order of the inputs."""
+        definition = self.outputs[output].strip()
+        n = 1 << self.n_inputs
+        if _TABLE_RE.match(definition):
+            if len(definition) != n:
+                raise ValueError(
+                    f"output {output!r}: truth table has "
+                    f"{len(definition)} bits, expected {n} for "
+                    f"{self.n_inputs} inputs")
+            return tuple(int(c) for c in definition)
+        tree = parse_expression(definition, self.inputs)
+        table = []
+        for bits in input_patterns(self.n_inputs):
+            table.append(evaluate_expression(
+                tree, dict(zip(self.inputs, bits))))
+        return tuple(table)
+
+    def truth_tables(self) -> Dict[str, TruthTable]:
+        """All outputs' truth tables."""
+        return {out: self.truth_table(out) for out in self.outputs}
+
+    def reference(self) -> Callable[[Mapping[str, int]], Dict[str, int]]:
+        """A reference evaluator (input dict -> output dict) for
+        equivalence checks against a synthesised netlist."""
+        tables = self.truth_tables()
+
+        def evaluate(assignment: Mapping[str, int]) -> Dict[str, int]:
+            index = 0
+            for net in self.inputs:
+                index = (index << 1) | int(assignment[net])
+            return {out: table[index] for out, table in tables.items()}
+
+        return evaluate
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON form (round-trips through from_dict)."""
+        return {"name": self.name, "inputs": list(self.inputs),
+                "outputs": dict(self.outputs)}
+
+
+#: Ready-made specs for the CLI (``python -m repro compile maj3``) and
+#: the docs: the paper's two gates plus the Section II-B motivators.
+BUILTIN_SPECS: Dict[str, Dict[str, Any]] = {
+    "maj3": {"name": "maj3", "inputs": ["a", "b", "c"],
+             "outputs": {"y": "maj(a, b, c)"}},
+    "xor2": {"name": "xor2", "inputs": ["a", "b"],
+             "outputs": {"y": "a ^ b"}},
+    "full_adder": {"name": "full_adder", "inputs": ["a", "b", "cin"],
+                   "outputs": {"sum": "a ^ b ^ cin",
+                               "carry": "maj(a, b, cin)"}},
+    "parity4": {"name": "parity4", "inputs": ["d0", "d1", "d2", "d3"],
+                "outputs": {"p": "d0 ^ d1 ^ d2 ^ d3"}},
+    "and_or": {"name": "and_or", "inputs": ["a", "b", "c"],
+               "outputs": {"y": "(a & b) | c"}},
+}
+
+
+def load_spec(source: str) -> CircuitSpec:
+    """Resolve a CLI spec argument to a :class:`CircuitSpec`.
+
+    Accepts, in order of precedence: a builtin name (``maj3``,
+    ``full_adder``...), inline JSON (starts with ``{``), an inline
+    equation list (contains ``=``), or a path to a JSON spec file.
+    """
+    text = source.strip()
+    if text in BUILTIN_SPECS:
+        return CircuitSpec.from_dict(BUILTIN_SPECS[text])
+    if text.startswith("{"):
+        return CircuitSpec.from_json(text)
+    if "=" in text:
+        return CircuitSpec.from_equations(text)
+    import os
+
+    if os.path.exists(text):
+        with open(text, "r", encoding="utf-8") as handle:
+            return CircuitSpec.from_json(handle.read())
+    raise ValueError(
+        f"spec {source!r} is neither a builtin ({sorted(BUILTIN_SPECS)}), "
+        "inline JSON, an equation list ('y = a ^ b'), nor a spec file")

@@ -1,0 +1,454 @@
+"""Synthesizer front-end: boolean function -> triangle-gate netlist.
+
+Lowers a :class:`~repro.compiler.spec.CircuitSpec` onto the triangle
+FO2 gate library (:data:`repro.circuits.netlist.GATE_PORT_COUNTS`):
+
+1. every output definition becomes a simplified expression AST --
+   expressions are taken structurally (the user's ``maj(a,b,c)`` IS one
+   MAJ3 gate), truth tables are synthesised (parity/majority pattern
+   detection first, then Quine-McCluskey minimal sum-of-products);
+2. identical sub-expressions are hash-consed into one DAG node, so a
+   shared term is computed once and distributed -- the paper's fan-out
+   of 2 makes the *second* consumer free;
+3. each DAG node's physical copies are planned exactly: a gate natively
+   provides two identical outputs (FO2), a primary input provides one
+   excitation, and any demand beyond that inserts a SPLITTER2 tree
+   (:func:`repro.circuits.components.fanout_chain` economics).
+
+The resulting :class:`~repro.circuits.netlist.Netlist` passes
+``validate()`` by construction (single drivers, every net one
+consumer, no loops) and is checked exhaustively against the spec's
+truth tables before the compiler hands it to the placer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..circuits.netlist import Netlist
+from ..core.logic import input_patterns
+from .spec import CircuitSpec, parse_expression
+
+_TABLE_CHARS = frozenset("01")
+
+#: AST node -> netlist gate type for the direct lowerings.
+_NODE_GATE = {"and": "AND", "or": "OR", "xor": "XOR", "not": "NOT",
+              "maj": "MAJ3"}
+
+
+# -- AST simplification -------------------------------------------------------------
+
+def _key(tree: Tuple) -> str:
+    """Canonical structural key of an AST (for hash-consing)."""
+    kind = tree[0]
+    if kind == "var":
+        return tree[1]
+    if kind == "const":
+        return str(tree[1])
+    return f"{kind}({','.join(_key(sub) for sub in tree[1:])})"
+
+
+def simplify(tree: Tuple) -> Tuple:
+    """Constant-fold and canonicalise an expression AST.
+
+    Folds ``x & 1``, ``x ^ 0``, ``maj(a, b, 1) = a | b`` and kin,
+    collapses double negation and idempotent/absorbing duplicates, and
+    sorts commutative operands so ``a ^ b`` and ``b ^ a`` hash-cons to
+    the same DAG node.
+    """
+    kind = tree[0]
+    if kind in ("var", "const"):
+        return tree
+    children = [simplify(sub) for sub in tree[1:]]
+
+    if kind == "not":
+        child = children[0]
+        if child[0] == "const":
+            return ("const", 1 - child[1])
+        if child[0] == "not":
+            return child[1]
+        return ("not", child)
+
+    if kind == "maj":
+        consts = [c for c in children if c[0] == "const"]
+        if len(consts) >= 2:
+            total = sum(c[1] for c in consts)
+            if total != 1:
+                return ("const", 1 if total >= 2 else 0)
+            # one 0 and one 1: majority reduces to the remaining input
+            return next(c for c in children if c[0] != "const")
+        if len(consts) == 1:
+            rest = [c for c in children if c[0] != "const"]
+            folded = ("or", rest[0], rest[1]) if consts[0][1] == 1 \
+                else ("and", rest[0], rest[1])
+            return simplify(folded)
+        keys = [_key(c) for c in children]
+        for i, j in ((0, 1), (0, 2), (1, 2)):
+            if keys[i] == keys[j]:   # maj(a, a, b) = a
+                return children[i]
+        order = sorted(range(3), key=lambda i: keys[i])
+        return ("maj",) + tuple(children[i] for i in order)
+
+    a, b = children
+    ka, kb = _key(a), _key(b)
+    if kind == "and":
+        if a[0] == "const":
+            return b if a[1] == 1 else ("const", 0)
+        if b[0] == "const":
+            return a if b[1] == 1 else ("const", 0)
+        if ka == kb:
+            return a
+    elif kind == "or":
+        if a[0] == "const":
+            return b if a[1] == 0 else ("const", 1)
+        if b[0] == "const":
+            return a if b[1] == 0 else ("const", 1)
+        if ka == kb:
+            return a
+    elif kind == "xor":
+        if a[0] == "const":
+            return b if a[1] == 0 else simplify(("not", b))
+        if b[0] == "const":
+            return a if b[1] == 0 else simplify(("not", a))
+        if ka == kb:
+            return ("const", 0)
+    if kb < ka:
+        a, b = b, a
+    return (kind, a, b)
+
+
+# -- truth-table synthesis ----------------------------------------------------------
+
+def _linear_fit(table: Sequence[int], inputs: Sequence[str]
+                ) -> Optional[Tuple]:
+    """AST if the table is affine over GF(2): ``c ^ x_i ^ x_j ...``.
+
+    Covers buffers, inverters and parity chains -- the functions XOR
+    gates implement natively -- in one test: ``c = f(0...0)``,
+    ``a_i = f(e_i) ^ c``, verified over every pattern.
+    """
+    n = len(inputs)
+    c = table[0]
+    coeffs = [table[1 << (n - 1 - i)] ^ c for i in range(n)]
+    for index, bits in enumerate(input_patterns(n)):
+        acc = c
+        for i, bit in enumerate(bits):
+            acc ^= coeffs[i] & bit
+        if acc != table[index]:
+            return None
+    terms = [("var", inputs[i]) for i in range(n) if coeffs[i]]
+    if not terms:
+        return ("const", c)
+    tree = terms[0]
+    for term in terms[1:]:
+        tree = ("xor", tree, term)
+    return ("not", tree) if c else tree
+
+
+def _majority_fit(table: Sequence[int], inputs: Sequence[str]
+                  ) -> Optional[Tuple]:
+    """AST if the table is a (possibly inverted) 3-input majority."""
+    if len(inputs) != 3:
+        return None
+    maj = tuple(1 if sum(bits) >= 2 else 0 for bits in input_patterns(3))
+    if tuple(table) == maj:
+        return ("maj", ("var", inputs[0]), ("var", inputs[1]),
+                ("var", inputs[2]))
+    if tuple(table) == tuple(1 - v for v in maj):
+        return ("not", ("maj", ("var", inputs[0]), ("var", inputs[1]),
+                        ("var", inputs[2])))
+    return None
+
+
+def _combine(a: str, b: str) -> Optional[str]:
+    """Merge two implicant cubes differing in exactly one position."""
+    diff = 0
+    merged = []
+    for ca, cb in zip(a, b):
+        if ca != cb:
+            diff += 1
+            merged.append("-")
+        else:
+            merged.append(ca)
+    return "".join(merged) if diff == 1 else None
+
+
+def _covers(cube: str, minterm: int, n: int) -> bool:
+    for i, c in enumerate(cube):
+        if c == "-":
+            continue
+        bit = (minterm >> (n - 1 - i)) & 1
+        if bit != int(c):
+            return False
+    return True
+
+
+def minimal_sop(table: Sequence[int], n: int) -> List[str]:
+    """Quine-McCluskey: minimal-ish sum-of-products cover.
+
+    Returns implicant cubes over ``n`` inputs (``"1-0"`` = x0 & ~x2);
+    prime implicants via iterative combination, then essential-first
+    greedy cover (exact for the table sizes the spec admits).
+    """
+    minterms = [i for i, v in enumerate(table) if v]
+    if not minterms:
+        return []
+    cubes = {format(m, f"0{n}b") for m in minterms}
+    primes: Set[str] = set()
+    while cubes:
+        merged: Set[str] = set()
+        used: Set[str] = set()
+        for a, b in itertools.combinations(sorted(cubes), 2):
+            m = _combine(a, b)
+            if m is not None:
+                merged.add(m)
+                used.add(a)
+                used.add(b)
+        primes.update(cubes - used)
+        cubes = merged
+    # Essential primes first, then greedy set cover on the rest.
+    cover: List[str] = []
+    remaining = set(minterms)
+    for m in minterms:
+        covering = [p for p in sorted(primes) if _covers(p, m, n)]
+        if len(covering) == 1 and covering[0] not in cover:
+            cover.append(covering[0])
+    for p in cover:
+        remaining -= {m for m in remaining if _covers(p, m, n)}
+    while remaining:
+        best = max(sorted(primes),
+                   key=lambda p: sum(_covers(p, m, n) for m in remaining))
+        cover.append(best)
+        remaining -= {m for m in remaining if _covers(best, m, n)}
+    return cover
+
+
+def _balanced(kind: str, terms: List[Tuple]) -> Tuple:
+    """Balanced binary reduction tree (minimal logic depth)."""
+    while len(terms) > 1:
+        nxt = []
+        for i in range(0, len(terms) - 1, 2):
+            nxt.append((kind, terms[i], terms[i + 1]))
+        if len(terms) % 2:
+            nxt.append(terms[-1])
+        terms = nxt
+    return terms[0]
+
+
+def table_to_ast(table: Sequence[int], inputs: Sequence[str]) -> Tuple:
+    """Synthesise an expression AST from a truth table.
+
+    Pattern detectors first (affine/parity, 3-input majority -- the
+    shapes the triangle library implements in one gate), then minimal
+    SOP via Quine-McCluskey lowered as balanced AND/OR trees.
+    """
+    fit = _linear_fit(table, inputs)
+    if fit is not None:
+        return fit
+    fit = _majority_fit(table, inputs)
+    if fit is not None:
+        return fit
+    n = len(inputs)
+    terms = []
+    for cube in minimal_sop(table, n):
+        literals: List[Tuple] = []
+        for i, c in enumerate(cube):
+            if c == "1":
+                literals.append(("var", inputs[i]))
+            elif c == "0":
+                literals.append(("not", ("var", inputs[i])))
+        if not literals:
+            return ("const", 1)
+        terms.append(_balanced("and", literals))
+    if not terms:
+        return ("const", 0)
+    return _balanced("or", terms)
+
+
+def spec_to_asts(spec: CircuitSpec) -> Dict[str, Tuple]:
+    """Simplified AST per output (structural for expressions,
+    synthesised for truth-table definitions)."""
+    asts: Dict[str, Tuple] = {}
+    for out, definition in spec.outputs.items():
+        definition = definition.strip()
+        if set(definition) <= _TABLE_CHARS:
+            tree = table_to_ast(spec.truth_table(out), spec.inputs)
+        else:
+            tree = parse_expression(definition, spec.inputs)
+        asts[out] = simplify(tree)
+    return asts
+
+
+# -- DAG lowering -------------------------------------------------------------------
+
+class _Node:
+    """One hash-consed DAG node awaiting netlist emission."""
+
+    __slots__ = ("tree", "key", "children", "uses", "taps", "copies")
+
+    def __init__(self, tree: Tuple, key: str, children: List["_Node"]):
+        self.tree = tree
+        self.key = key
+        self.children = children
+        self.uses = 0            # gate-input edges consuming this value
+        self.taps: List[str] = []  # primary outputs exporting this value
+        self.copies: List[str] = []  # physical nets still available
+
+
+class _Lowerer:
+    """Emit a netlist from output ASTs with exact fan-out planning."""
+
+    def __init__(self, spec: CircuitSpec):
+        self.spec = spec
+        self.netlist = Netlist(spec.name)
+        self.nodes: Dict[str, _Node] = {}
+        self.order: List[_Node] = []   # topological (children first)
+        self._net_counter = 0
+        self._gate_counter: Dict[str, int] = {}
+
+    # -- DAG construction --
+
+    def intern(self, tree: Tuple) -> _Node:
+        key = _key(tree)
+        node = self.nodes.get(key)
+        if node is None:
+            children = [] if tree[0] in ("var", "const") \
+                else [self.intern(sub) for sub in tree[1:]]
+            node = _Node(tree, key, children)
+            self.nodes[key] = node
+            self.order.append(node)
+        return node
+
+    # -- naming --
+
+    def _fresh_net(self) -> str:
+        self._net_counter += 1
+        return f"n{self._net_counter}"
+
+    def _gate_name(self, kind: str) -> str:
+        index = self._gate_counter.get(kind, 0)
+        self._gate_counter[kind] = index + 1
+        return f"{kind.lower()}{index}"
+
+    # -- copy management --
+
+    def _take(self, node: _Node) -> str:
+        """Consume one physical copy of a node's value."""
+        if not node.copies:
+            raise AssertionError(
+                f"fan-out plan exhausted for {node.key!r} -- demand "
+                "accounting bug")
+        return node.copies.pop(0)
+
+    def _split(self, node: _Node, extra: int) -> None:
+        """Grow a node's copy pool by ``extra`` via SPLITTER2 gates."""
+        for _ in range(extra):
+            source = self._take(node)
+            a, b = self._fresh_net(), self._fresh_net()
+            self.netlist.add_gate(self._gate_name("split"), "SPLITTER2",
+                                  [source], [a, b])
+            node.copies.extend([a, b])
+
+    # -- emission --
+
+    def run(self, asts: Mapping[str, Tuple]) -> Netlist:
+        for net in self.spec.inputs:
+            self.netlist.add_input(net)
+        roots: Dict[str, _Node] = {}
+        for out, tree in asts.items():
+            if tree[0] == "const":
+                raise ValueError(
+                    f"output {out!r} is constant {tree[1]}; a spin-wave "
+                    "fabric has no constant generator -- wire it "
+                    "externally")
+            node = self.intern(tree)
+            node.taps.append(out)
+            roots[out] = node
+        for out in self.spec.outputs:
+            self.netlist.add_output(out)
+        # Demand count: one use per gate-input edge.
+        for node in self.order:
+            for child in node.children:
+                child.uses += 1
+        for node in self.order:     # children precede parents
+            self._emit(node)
+        self.netlist.validate()
+        return self.netlist
+
+    def _emit(self, node: _Node) -> None:
+        kind = node.tree[0]
+        demand = node.uses + len(node.taps)
+        if demand == 0:
+            return   # simplified away entirely
+        if kind == "const":
+            raise AssertionError("const nodes cannot be emitted")
+
+        if kind == "var":
+            # A primary input is one excitation: its net is the single
+            # native copy.  Taps on an input need a driven net, which a
+            # REPEATER (one regenerating transducer) provides.
+            node.copies = [node.tree[1]]
+            self._split(node, demand - 1)
+            for out in node.taps:
+                self.netlist.add_gate(self._gate_name("buf"), "REPEATER",
+                                      [self._take(node)], [out])
+            return
+
+        in_nets = [self._take(child) for child in node.children]
+        # The gate's two FO2 terminals: primary-output taps claim their
+        # names first (exported, never consumed); the rest are fresh.
+        first = node.taps[0] if node.taps else self._fresh_net()
+        second: Optional[str]
+        if demand >= 2:
+            second = node.taps[1] if len(node.taps) > 1 else self._fresh_net()
+        else:
+            second = None
+        self.netlist.add_gate(self._gate_name(kind), _NODE_GATE[kind],
+                              in_nets, [first, second])
+        consumable = []
+        if not node.taps:
+            consumable.append(first)
+        if second is not None and len(node.taps) <= 1:
+            consumable.append(second)
+        node.copies = consumable
+        extra = demand - (2 if second is not None else 1)
+        self._split(node, extra)
+        # Remaining taps (3rd+ output aliasing one value) ride on
+        # splitter outputs: rename by inserting a repeater would cost a
+        # stage; instead reserve splitter terminals directly.
+        for out in node.taps[2:]:
+            source = self._take(node)
+            self.netlist.add_gate(self._gate_name("buf"), "REPEATER",
+                                  [source], [out])
+
+
+def synthesize(spec: CircuitSpec) -> Netlist:
+    """Lower a spec to a validated triangle-gate netlist.
+
+    The netlist is structurally valid (``Netlist.validate()`` has run)
+    and logically equivalent to the spec -- equivalence is re-checked
+    exhaustively here so a synthesis bug can never reach the placer.
+
+    Raises
+    ------
+    ValueError
+        Malformed spec, constant outputs, or (never expected) a failed
+        equivalence check.
+    repro.errors.NetlistError
+        Structural self-check failure.
+    """
+    asts = spec_to_asts(spec)
+    netlist = _Lowerer(spec).run(asts)
+
+    from ..circuits.simulator import CascadeSimulator
+
+    simulator = CascadeSimulator(netlist)
+    reference = spec.reference()
+    for bits, outputs in simulator.truth_table().items():
+        want = reference(dict(zip(spec.inputs, bits)))
+        if outputs != want:
+            raise ValueError(
+                f"synthesis self-check failed for {spec.name!r} at input "
+                f"{bits}: netlist gives {outputs}, spec wants {want}")
+    return netlist

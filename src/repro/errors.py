@@ -17,7 +17,13 @@ family or a precise leaf:
   work for a failing job family;
 * :class:`FaultInjected` -- an error deliberately raised by the
   fault-injection framework (:mod:`repro.resilience.faults`);
-* :class:`CheckpointError` -- a solver checkpoint could not be read.
+* :class:`CheckpointError` -- a solver checkpoint could not be read;
+* :class:`NetlistError` -- a gate netlist is structurally malformed
+  (dangling nets, combinational loops, drive conflicts, fan-out above
+  the triangle FO2 budget), with precise leaves per defect;
+* :class:`DRCViolation` -- a compiled placement breaks a physical
+  design rule (d1--d4 lambda-multiple spacings, waveguide crossings,
+  fan-out budget), naming the offending rule and object pair.
 
 The hierarchy is dependency-free (no numpy, no package imports) so any
 tier -- runtime, solvers, serving, CLI -- can import it without cycles.
@@ -32,9 +38,15 @@ __all__ = [
     "CacheCorrupt",
     "CheckpointError",
     "CircuitOpen",
+    "CombinationalLoopError",
+    "DanglingNetError",
+    "DriveConflictError",
+    "DRCViolation",
+    "FanOutExceededError",
     "FaultInjected",
     "JobFailed",
     "JobTimeout",
+    "NetlistError",
     "NumericalDivergenceError",
     "ReproError",
 ]
@@ -116,3 +128,137 @@ class FaultInjected(ReproError):
 
 class CheckpointError(ReproError):
     """A solver checkpoint file is missing required state or corrupt."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A gate netlist is structurally malformed.
+
+    Subclasses :class:`ValueError` as well so code (and tests) written
+    against the original ``Netlist.validate()`` contract keeps working;
+    new code should catch the precise leaf.
+
+    Attributes
+    ----------
+    netlist:
+        Name of the offending netlist.
+    """
+
+    def __init__(self, message: str, netlist: str = ""):
+        super().__init__(message)
+        self.netlist = netlist
+
+
+class DanglingNetError(NetlistError):
+    """A net is consumed (or exported) but nothing drives it.
+
+    Attributes
+    ----------
+    net:
+        The undriven net.
+    consumer:
+        The gate (or ``"<primary output>"``) that needed it.
+    """
+
+    def __init__(self, net: str, consumer: str, netlist: str = ""):
+        super().__init__(
+            f"net {net!r} consumed by {consumer!r} has no driver",
+            netlist=netlist)
+        self.net = net
+        self.consumer = consumer
+
+
+class CombinationalLoopError(NetlistError):
+    """The netlist contains a combinational cycle.
+
+    Attributes
+    ----------
+    gates:
+        The gate names participating in (or downstream of) the cycle.
+    """
+
+    def __init__(self, gates, netlist: str = ""):
+        super().__init__(
+            f"combinational loop among gates: {sorted(gates)}",
+            netlist=netlist)
+        self.gates = tuple(sorted(gates))
+
+
+class DriveConflictError(NetlistError):
+    """A net is driven by more than one gate output.
+
+    Attributes
+    ----------
+    net:
+        The multiply-driven net.
+    drivers:
+        The competing driver gate names.
+    """
+
+    def __init__(self, net: str, drivers, netlist: str = ""):
+        super().__init__(
+            f"net {net!r} driven by multiple gates: {sorted(drivers)}",
+            netlist=netlist)
+        self.net = net
+        self.drivers = tuple(sorted(drivers))
+
+
+class FanOutExceededError(NetlistError):
+    """A net feeds more consumers than one spin-wave output can drive.
+
+    Each physical SW output drives exactly one next-stage input
+    (assumption (v) of the paper); the gate's *second* FO2 output or a
+    SPLITTER component provides additional copies.
+
+    Attributes
+    ----------
+    net:
+        The overloaded net.
+    consumers:
+        How many inputs (plus primary-output taps) the net feeds.
+    budget:
+        The per-net consumer budget (1).
+    """
+
+    def __init__(self, net: str, consumers: int, budget: int = 1,
+                 netlist: str = ""):
+        super().__init__(
+            f"net {net!r} feeds {consumers} consumers; each SW output "
+            "drives exactly one input -- use the gate's second output "
+            "or a SPLITTER component", netlist=netlist)
+        self.net = net
+        self.consumers = consumers
+        self.budget = budget
+
+
+class DRCViolation(ReproError):
+    """A compiled placement violates a physical design rule.
+
+    Raised by :func:`repro.compiler.run_drc` (and collected into a
+    :class:`repro.compiler.DRCReport`).  The message always names the
+    broken rule and the offending object pair, so a failing compile
+    points at *which two structures* are too close / miswired.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier, e.g. ``"spacing"``, ``"phase.d2"``,
+        ``"fanout"``, ``"crossing"``, ``"width"``.
+    offenders:
+        The named objects breaking the rule (gate instances, nets or
+        wires) -- usually a pair.
+    actual / required:
+        The measured and required values, when the rule is metric
+        (spacings in lambda-multiples); ``None`` otherwise.
+    """
+
+    def __init__(self, rule: str, offenders, detail: str,
+                 actual: Optional[float] = None,
+                 required: Optional[float] = None):
+        names = " <-> ".join(str(o) for o in offenders)
+        message = f"DRC rule {rule!r} violated by [{names}]: {detail}"
+        super().__init__(message)
+        self.rule = rule
+        self.offenders = tuple(str(o) for o in offenders)
+        self.detail = detail
+        self.actual = actual
+        self.required = required

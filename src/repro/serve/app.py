@@ -7,6 +7,11 @@ API over the reproduction:
 * ``POST /v1/sweep`` -- the full 2^n truth table in one request
   (fanned through the pipeline, so patterns coalesce/batch/cache
   individually);
+* ``POST /v1/compile`` -- the spin-wave circuit compiler
+  (:mod:`repro.compiler`): spec in, placed + DRC-checked (optionally
+  characterized) fabric out; compiles are content-addressed jobs, so
+  identical requests coalesce in flight and repeat requests hit the
+  result cache;
 * ``GET /healthz``   -- liveness + drain state;
 * ``GET /metrics``   -- Prometheus text format rendered from the
   :mod:`repro.obs` metrics registry.
@@ -169,6 +174,7 @@ class GateService:
             ("GET", "/metrics"): self._handle_metrics,
             ("POST", "/v1/gate"): self._handle_gate,
             ("POST", "/v1/sweep"): self._handle_sweep,
+            ("POST", "/v1/compile"): self._handle_compile,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -488,6 +494,54 @@ class GateService:
         return JobSpec(fn="repro.micromag.experiments:run_gate_case",
                        params=params, label=label), tier
 
+    def _build_compile_spec(self, payload: Dict[str, Any]
+                            ) -> Tuple[JobSpec, str]:
+        """Validate a compile request and build its JobSpec.
+
+        The circuit spec and rule deck are fully validated *here* (the
+        compiler front door runs in-process) so malformed requests are
+        400s, and only well-formed compiles spend executor time.
+        """
+        from ..compiler import CircuitSpec, DesignRules, load_spec
+
+        unknown = set(payload) - {"spec", "rules", "characterize", "tier"}
+        if unknown:
+            raise BadRequest(f"unknown parameter(s): {sorted(unknown)}")
+        raw_spec = payload.get("spec")
+        try:
+            if isinstance(raw_spec, dict):
+                spec = CircuitSpec.from_dict(raw_spec)
+            elif isinstance(raw_spec, str):
+                spec = load_spec(raw_spec)
+            else:
+                raise BadRequest(
+                    "spec must be an object {name, inputs, outputs} or "
+                    "a string (builtin name, inline JSON, equations)")
+            rules = payload.get("rules")
+            if rules is not None:
+                if not isinstance(rules, dict):
+                    raise BadRequest("rules must be an object of "
+                                     "DesignRules fields")
+                DesignRules.from_dict(rules)
+        except BadRequest:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(str(exc))
+        tier = payload.get("tier", "network")
+        if tier not in _TIERS:
+            raise BadRequest(f"unknown tier {tier!r}; choose from "
+                             f"{list(_TIERS)}")
+        characterize = bool(payload.get("characterize", False))
+        params: Dict[str, Any] = {"spec": spec.to_dict(),
+                                  "characterize": characterize,
+                                  "tier": tier}
+        if rules:
+            params["rules"] = rules
+        label = (f"compile:{spec.name}@{tier}"
+                 + (":char" if characterize else ""))
+        return JobSpec(fn="repro.compiler.api:compile_job",
+                       params=params, label=label), tier
+
     def _deadline_for(self, request: _Request) -> Optional[float]:
         """Per-request deadline [s]: ``x-deadline-ms`` header, falling
         back to the configured default (None = unbounded)."""
@@ -552,6 +606,26 @@ class GateService:
         duration_ms = (time.perf_counter() - t0) * 1e3
         meta = {"source": served.source, "key": served.key,
                 "batch_size": served.batch_size,
+                "duration_ms": round(duration_ms, 3),
+                "request_id": request_id}
+        return (HTTPStatus.OK,
+                {"result": served.value, "served": meta},
+                {"source": served.source, "key": served.key})
+
+    async def _handle_compile(self, request: _Request, request_id: str):
+        payload = request.json()
+        spec, tier = self._build_compile_spec(payload)
+        deadline = self._deadline_for(request)
+        # Compiles are not micro-batchable (they are not gate cases),
+        # but they coalesce and cache exactly like any job: the spec's
+        # content-addressed key is the single-flight and cache key.
+        executor = (self.heavy_executor if tier != "network" else None)
+        t0 = time.perf_counter()
+        served = await self.pipeline.submit(
+            spec, executor=executor, deadline=deadline,
+            breaker_key=f"compile:{tier}")
+        duration_ms = (time.perf_counter() - t0) * 1e3
+        meta = {"source": served.source, "key": served.key,
                 "duration_ms": round(duration_ms, 3),
                 "request_id": request_id}
         return (HTTPStatus.OK,

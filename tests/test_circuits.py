@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import (
+    CascadeSimulator,
     CircuitSimulator,
     DirectionalCoupler,
     Netlist,
@@ -19,6 +20,14 @@ from repro.circuits import (
     ripple_carry_adder_netlist,
 )
 from repro.core.logic import full_adder, majority, xor
+from repro.errors import (
+    CombinationalLoopError,
+    DanglingNetError,
+    DriveConflictError,
+    FanOutExceededError,
+    NetlistError,
+    ReproError,
+)
 from repro.physics import Wave
 
 F = 10e9
@@ -249,6 +258,100 @@ class TestNetworkModeGateTypes:
             inputs = dict(zip(("a", "b"), bits))
             assert sim.run(inputs).outputs["y"] == reference(*bits), \
                 (gate_type, bits)
+
+
+class TestTypedNetlistErrors:
+    """validate()/topological_order() raise the repro.errors leaves,
+    each of which stays a ValueError for backward compatibility."""
+
+    def test_dangling_net_typed(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g", "XOR", ["a", "ghost"], ["o", None])
+        with pytest.raises(DanglingNetError) as excinfo:
+            net.validate()
+        assert "ghost" in str(excinfo.value)
+        assert isinstance(excinfo.value, (NetlistError, ReproError,
+                                          ValueError))
+
+    def test_loop_typed(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g1", "XOR", ["a", "y"], ["x", None])
+        net.add_gate("g2", "REPEATER", ["x"], ["y"])
+        with pytest.raises(CombinationalLoopError):
+            net.topological_order()
+        with pytest.raises(CombinationalLoopError):
+            net.validate()
+
+    def test_drive_conflict_typed(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g1", "REPEATER", ["a"], ["x"])
+        with pytest.raises(DriveConflictError):
+            net.add_gate("g2", "REPEATER", ["a"], ["x"])
+
+    def test_fanout_exceeded_typed(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("g1", "XOR", ["a", "b"], ["x", None])
+        net.add_gate("g2", "REPEATER", ["x"], ["y1"])
+        net.add_gate("g3", "REPEATER", ["x"], ["y2"])
+        with pytest.raises(FanOutExceededError) as excinfo:
+            net.validate()
+        assert "x" in str(excinfo.value)
+
+    def test_cascade_simulator_validates_on_construction(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("g", "XOR", ["a", "ghost"], ["o", None])
+        with pytest.raises(NetlistError):
+            CascadeSimulator(net)
+
+
+class TestCascadeFixtureTruthTables:
+    """The four synthesis fixtures reproduce their exhaustive truth
+    tables through CascadeSimulator (ISSUE satellite)."""
+
+    def test_full_adder(self):
+        net = full_adder_netlist()
+        table = CascadeSimulator(net).truth_table()
+        assert len(table) == 8
+        for bits, out in table.items():
+            assign = dict(zip(net.primary_inputs, bits))
+            s, c = full_adder(assign["a"], assign["b"], assign["cin"])
+            assert out == {"sum": s, "carry": c}, bits
+
+    def test_ripple_carry_adder(self):
+        width = 2
+        net = ripple_carry_adder_netlist(width)
+        table = CascadeSimulator(net).truth_table()
+        assert len(table) == 2 ** (2 * width + 1)
+        for bits, out in table.items():
+            assign = dict(zip(net.primary_inputs, bits))
+            a = sum(assign[f"a{i}"] << i for i in range(width))
+            b = sum(assign[f"b{i}"] << i for i in range(width))
+            total = sum(out[f"s{i}"] << i for i in range(width)) \
+                + (out["cout"] << width)
+            assert total == a + b + assign["cin"], bits
+
+    def test_majority_tree(self):
+        net = majority_tree_netlist(9)
+        table = CascadeSimulator(net).truth_table()
+        assert len(table) == 512
+        for bits, out in table.items():
+            assign = dict(zip(net.primary_inputs, bits))
+            votes = [assign[f"v{i}"] for i in range(9)]
+            groups = [majority(*votes[j:j + 3]) for j in (0, 3, 6)]
+            assert out["vote"] == majority(*groups), bits
+
+    def test_parity_chain(self):
+        net = parity_chain_netlist(5)
+        table = CascadeSimulator(net).truth_table()
+        assert len(table) == 32
+        for bits, out in table.items():
+            assert out["p"] == xor(*bits), bits
 
 
 class TestSimulatorValidation:

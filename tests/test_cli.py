@@ -100,6 +100,23 @@ class TestNoSubcommand:
         assert "usage:" in capsys.readouterr().err
 
 
+class TestUnknownSubcommand:
+    def test_usage_and_exit_code_2(self, capsys):
+        # argparse raises SystemExit(2) for an invalid choice; main()
+        # must convert it to a return code instead of letting it
+        # propagate out of the entry point.
+        assert main(["decompile", "maj3"]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
+
+    def test_help_still_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+
 class TestSweep:
     def test_sweep_maj3_network_cached(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -126,10 +143,10 @@ class TestSweep:
         assert "4 jobs: 0 cached" in out
 
     def test_sweep_rejects_unknown_gate(self, capsys):
-        import pytest
-
-        with pytest.raises(SystemExit):
-            main(["sweep", "nand"])
+        # Usage errors no longer escape as SystemExit: main() returns
+        # the conventional misuse code instead.
+        assert main(["sweep", "nand"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_sweep_prints_cache_line(self, tmp_path, capsys):
         argv = ["--workers", "1", "sweep", "xor", "--tier", "network",

@@ -1,0 +1,420 @@
+"""Compiler tests: spec front-end, synthesis, placement, DRC,
+characterization, the compile driver, CLI and /v1/compile."""
+
+import json
+import random
+import urllib.error
+import urllib.request
+from itertools import product
+
+import pytest
+
+from repro.circuits import CascadeSimulator
+from repro.cli import main
+from repro.compiler import (
+    BUILTIN_SPECS,
+    CircuitSpec,
+    DesignRules,
+    compile_job,
+    compile_spec,
+    load_spec,
+    minimal_sop,
+    netlist_from_dict,
+    netlist_to_dict,
+    place,
+    run_drc,
+    synthesize,
+    verify_functional,
+)
+from repro.errors import DRCViolation, NetlistError
+
+
+def _equivalent(spec: CircuitSpec) -> bool:
+    """Exhaustive spec-vs-synthesized-netlist agreement."""
+    return verify_functional(synthesize(spec), spec)["equivalent"]
+
+
+class TestSpecFrontEnd:
+    def test_load_builtin(self):
+        spec = load_spec("maj3")
+        assert spec.name == "maj3"
+        assert spec.inputs == ("a", "b", "c")
+
+    def test_load_inline_json(self):
+        spec = load_spec('{"name": "t", "inputs": ["a", "b"], '
+                         '"outputs": {"y": "a & b"}}')
+        assert spec.truth_table("y") == (0, 0, 0, 1)
+
+    def test_load_equations(self):
+        spec = load_spec("y = a ^ b; z = maj(a, b, c)")
+        assert spec.inputs == ("a", "b", "c")
+        assert set(spec.outputs) == {"y", "z"}
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(BUILTIN_SPECS["xor2"]))
+        assert load_spec(str(path)).name == "xor2"
+
+    def test_load_unknown_rejected(self):
+        with pytest.raises(ValueError, match="neither a builtin"):
+            load_spec("does_not_exist")
+
+    def test_truth_table_definition(self):
+        spec = CircuitSpec("tt", ("a", "b"), {"y": "0110"})
+        assert spec.truth_table("y") == (0, 1, 1, 0)
+
+    def test_truth_table_length_checked(self):
+        with pytest.raises(ValueError, match="expected 8"):
+            CircuitSpec("bad", ("a", "b", "c"), {"y": "0110"})
+
+    def test_expression_syntax_error(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("bad", ("a", "b"), {"y": "a &"})
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(ValueError, match="ghost"):
+            CircuitSpec("bad", ("a", "b"), {"y": "a & ghost"})
+
+    def test_input_budget_enforced(self):
+        names = tuple(f"i{k}" for k in range(7))
+        with pytest.raises(ValueError, match="budget"):
+            CircuitSpec("big", names, {"y": names[0]})
+
+    def test_output_shadowing_input_rejected(self):
+        with pytest.raises(ValueError, match="shadows"):
+            CircuitSpec("bad", ("a", "b"), {"a": "a ^ b"})
+
+    def test_from_dict_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            CircuitSpec.from_dict({"inputs": ["a"], "outputs": {"y": "a"},
+                                   "bogus": 1})
+
+    def test_maj_operator(self):
+        spec = CircuitSpec("m", ("a", "b", "c"), {"y": "maj(a, b, c)"})
+        table = spec.truth_table("y")
+        for index, bits in enumerate(product((0, 1), repeat=3)):
+            assert table[index] == (1 if sum(bits) >= 2 else 0)
+
+    def test_reference_round_trip(self):
+        spec = load_spec("full_adder")
+        reference = spec.reference()
+        out = reference({"a": 1, "b": 1, "cin": 0})
+        assert out == {"sum": 0, "carry": 1}
+
+    def test_spec_to_dict_round_trip(self):
+        spec = load_spec("parity4")
+        again = CircuitSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SPECS))
+    def test_builtin_equivalence(self, name):
+        assert _equivalent(load_spec(name))
+
+    def test_every_two_input_function(self):
+        # Codes 0 and 15 are the constants, rejected by design (no
+        # constant generator on a spin-wave fabric).
+        for code in range(1, 15):
+            bits = format(code, "04b")
+            spec = CircuitSpec("f", ("a", "b"), {"y": bits})
+            assert _equivalent(spec), bits
+
+    def test_random_three_and_four_input_functions(self):
+        rng = random.Random(20210201)
+        for n in (3, 4):
+            for _ in range(10):
+                bits = "".join(str(rng.randint(0, 1))
+                               for _ in range(1 << n))
+                spec = CircuitSpec("f", tuple("abcd"[:n]), {"y": bits})
+                assert _equivalent(spec), bits
+
+    def test_constant_outputs_rejected(self):
+        for bits in ("0000", "1111"):
+            spec = CircuitSpec("const", ("a", "b"), {"y": bits})
+            with pytest.raises(ValueError, match="constant"):
+                synthesize(spec)
+
+    def test_netlist_validates_fanout(self):
+        # Shared inputs (full adder uses a, b, cin twice) must come out
+        # as explicit SPLITTER2/REPEATER trees -- validate() enforces
+        # the FO2 budget, so a legal netlist is the assertion.
+        net = synthesize(load_spec("full_adder"))
+        net.validate()
+        counts = net.count_by_type()
+        assert counts.get("SPLITTER2", 0) >= 1
+
+    def test_multi_output_sharing(self):
+        # sum and carry both consume a, b, cin; the netlist must stay
+        # legal and equivalent with both outputs present.
+        spec = load_spec("full_adder")
+        net = synthesize(spec)
+        assert set(net.primary_outputs) == {"sum", "carry"}
+        assert verify_functional(net, spec)["equivalent"]
+
+    def test_minimal_sop_covers_exactly(self):
+        table = [0, 1, 1, 1, 0, 0, 0, 1]
+        cubes = minimal_sop(table, 3)
+        for minterm, want in enumerate(table):
+            covered = any(
+                all(c == "-" or int(c) == ((minterm >> (3 - 1 - k)) & 1)
+                    for k, c in enumerate(cube))
+                for cube in cubes)
+            assert covered == bool(want), minterm
+
+    def test_cascade_simulator_agrees(self):
+        spec = load_spec("and_or")
+        table = CascadeSimulator(synthesize(spec)).truth_table()
+        reference = spec.reference()
+        for bits, out in table.items():
+            assert out == reference(dict(zip(spec.inputs, bits))), bits
+
+
+class TestPlacement:
+    def test_placement_stats(self):
+        placement = place(synthesize(load_spec("full_adder")))
+        stats = placement.stats()
+        assert stats["gates"] == len(placement.gates)
+        assert stats["area_lambda2"] > 0
+        assert stats["wires"] == len(placement.wires)
+
+    def test_columns_follow_levels(self):
+        netlist = synthesize(load_spec("full_adder"))
+        placement = place(netlist)
+        columns = {name: g.column for name, g in placement.gates.items()}
+        by_output = {}
+        for name, inst in netlist.gates.items():
+            for net in inst.outputs:
+                if net is not None:
+                    by_output[net] = name
+        # A gate never sits left of any gate that feeds it.
+        for name, inst in netlist.gates.items():
+            for net in inst.inputs:
+                driver = by_output.get(net)
+                if driver is not None:
+                    assert columns[driver] < columns[name], (driver, name)
+
+    def test_coordinates_are_half_lambda_grid(self):
+        placement = place(synthesize(load_spec("maj3")))
+        for gate in placement.gates.values():
+            x, y = gate.origin
+            assert x == pytest.approx(round(x * 2) / 2)
+            assert y == pytest.approx(round(y * 2) / 2)
+
+    def test_to_dict_serializable(self):
+        placement = place(synthesize(load_spec("xor2")))
+        payload = json.loads(json.dumps(placement.to_dict()))
+        assert payload["stats"]["gates"] == 1
+
+
+class TestDRC:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SPECS))
+    def test_builtins_clean(self, name):
+        placement = place(synthesize(load_spec(name)))
+        report = run_drc(placement, raise_on_violation=False)
+        assert report.clean, [str(v) for v in report.violations]
+
+    def test_over_tight_deck_raises_named_pair(self):
+        # Placing rows/columns at zero clearance leaves every adjacent
+        # gate pair closer than the DRC's gate_clearance floor.
+        rules = DesignRules(row_clearance=0.0, col_clearance=0.0)
+        placement = place(synthesize(load_spec("full_adder")),
+                          rules=rules)
+        with pytest.raises(DRCViolation) as excinfo:
+            run_drc(placement, raise_on_violation=True)
+        violation = excinfo.value
+        assert violation.rule.startswith("spacing")
+        assert len(violation.offenders) == 2
+        for offender in violation.offenders:
+            assert offender in placement.gates, violation.offenders
+        assert violation.actual < violation.required
+        assert violation.report.clean is False
+
+    def test_report_collects_all_violations(self):
+        rules = DesignRules(row_clearance=0.0, col_clearance=0.0)
+        placement = place(synthesize(load_spec("full_adder")),
+                          rules=rules)
+        report = run_drc(placement, raise_on_violation=False)
+        assert not report.clean
+        assert len(report.violations) >= 2
+        payload = report.to_dict()
+        assert payload["clean"] is False
+        assert payload["violations"][0]["rule"]
+
+    def test_violation_is_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(DRCViolation, ReproError)
+
+
+class TestCompileDriver:
+    def test_compile_builtin_clean(self):
+        result = compile_spec("maj3")
+        assert result.clean
+        assert result.characterization is None
+        assert result.placement.stats()["gates"] == 1
+
+    def test_arbitrary_four_input_table(self):
+        # ISSUE acceptance: arbitrary truth-table specs up to 4 inputs
+        # compile into DRC-clean placements.
+        rng = random.Random(7)
+        bits = "".join(str(rng.randint(0, 1)) for _ in range(16))
+        result = compile_spec({"name": "arb4", "inputs": list("abcd"),
+                               "outputs": {"y": bits}})
+        assert result.clean
+        assert verify_functional(result.netlist,
+                                 result.spec)["equivalent"]
+
+    def test_over_tight_rules_raise(self):
+        rules = DesignRules(row_clearance=0.0, col_clearance=0.0)
+        with pytest.raises(DRCViolation) as excinfo:
+            compile_spec("full_adder", rules=rules)
+        assert excinfo.value.report.clean is False
+
+    def test_characterize_network_tier(self):
+        result = compile_spec("xor2", characterize_circuit=True,
+                              tier="network")
+        report = result.characterization
+        assert report.verified
+        assert report.spin_wave["energy_j"] > 0
+        assert report.spin_wave["delay_s"] > 0
+        assert set(report.cmos) == {"16nm", "7nm"}
+        assert 0.0 <= report.error_rates["circuit_error_rate"] <= 1.0
+        assert report.error_rates["per_kind"]["xor"]["patterns"] == 4
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["characterization"]["functional"]["equivalent"]
+
+    def test_netlist_round_trip(self):
+        spec = load_spec("full_adder")
+        net = synthesize(spec)
+        again = netlist_from_dict(netlist_to_dict(net))
+        assert verify_functional(again, spec)["equivalent"]
+
+    def test_netlist_from_dict_validates(self):
+        payload = netlist_to_dict(synthesize(load_spec("maj3")))
+        payload["gates"][0]["inputs"] = ["a", "b", "ghost"]
+        with pytest.raises(NetlistError):
+            netlist_from_dict(payload)
+
+    def test_compile_job_payload(self):
+        payload = compile_job(BUILTIN_SPECS["maj3"])
+        assert payload["clean"] is True
+        assert payload["drc"]["violations"] == []
+        json.dumps(payload)  # must be wire-serializable
+
+    def test_compile_job_reports_dirty_as_data(self):
+        payload = compile_job(
+            BUILTIN_SPECS["full_adder"],
+            rules={"row_clearance": 0.0, "col_clearance": 0.0})
+        assert payload["clean"] is False
+        assert payload["drc"]["violations"]
+        assert payload["drc"]["violations"][0]["offenders"]
+
+    def test_bad_spec_raises_value_error(self):
+        with pytest.raises(ValueError):
+            compile_spec("y = a &")
+
+
+class TestCompileCli:
+    def test_compile_builtin(self, capsys):
+        assert main(["compile", "maj3"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled 'maj3'" in out
+        assert "DRC: clean" in out
+
+    def test_compile_equations(self, capsys):
+        assert main(["compile", "y = a ^ b ^ c"]) == 0
+        assert "DRC: clean" in capsys.readouterr().out
+
+    def test_compile_out_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "placement.json"
+        assert main(["compile", "xor2", "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["drc"]["clean"] is True
+        assert payload["placement"]["stats"]["gates"] == 1
+
+    def test_compile_characterize_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["--workers", "1", "compile", "full_adder",
+                     "--characterize", "--tier", "network",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "characterization" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["functional"]["equivalent"] is True
+        assert payload["tier"] == "network"
+
+    def test_report_requires_characterize(self, tmp_path, capsys):
+        assert main(["compile", "maj3",
+                     "--report", str(tmp_path / "r.json")]) == 2
+        assert "--characterize" in capsys.readouterr().err
+
+    def test_over_tight_rules_exit_1(self, capsys):
+        assert main(["compile", "full_adder",
+                     "--row-clearance", "0",
+                     "--col-clearance", "0"]) == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_bad_rules_json_exit_2(self, capsys):
+        assert main(["compile", "maj3", "--rules", "{nope"]) == 2
+        assert "bad --rules JSON" in capsys.readouterr().err
+
+    def test_bad_spec_exit_2(self, capsys):
+        assert main(["compile", "no_such_builtin"]) == 2
+        assert "neither a builtin" in capsys.readouterr().err
+
+
+def _post(base, path, payload, timeout=60.0):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestServeCompile:
+    def test_compile_endpoint_caches(self, tmp_path):
+        from repro.serve import ServeConfig, ServerThread
+        from repro.serve.pipeline import SOURCE_CACHED
+
+        config = ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        with ServerThread(config) as server:
+            status, body = _post(server.base_url, "/v1/compile",
+                                 {"spec": "maj3"})
+            assert status == 200
+            assert body["result"]["clean"] is True
+            assert body["served"]["source"] != SOURCE_CACHED
+            status, body = _post(server.base_url, "/v1/compile",
+                                 {"spec": "maj3"})
+            assert status == 200
+            assert body["served"]["source"] == SOURCE_CACHED
+
+    def test_compile_endpoint_validation(self, tmp_path):
+        from repro.serve import ServeConfig, ServerThread
+
+        config = ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        with ServerThread(config) as server:
+            status, body = _post(server.base_url, "/v1/compile",
+                                 {"spec": "y = a &"})
+            assert status == 400
+            assert "error" in body
+            status, body = _post(server.base_url, "/v1/compile", {})
+            assert status == 400
+
+    def test_compile_endpoint_dirty_is_data(self, tmp_path):
+        from repro.serve import ServeConfig, ServerThread
+
+        config = ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        with ServerThread(config) as server:
+            status, body = _post(
+                server.base_url, "/v1/compile",
+                {"spec": "full_adder",
+                 "rules": {"row_clearance": 0.0, "col_clearance": 0.0}})
+            assert status == 200
+            assert body["result"]["clean"] is False
+            violations = body["result"]["drc"]["violations"]
+            assert violations and violations[0]["offenders"]
