@@ -3,6 +3,7 @@ avoid clashing with the tests/ conftest on combined runs)."""
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import subprocess
@@ -10,6 +11,7 @@ from typing import Mapping, Tuple, Union
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 REPORT_PATH = os.path.join(OUTPUT_DIR, "report.txt")
+TRAJECTORY_PATH = os.path.join(OUTPUT_DIR, "BENCH_TRAJECTORY.jsonl")
 
 
 def emit(title: str, body: str) -> None:
@@ -52,15 +54,19 @@ def write_bench_json(
         metrics: Mapping[str, Union[Tuple[float, str], float]]) -> str:
     """Persist bench results in the common trajectory schema.
 
-    Writes ``benchmarks/output/BENCH_<bench>.json``: a JSON list of
-    ``{bench, metric, value, unit, commit}`` records -- one flat,
-    greppable shape for every benchmark, so a perf trajectory can be
-    assembled PR-over-PR by concatenating the per-commit artifacts.
+    Writes ``benchmarks/output/BENCH_<bench>.json`` -- a JSON list of
+    ``{bench, metric, value, unit, commit, ts}`` records, the
+    latest-run snapshot -- and **appends** the same records to
+    ``BENCH_TRAJECTORY.jsonl``, the accumulating commit-keyed history
+    that ``python -m repro bench report|compare`` reads.  The snapshot
+    is clobbered per run by design; the trajectory never is.
 
     ``metrics`` maps metric name to ``(value, unit)``; a bare number is
     taken as dimensionless (``unit=""``).
     """
     commit = bench_commit()
+    stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds")
     records = []
     for metric, entry in metrics.items():
         if isinstance(entry, tuple):
@@ -68,10 +74,14 @@ def write_bench_json(
         else:
             value, unit = entry, ""
         records.append({"bench": bench, "metric": metric,
-                        "value": value, "unit": unit, "commit": commit})
+                        "value": value, "unit": unit, "commit": commit,
+                        "ts": stamp})
     os.makedirs(OUTPUT_DIR, exist_ok=True)
     path = os.path.join(OUTPUT_DIR, f"BENCH_{bench}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(records, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    with open(TRAJECTORY_PATH, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
     return path

@@ -29,11 +29,13 @@ from bench_common import emit, write_bench_json  # noqa: E402
 try:
     from repro import obs
     from repro.fdtd import ScalarWaveSimulator
+    from repro.obs import flight
 except ImportError:  # source checkout without an installed package
     sys.path.insert(0, os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
     from repro import obs
     from repro.fdtd import ScalarWaveSimulator
+    from repro.obs import flight
 
 N_STEPS = 2000
 SHAPE = (96, 96)
@@ -93,18 +95,48 @@ def _instrumented_seconds(enabled: bool) -> float:
             obs.disable()
 
 
-def measure(repeats: int = 3) -> dict:
-    """Best-of-``repeats`` timings for all three variants."""
+def _flight_record_ns(n_events: int = 20000) -> float:
+    """Average cost of one flight-recorder event append.
+
+    The recorder is *always on*, so its steady-state price matters:
+    one dict build plus a GIL-atomic deque append, with old events
+    falling off the bounded ring for free.
+    """
+    flight.clear()
+    t0 = time.perf_counter_ns()
+    for i in range(n_events):
+        flight.record("bench", index=i)
+    elapsed = time.perf_counter_ns() - t0
+    flight.clear()
+    return elapsed / n_events
+
+
+def measure(repeats: int = 5) -> dict:
+    """Best-of-``repeats`` timings for all variants.
+
+    ``enabled`` now includes the full deep-profiling path: the
+    ``fdtd.step`` span (flight-recorded open/close), the per-phase
+    stencil/boundary/source timers and the throughput gauges.
+
+    Rounds are interleaved (baseline, disabled, enabled per round)
+    rather than run as sequential blocks, so slow machine drift --
+    a noisy CI neighbour spinning up mid-bench -- degrades every
+    variant instead of silently skewing one ratio.
+    """
     obs.disable()
-    base = min(_baseline_seconds() for _ in range(repeats))
-    disabled = min(_instrumented_seconds(False) for _ in range(repeats))
-    enabled = min(_instrumented_seconds(True) for _ in range(repeats))
+    base = disabled = enabled = float("inf")
+    for _ in range(repeats):
+        base = min(base, _baseline_seconds())
+        disabled = min(disabled, _instrumented_seconds(False))
+        enabled = min(enabled, _instrumented_seconds(True))
     return {
         "baseline_s": base,
         "disabled_s": disabled,
         "enabled_s": enabled,
         "disabled_overhead": disabled / base - 1.0,
         "enabled_overhead": enabled / base - 1.0,
+        "flight_record_ns": min(_flight_record_ns()
+                                for _ in range(repeats)),
     }
 
 
@@ -112,12 +144,14 @@ def _report(timing: dict) -> str:
     verdict = "PASS" if timing["disabled_overhead"] < BUDGET else "FAIL"
     return "\n".join([
         f"{N_STEPS}-step FDTD run on {SHAPE[0]} x {SHAPE[1]} cells "
-        f"(best of 3)",
+        f"(best of 5, interleaved)",
         f"uninstrumented baseline : {timing['baseline_s'] * 1e3:8.1f} ms",
         f"obs disabled            : {timing['disabled_s'] * 1e3:8.1f} ms "
         f"({timing['disabled_overhead'] * 100:+.2f} %)",
-        f"obs enabled             : {timing['enabled_s'] * 1e3:8.1f} ms "
+        f"obs enabled (phases)    : {timing['enabled_s'] * 1e3:8.1f} ms "
         f"({timing['enabled_overhead'] * 100:+.2f} %)",
+        f"flight recorder append  : {timing['flight_record_ns']:8.0f} ns "
+        f"per event (always on)",
         f"budget: disabled overhead < {BUDGET * 100:.0f} % -> {verdict}",
     ])
 
@@ -129,6 +163,7 @@ def _write_trajectory(timing: dict) -> None:
         "enabled": (timing["enabled_s"], "s"),
         "disabled_overhead": (timing["disabled_overhead"], "ratio"),
         "enabled_overhead": (timing["enabled_overhead"], "ratio"),
+        "flight_record_ns": (timing["flight_record_ns"], "ns"),
     })
 
 

@@ -25,6 +25,13 @@ Python:
   graceful drain on SIGTERM;
 * ``cache stats|prune [--max-bytes N]`` -- inspect the on-disk result
   cache or evict least-recently-used entries down to a byte budget;
+* ``bench report|compare`` -- sparkline history of the accumulated
+  benchmark trajectory, and a regression gate (exit 1 when the latest
+  commit moved a metric beyond ``--threshold`` against the rolling
+  baseline of earlier commits);
+* ``debug dump`` -- print the most recent flight-recorder dump (the
+  last-N-events black box written on crashes,
+  ``NumericalDivergenceError`` and SIGUSR2);
 * ``compile SPEC [--characterize]`` -- the spin-wave circuit compiler
   (:mod:`repro.compiler`): synthesize an arbitrary boolean function
   (builtin name, inline JSON spec, equation list like
@@ -434,6 +441,72 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0 if drc.clean else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import trajectory
+
+    records = trajectory.load_trajectory(args.trajectory)
+    if not records:
+        print(f"bench {args.action}: no trajectory at {args.trajectory} "
+              "(run any benchmarks/bench_*.py to start one)")
+        return 0
+    comparisons = trajectory.compare(records, threshold=args.threshold,
+                                     baseline_window=args.baseline_window,
+                                     bench=args.bench)
+    print(trajectory.format_report(
+        comparisons,
+        title=f"bench trajectory: {len(records)} records, "
+              f"latest commit {comparisons[0].commit if comparisons else '?'}"))
+    if args.action == "report":
+        return 0
+    regressions = [c for c in comparisons if c.regressed]
+    print()
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.threshold * 100:.0f} %:")
+        for c in regressions:
+            print(f"  {c.bench}.{c.metric}: {c.baseline:.6g} -> "
+                  f"{c.latest:.6g} {c.unit} ({c.change * 100:+.1f} %)")
+        return 1
+    print(f"no regressions beyond {args.threshold * 100:.0f} % "
+          f"across {len(comparisons)} series")
+    return 0
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    import datetime
+    import json
+
+    from .obs import flight
+
+    directory = args.dir or flight.default_dir()
+    path = flight.latest_dump(directory)
+    if path is None:
+        print(f"debug dump: no flight dumps under {directory} "
+              "(they appear on crashes, divergences and SIGUSR2)",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        sys.stdout.write(path.read_text(encoding="utf-8"))
+        return 0
+    with open(path, "r", encoding="utf-8") as handle:
+        events = [json.loads(line) for line in handle if line.strip()]
+    header = events[0] if events and events[0].get("kind") == "flight.dump" \
+        else {}
+    print(f"flight dump {path}")
+    print(f"reason: {header.get('reason', '?')}, "
+          f"pid {header.get('pid', '?')}, "
+          f"{header.get('events', len(events))} events")
+    for event in events[1:]:
+        stamp = event.pop("ts", None)
+        kind = event.pop("kind", "?")
+        when = (datetime.datetime.fromtimestamp(stamp).strftime("%H:%M:%S.%f")
+                [:-3] if isinstance(stamp, (int, float)) else "?")
+        detail = " ".join(f"{k}={v}" for k, v in sorted(event.items())
+                          if v is not None)
+        print(f"  {when} {kind:<12} {detail}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -648,6 +721,44 @@ def build_parser() -> argparse.ArgumentParser:
                            default=argparse.SUPPRESS,
                            help=argparse.SUPPRESS)
     p_compile.set_defaults(func=_cmd_compile)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="report or gate on the accumulated benchmark trajectory "
+             "(benchmarks/output/BENCH_TRAJECTORY.jsonl)")
+    p_bench.add_argument("action", choices=["report", "compare"],
+                         help="report: sparkline history per metric; "
+                              "compare: exit 1 when the latest commit "
+                              "regressed beyond --threshold")
+    p_bench.add_argument("--trajectory", metavar="PATH",
+                         default="benchmarks/output/BENCH_TRAJECTORY.jsonl",
+                         help="trajectory JSONL file (default "
+                              "benchmarks/output/BENCH_TRAJECTORY.jsonl)")
+    p_bench.add_argument("--threshold", type=float, default=0.15,
+                         metavar="R",
+                         help="relative regression threshold "
+                              "(default 0.15 = 15 %%)")
+    p_bench.add_argument("--baseline-window", type=int, default=5,
+                         metavar="N",
+                         help="earlier-commit records forming the rolling "
+                              "baseline median (default 5)")
+    p_bench.add_argument("--bench", default=None, metavar="NAME",
+                         help="restrict to one benchmark name")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_debug = sub.add_parser(
+        "debug",
+        help="inspect the flight recorder (docs/OBSERVABILITY.md)")
+    p_debug.add_argument("action", choices=["dump"],
+                         help="dump: print the most recent flight-"
+                              "recorder dump")
+    p_debug.add_argument("--dir", metavar="PATH", default=None,
+                         help="dump directory (default .repro_flight/ "
+                              "or $REPRO_FLIGHT_DIR)")
+    p_debug.add_argument("--json", action="store_true",
+                         help="print the raw JSONL instead of the "
+                              "formatted timeline")
+    p_debug.set_defaults(func=_cmd_debug)
     return parser
 
 
@@ -675,6 +786,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     from . import obs
     from .resilience import faults
+
+    # Black-box recording: an unhandled crash or a SIGUSR2 poke dumps
+    # the flight recorder's recent events (``repro debug dump`` reads
+    # them back).  Both installs are idempotent no-ops off-unix.
+    obs.flight.install_excepthook()
+    obs.flight.install_signal_handler()
 
     try:
         # Chaos testing: a JSON fault plan in $REPRO_FAULTS arms

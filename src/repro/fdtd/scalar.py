@@ -268,28 +268,38 @@ class ScalarWaveSimulator:
         """Advance the field ``n_steps`` leapfrog steps.
 
         When the observer is attached (:func:`repro.obs.enable`) the
-        call is wrapped in an ``fdtd.step`` span and updates the
-        ``fdtd.steps`` / ``fdtd.cell_updates`` counters and the
-        ``fdtd.steps_per_s`` gauge; disabled, the instrumentation is a
-        single flag check.  Likewise the resilience hooks: with no
-        watchdog, no checkpoint manager and no armed fault plan the
-        solver takes the bare :meth:`_advance` loop.
+        call is wrapped in an ``fdtd.step`` span, takes the
+        phase-profiled loop (per-step wall time split into
+        ``fdtd.phase.stencil_ms`` / ``boundary_ms`` / ``source_ms``
+        histograms), and updates the ``fdtd.steps`` /
+        ``fdtd.cell_updates`` counters plus the ``fdtd.steps_per_s``
+        and ``fdtd.cell_updates_per_s`` throughput gauges; disabled,
+        the instrumentation is a single flag check and the bare
+        :meth:`_advance` loop runs untouched.  Likewise the resilience
+        hooks: with no watchdog, no checkpoint manager and no armed
+        fault plan the guarded loop is skipped entirely.
         """
-        advance = self._advance
-        if (self.watchdog is not None or self.checkpoint is not None
-                or faults.active()):
-            advance = self._advance_guarded
+        guarded = (self.watchdog is not None or self.checkpoint is not None
+                   or faults.active())
         if not obs.enabled():
+            advance = self._advance_guarded if guarded else self._advance
             return advance(n_steps)
+        timer = obs.PhaseTimer("fdtd")
         t0 = time.perf_counter()
         with obs.span("fdtd.step", steps=int(n_steps),
                       cells=self._n_cells):
-            advance(n_steps)
+            if guarded:
+                self._advance_guarded(n_steps, profile_timer=timer)
+            else:
+                self._advance_profiled(n_steps, timer)
         elapsed = time.perf_counter() - t0
         obs.counter("fdtd.steps").inc(int(n_steps))
         obs.counter("fdtd.cell_updates").inc(int(n_steps) * self._n_cells)
         if elapsed > 0:
             obs.gauge("fdtd.steps_per_s").set(n_steps / elapsed)
+            obs.gauge("fdtd.cell_updates_per_s").set(
+                n_steps * self._n_cells / elapsed)
+        timer.flush()
 
     def _advance(self, n_steps: int) -> None:
         """The uninstrumented leapfrog loop."""
@@ -321,17 +331,62 @@ class ScalarWaveSimulator:
                 heartbeat(count, self.t)
         self.step_count = count
 
-    def _advance_guarded(self, n_steps: int) -> None:
+    def _advance_profiled(self, n_steps: int, timer) -> None:
+        """The leapfrog loop with per-phase wall-time attribution.
+
+        Same update as :meth:`_advance` with one clock read between
+        phases, charging the Laplacian stencil, the damping/boundary
+        update and the source injection separately -- the breakdown
+        the batched-kernel optimisation needs.  Only ever taken when
+        the observer is attached.
+        """
+        c2 = self._laplacian_scale
+        dt = self.dt
+        masks = self._neighbour_masks
+        neighbours = self._neighbour_count
+        heartbeat = self.progress
+        every = self.progress_every
+        count = self.step_count
+        for _ in range(n_steps):
+            t0 = timer.stamp()
+            lap = (
+                np.roll(self.u, 1, axis=0) * masks[(0, 1)]
+                + np.roll(self.u, -1, axis=0) * masks[(0, -1)]
+                + np.roll(self.u, 1, axis=1) * masks[(1, 1)]
+                + np.roll(self.u, -1, axis=1) * masks[(1, -1)]
+            )
+            lap -= neighbours * self.u
+            t0 = timer.lap("stencil", t0)
+            damp = self.gamma * dt
+            new = ((2.0 * self.u - (1.0 - damp) * self.u_prev + c2 * lap)
+                   / (1.0 + damp))
+            new *= self.mask
+            self.u_prev = self.u
+            self.u = new
+            self.t += dt
+            t0 = timer.lap("boundary", t0)
+            self._apply_sources(self.t, self.u)
+            timer.lap("source", t0)
+            count += 1
+            if heartbeat is not None and count % every == 0:
+                heartbeat(count, self.t)
+        self.step_count = count
+
+    def _advance_guarded(self, n_steps: int, profile_timer=None) -> None:
         """Leapfrog loop with per-step resilience hooks.
 
         Taken only when a watchdog, a checkpoint manager or an armed
         fault plan is present; the bare :meth:`_advance` hot path is
-        untouched otherwise.
+        untouched otherwise.  ``profile_timer`` routes the inner step
+        through :meth:`_advance_profiled` when the observer is on.
         """
         watchdog = self.watchdog
         manager = self.checkpoint
         for _ in range(n_steps):
-            self._advance(1)
+            if profile_timer is not None:
+                self._advance_profiled(1, profile_timer)
+            else:
+                self._advance(1)
             if faults.active():
                 spec = faults.trip("fdtd.step")
                 if spec is not None and spec.kind == "nan":
@@ -405,9 +460,19 @@ class ScalarWaveSimulator:
         steps_per_period = max(8, int(round(1.0 / (self.frequency * self.dt))))
         n_samples = n_periods * steps_per_period
         acc = np.zeros(self.mask.shape, dtype=complex)
+        # The lock-in accumulation is the "detector readout" phase of
+        # the profile; stepping itself is charged by step().
+        timer = obs.PhaseTimer("fdtd") if obs.enabled() else None
         for _ in range(n_samples):
             self.step(1)
-            acc += self.u * np.exp(-1j * omega * self.t)
+            if timer is None:
+                acc += self.u * np.exp(-1j * omega * self.t)
+            else:
+                t0 = timer.stamp()
+                acc += self.u * np.exp(-1j * omega * self.t)
+                timer.lap("detector", t0)
+        if timer is not None:
+            timer.flush()
         return 2.0 * acc / n_samples
 
     def amplitude_map(self, envelope: np.ndarray = None) -> np.ndarray:

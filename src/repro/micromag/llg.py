@@ -37,12 +37,14 @@ RHSFunction = Callable[[float, np.ndarray], np.ndarray]
 ProgressCallback = Callable[[float, float], None]
 
 
-def _record_step(t0: Optional[float], rejected: int = 0) -> None:
+def _record_step(t0: Optional[float], rejected: int = 0,
+                 cells: Optional[int] = None) -> None:
     """Update the ``llg.*`` metrics for one accepted integrator step.
 
     ``t0`` is the perf-counter stamp taken at step entry *only when the
     observer was attached* (None otherwise, making the disabled path a
-    single check at the call sites).
+    single check at the call sites).  ``cells`` feeds the
+    ``llg.cell_updates_per_s`` throughput gauge.
     """
     if t0 is None:
         return
@@ -52,6 +54,8 @@ def _record_step(t0: Optional[float], rejected: int = 0) -> None:
         obs.counter("llg.rk45.rejected").inc(rejected)
     if elapsed > 0:
         obs.gauge("llg.steps_per_s").set(1.0 / elapsed)
+        if cells:
+            obs.gauge("llg.cell_updates_per_s").set(cells / elapsed)
 
 
 def _guard_step(watchdog: Optional[Watchdog], t: float, m: np.ndarray,
@@ -142,15 +146,30 @@ class RK4Integrator:
         if dt <= 0:
             raise ValueError("dt must be positive")
         t0 = time.perf_counter() if obs.enabled() else None
+        # RK-stage attribution (``llg.rk4.phase.k1_ms``...) only when
+        # the observer is on; the disabled path stays stamp-free.
+        timer = obs.PhaseTimer("llg.rk4") if t0 is not None else None
+        s = timer.stamp() if timer is not None else 0
         k1 = self.rhs(t, m)
+        if timer is not None:
+            s = timer.lap("k1", s)
         k2 = self.rhs(t + dt / 2.0, m + (dt / 2.0) * k1)
+        if timer is not None:
+            s = timer.lap("k2", s)
         k3 = self.rhs(t + dt / 2.0, m + (dt / 2.0) * k2)
+        if timer is not None:
+            s = timer.lap("k3", s)
         k4 = self.rhs(t + dt, m + dt * k3)
+        if timer is not None:
+            s = timer.lap("k4", s)
         new = m + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
         _guard_step(self.watchdog, t + dt, new, self.mask)
         if self.renormalize:
             normalize_field(new, self.mask)
-        _record_step(t0)
+        if timer is not None:
+            timer.lap("combine", s)
+            timer.flush()
+        _record_step(t0, cells=new[0].size)
         if self.progress is not None:
             self.progress(t + dt, dt)
         return new
@@ -180,16 +199,23 @@ class HeunIntegrator:
         if dt <= 0:
             raise ValueError("dt must be positive")
         t0 = time.perf_counter() if obs.enabled() else None
+        timer = obs.PhaseTimer("llg.heun") if t0 is not None else None
+        s = timer.stamp() if timer is not None else 0
         k1 = self.rhs(t, m)
         predictor = m + dt * k1
         if self.renormalize:
             normalize_field(predictor, self.mask)
+        if timer is not None:
+            s = timer.lap("predictor", s)
         k2 = self.rhs(t + dt, predictor)
         new = m + (dt / 2.0) * (k1 + k2)
         _guard_step(self.watchdog, t + dt, new, self.mask)
         if self.renormalize:
             normalize_field(new, self.mask)
-        _record_step(t0)
+        if timer is not None:
+            timer.lap("corrector", s)
+            timer.flush()
+        _record_step(t0, cells=new[0].size)
         if self.progress is not None:
             self.progress(t + dt, dt)
         return new
@@ -253,9 +279,11 @@ class RK45Integrator:
             ``(new_m, dt_taken, dt_next)``.
         """
         t0 = time.perf_counter() if obs.enabled() else None
+        timer = obs.PhaseTimer("llg.rk45") if t0 is not None else None
         rejected_before = self.rejected_steps
         dt = float(np.clip(dt, self.dt_min, self.dt_max))
         while True:
+            s = timer.stamp() if timer is not None else 0
             ks = []
             for i in range(7):
                 mi = m.copy()
@@ -263,6 +291,8 @@ class RK45Integrator:
                     if aij != 0.0:
                         mi += dt * aij * ks[j]
                 ks.append(self.rhs(t + _DP_C[i] * dt, mi))
+            if timer is not None:
+                s = timer.lap("stages", s)
             m5 = m.copy()
             m4 = m.copy()
             for bi, ki in zip(_DP_B5, ks):
@@ -272,6 +302,8 @@ class RK45Integrator:
                 if bi != 0.0:
                     m4 += dt * bi * ki
             error = float(np.max(np.abs(m5 - m4)))
+            if timer is not None:
+                s = timer.lap("combine", s)
             if error <= self.tolerance or dt <= self.dt_min * 1.0000001:
                 _guard_step(self.watchdog, t + dt, m5, self.mask)
                 if self.renormalize:
@@ -284,7 +316,10 @@ class RK45Integrator:
                 dt_next = float(np.clip(dt * min(max(factor, 0.2), 5.0),
                                         self.dt_min, self.dt_max))
                 self.last_dt = dt
-                _record_step(t0, self.rejected_steps - rejected_before)
+                if timer is not None:
+                    timer.flush()
+                _record_step(t0, self.rejected_steps - rejected_before,
+                             cells=m5[0].size)
                 if self.progress is not None:
                     self.progress(t + dt, dt)
                 return m5, dt, dt_next

@@ -40,7 +40,7 @@ CLI equivalents: ``python -m repro --trace trace.json profile xor
 
 from typing import Optional
 
-from . import _state, metrics as _metrics, trace as _trace
+from . import _state, flight, metrics as _metrics, trace as _trace
 from ._state import enabled
 from .export import (
     format_span_summary,
@@ -60,7 +60,8 @@ from .metrics import (
     gauge,
     histogram,
 )
-from .prometheus import render_prometheus
+from .profile import PhaseTimer, ResourceProbe
+from .prometheus import render_prometheus, set_help
 from .trace import (
     NULL_SPAN,
     Span,
@@ -106,6 +107,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PhaseTimer",
+    "ResourceProbe",
     "Span",
     "TraceContext",
     "activate",
@@ -117,6 +120,7 @@ __all__ = [
     "drain_spans",
     "enable",
     "enabled",
+    "flight",
     "format_span_summary",
     "gauge",
     "get_logger",
@@ -126,6 +130,7 @@ __all__ = [
     "parse_level",
     "render_prometheus",
     "reset_metrics",
+    "set_help",
     "setup_logging",
     "span",
     "spans",

@@ -1,0 +1,162 @@
+"""Always-on flight recorder: a bounded ring buffer of recent events.
+
+Black-box recorder for the whole package.  Low-rate control-plane
+events -- span opens/closes, fault injections, watchdog trips,
+circuit-breaker transitions, HTTP request summaries -- are appended to
+a fixed-size :class:`collections.deque`, whose ``append`` is a single
+atomic bytecode under the GIL: no lock, no allocation beyond the event
+dict, and old events fall off the far end for free.  Steady-state cost
+is therefore a dict build per *event* (not per solver step; hot loops
+never record), and reading the buffer back is only done on the failure
+path.
+
+When something goes wrong the recent history is dumped as JSONL so the
+post-mortem starts with context instead of a bare traceback:
+
+* :func:`auto_dump` fires on unhandled exceptions (via
+  :func:`install_excepthook`), on ``NumericalDivergenceError`` (wired
+  into :class:`repro.resilience.guardrails.Watchdog`), and on
+  ``SIGUSR2`` (via :func:`install_signal_handler` -- poke a live
+  process for its last-N events without killing it);
+* dumps land in ``.repro_flight/flight-<pid>-<stamp>.jsonl`` (override
+  the directory with ``REPRO_FLIGHT_DIR``); ``python -m repro debug
+  dump`` prints the most recent one;
+* repeat dumps are rate-limited (one per :data:`_DUMP_COOLDOWN_S`) so
+  an exception storm cannot fill the disk.
+
+Buffer capacity defaults to 512 events, override with
+``REPRO_FLIGHT_EVENTS``.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["record", "events", "clear", "dump", "auto_dump",
+           "install_excepthook", "install_signal_handler",
+           "latest_dump", "default_dir"]
+
+
+def _capacity() -> int:
+    try:
+        return max(16, int(os.environ.get("REPRO_FLIGHT_EVENTS", "512")))
+    except ValueError:
+        return 512
+
+
+_RING: Deque[Dict[str, Any]] = collections.deque(maxlen=_capacity())
+
+#: Minimum spacing between automatic dumps, seconds.
+_DUMP_COOLDOWN_S = 5.0
+_last_auto_dump = 0.0
+_prev_excepthook = None
+
+
+def record(kind: str, **data: Any) -> None:
+    """Append one event to the ring.  ``kind`` names the event class
+    ("span", "fault", "watchdog", "breaker", "http", ...); keyword
+    payload must be JSON-serialisable scalars."""
+    data["kind"] = kind
+    data["ts"] = time.time()
+    _RING.append(data)
+
+
+def events() -> List[Dict[str, Any]]:
+    """Snapshot of the buffered events, oldest first."""
+    return list(_RING)
+
+
+def clear() -> None:
+    _RING.clear()
+
+
+def default_dir() -> Path:
+    return Path(os.environ.get("REPRO_FLIGHT_DIR", ".repro_flight"))
+
+
+def dump(path: Optional[os.PathLike] = None,
+         reason: str = "manual") -> Optional[Path]:
+    """Write the buffered events as JSONL; returns the path, or None
+    when the buffer is empty (nothing worth a file).
+
+    The first line is a header record (kind ``"flight.dump"``) carrying
+    the reason, pid and event count, so a dump is self-describing.
+    """
+    snapshot = events()
+    if not snapshot:
+        return None
+    if path is None:
+        directory = default_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S")
+        path = directory / f"flight-{os.getpid()}-{stamp}.jsonl"
+    path = Path(path)
+    header = {"kind": "flight.dump", "reason": reason, "pid": os.getpid(),
+              "events": len(snapshot), "ts": time.time()}
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in [header] + snapshot:
+            fh.write(json.dumps(event, default=str) + "\n")
+    return path
+
+
+def auto_dump(reason: str) -> Optional[Path]:
+    """Rate-limited :func:`dump` for error paths; never raises."""
+    global _last_auto_dump
+    now = time.monotonic()
+    if now - _last_auto_dump < _DUMP_COOLDOWN_S:
+        return None
+    _last_auto_dump = now
+    try:
+        return dump(reason=reason)
+    except OSError:
+        return None
+
+
+def latest_dump(directory: Optional[os.PathLike] = None) -> Optional[Path]:
+    """Most recently written dump file, or None."""
+    directory = Path(directory) if directory else default_dir()
+    if not directory.is_dir():
+        return None
+    dumps = sorted(directory.glob("flight-*.jsonl"),
+                   key=lambda p: p.stat().st_mtime)
+    return dumps[-1] if dumps else None
+
+
+def install_excepthook() -> None:
+    """Chain a flight-recorder dump onto ``sys.excepthook`` so any
+    crash leaves the last-N-events context on disk.  Idempotent."""
+    global _prev_excepthook
+    if _prev_excepthook is not None:
+        return
+    _prev_excepthook = sys.excepthook
+
+    def _hook(exc_type, exc, tb):
+        record("crash", error=exc_type.__name__, message=str(exc))
+        auto_dump(reason=f"excepthook:{exc_type.__name__}")
+        _prev_excepthook(exc_type, exc, tb)
+
+    sys.excepthook = _hook
+
+
+def install_signal_handler() -> bool:
+    """Dump the ring on ``SIGUSR2`` (unix only; returns False where the
+    signal does not exist or we are not in the main thread)."""
+    if not hasattr(signal, "SIGUSR2"):
+        return False
+
+    def _handler(signum, frame):
+        record("signal", signal="SIGUSR2")
+        dump(reason="SIGUSR2")
+
+    try:
+        signal.signal(signal.SIGUSR2, _handler)
+    except ValueError:  # not the main thread
+        return False
+    return True

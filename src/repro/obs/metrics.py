@@ -9,29 +9,43 @@ The registry itself always works (tests poke it directly), but the
 package convention is that hot paths guard updates with
 ``obs.enabled()`` -- the same master switch as the tracer -- so a run
 with no observer attached pays a single boolean check per site.
-Counter/gauge updates are plain attribute writes; under the GIL that
-is safe enough for telemetry (worst case a lost increment under heavy
-thread contention, never corruption).
+
+Updates are **thread-safe**: every instrument carries its own lock, so
+the asyncio serve loop, pool-worker span ingest and background flusher
+threads can hammer the same counter without losing increments.  The
+lock is uncontended in the common case (one writer), which keeps an
+``inc()`` in the tens of nanoseconds.
+
+Histograms track fixed bucket boundaries (Prometheus-style ``le``
+upper bounds) so :meth:`Histogram.quantile` can answer real p50/p95/
+p99 questions and :func:`repro.obs.prometheus.render_prometheus` can
+export a conformant ``_bucket``/``_sum``/``_count`` series.  Each
+bucket also remembers the most recent *exemplar* (a trace id observed
+with a value in that bucket) -- the breadcrumb that links a latency
+spike on a dashboard back to one traced request.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 class Counter:
     """Monotonically increasing count (events, cells, bytes...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def as_dict(self) -> Dict[str, Any]:
         return {"value": self.value}
@@ -40,56 +54,147 @@ class Counter:
 class Gauge:
     """Last-written value of an instantaneous quantity (rates, sizes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def as_dict(self) -> Dict[str, Any]:
         return {"value": self.value}
 
 
-class Histogram:
-    """Streaming summary of an observed distribution.
+#: Default histogram bucket upper bounds.  Geometric 1-2.5-5 ladder
+#: spanning sub-millisecond solver phases through multi-minute sweep
+#: jobs; values are unit-agnostic (the serve tier observes
+#: milliseconds, the profilers seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
 
-    Tracks count / sum / min / max plus coarse power-of-two buckets
-    (bucket ``i`` counts observations in ``[2**(i-1), 2**i)``), which
-    is plenty to spot bimodal wall times without storing samples.
+
+class Histogram:
+    """Fixed-boundary bucket histogram of an observed distribution.
+
+    Tracks count / sum / min / max plus one cumulative-ready counter
+    per bucket; ``bounds[i]`` is the *inclusive* upper bound of bucket
+    ``i`` (Prometheus ``le`` semantics) and a final overflow bucket
+    catches everything above the last bound.  :meth:`quantile`
+    estimates order statistics by linear interpolation inside the
+    bucket that crosses the requested rank -- exact enough for p50/
+    p95/p99 dashboards without storing samples.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "bounds",
+                 "bucket_counts", "exemplars", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(sorted(float(b) for b in (buckets
+                                                 or DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite "
+                             "(+Inf is implicit)")
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self.buckets: Dict[int, int] = {}
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; index len(bounds) is the
+        #: +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        #: Most recent exemplar per bucket index: (label, value).
+        self.exemplars: Dict[int, Tuple[str, float]] = {}
+        self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
+        """Record one observation; ``exemplar`` is an optional trace
+        id remembered for the bucket the value lands in."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        bucket = 0 if value <= 0 else int(math.floor(math.log2(value))) + 1
-        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self.bucket_counts[index] += 1
+            if exemplar:
+                self.exemplars[index] = (str(exemplar), value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the observed
+        distribution; None before any observation.
+
+        Linear interpolation inside the bucket whose cumulative count
+        crosses rank ``q * count``, clamped to the observed min/max so
+        sparse histograms cannot report values outside the data.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return None
+            rank = q * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.bucket_counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count < rank:
+                    cumulative += bucket_count
+                    continue
+                lower = (0.0 if index == 0
+                         else self.bounds[index - 1])
+                upper = (self.bounds[index]
+                         if index < len(self.bounds) else self.max)
+                fraction = ((rank - cumulative) / bucket_count
+                            if bucket_count else 0.0)
+                estimate = lower + (upper - lower) * max(0.0,
+                                                         min(1.0, fraction))
+                return min(max(estimate, self.min), self.max)
+            return self.max
+
     def as_dict(self) -> Dict[str, Any]:
-        return {"count": self.count, "sum": self.total, "mean": self.mean,
-                "min": self.min, "max": self.max,
-                "buckets": {str(k): v for k, v in sorted(self.buckets.items())}}
+        with self._lock:
+            buckets: Dict[str, int] = {}
+            cumulative = 0
+            for index, bucket_count in enumerate(self.bucket_counts):
+                cumulative += bucket_count
+                if bucket_count:
+                    label = ("+Inf" if index == len(self.bounds)
+                             else repr(self.bounds[index]))
+                    buckets[label] = cumulative
+            exemplars = {
+                ("+Inf" if index == len(self.bounds)
+                 else repr(self.bounds[index])): {"label": label,
+                                                  "value": value}
+                for index, (label, value) in sorted(self.exemplars.items())}
+        stats = {"count": self.count, "sum": self.total, "mean": self.mean,
+                 "min": self.min, "max": self.max,
+                 "bounds": list(self.bounds),
+                 "bucket_counts": list(self.bucket_counts),
+                 "buckets": buckets}
+        if exemplars:
+            stats["exemplars"] = exemplars
+        for name, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            stats[name] = self.quantile(q)
+        return stats
 
 
 class MetricsRegistry:
@@ -115,12 +220,15 @@ class MetricsRegistry:
                 instrument = self._gauges.setdefault(name, Gauge(name))
         return instrument
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get-or-create a histogram.  ``buckets`` only takes effect on
+        first creation; later callers share the existing instrument."""
         instrument = self._histograms.get(name)
         if instrument is None:
             with self._lock:
                 instrument = self._histograms.setdefault(
-                    name, Histogram(name))
+                    name, Histogram(name, buckets=buckets))
         return instrument
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
@@ -154,8 +262,9 @@ def gauge(name: str) -> Gauge:
     return REGISTRY.gauge(name)
 
 
-def histogram(name: str) -> Histogram:
-    return REGISTRY.histogram(name)
+def histogram(name: str,
+              buckets: Optional[Sequence[float]] = None) -> Histogram:
+    return REGISTRY.histogram(name, buckets=buckets)
 
 
 def snapshot() -> Dict[str, Dict[str, Any]]:

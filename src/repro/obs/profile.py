@@ -1,0 +1,148 @@
+"""Solver-phase profiling and per-job resource accounting.
+
+Two building blocks sit behind the deep-profiling instrumentation:
+
+:class:`PhaseTimer`
+    Accumulates wall time per named *phase* of a hot loop (FDTD
+    stencil / boundary / source injection, LLG RK stages) using raw
+    ``perf_counter_ns`` stamps -- the per-lap cost is one clock read
+    and one dict add, cheap enough to sit inside a solver step when
+    the observer is attached.  ``flush()`` ships the totals into
+    ``<prefix>.phase.<name>_ms`` histograms so repeated calls build a
+    distribution, answering "where inside the step does the time go"
+    -- the question the batched-kernel optimisation PR has to answer
+    before claiming its 5x.
+
+:class:`ResourceProbe`
+    Brackets one job with OS-level accounting: CPU seconds
+    (user+system) and max-RSS deltas from ``resource.getrusage``
+    (unix-only; a no-op elsewhere), plus an opt-in ``tracemalloc``
+    peak when ``REPRO_TRACEMALLOC`` is set in the environment
+    (tracemalloc costs ~2-4x on allocation-heavy code, so it must
+    never be on by default).  The executor runs one probe around each
+    pool/serial job and ships the result back into
+    :class:`repro.runtime.report.JobRecord`.
+
+Neither class touches the :func:`repro.obs.enabled` switch itself --
+callers gate construction on it, keeping the disabled path at a single
+flag check.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from . import metrics as _metrics
+
+try:  # unix only; Windows has no resource module
+    import resource as _resource
+except ImportError:  # pragma: no cover - exercised only off-unix
+    _resource = None
+
+__all__ = ["PhaseTimer", "ResourceProbe", "tracemalloc_requested"]
+
+
+class PhaseTimer:
+    """Accumulate wall time per named phase, flush to histograms.
+
+    Usage inside a loop::
+
+        timer = PhaseTimer("fdtd")
+        for _ in range(n):
+            t = timer.stamp()
+            ...stencil...
+            t = timer.lap("stencil", t)
+            ...boundary...
+            t = timer.lap("boundary", t)
+        timer.flush()
+    """
+
+    __slots__ = ("prefix", "_acc_ns")
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._acc_ns: Dict[str, int] = {}
+
+    @staticmethod
+    def stamp() -> int:
+        return time.perf_counter_ns()
+
+    def lap(self, name: str, t0: int) -> int:
+        """Charge ``now - t0`` to phase ``name``; returns the new
+        stamp so laps chain without a second clock read."""
+        now = time.perf_counter_ns()
+        self._acc_ns[name] = self._acc_ns.get(name, 0) + (now - t0)
+        return now
+
+    def add_ns(self, name: str, dur_ns: int) -> None:
+        self._acc_ns[name] = self._acc_ns.get(name, 0) + dur_ns
+
+    def totals_ms(self) -> Dict[str, float]:
+        return {name: ns / 1e6 for name, ns in self._acc_ns.items()}
+
+    def flush(self) -> Dict[str, float]:
+        """Observe one histogram sample per phase
+        (``<prefix>.phase.<name>_ms``), clear, and return the totals."""
+        totals = self.totals_ms()
+        for name, ms in totals.items():
+            _metrics.histogram(f"{self.prefix}.phase.{name}_ms").observe(ms)
+        self._acc_ns.clear()
+        return totals
+
+
+def tracemalloc_requested() -> bool:
+    """True when the user opted into Python-heap peak tracking."""
+    return bool(os.environ.get("REPRO_TRACEMALLOC"))
+
+
+class ResourceProbe:
+    """CPU / max-RSS / optional Python-heap accounting for one job.
+
+    Construct at job start, call :meth:`finish` at job end; returns a
+    JSON-ready dict (or None when the platform offers nothing)::
+
+        {"cpu_s": 1.92, "max_rss_kb": 151244, "py_peak_kb": 8031}
+
+    ``max_rss_kb`` is the process high-water mark as reported by
+    ``getrusage`` (kilobytes on Linux), which only ever grows -- for a
+    pool worker that reuses a process the value reflects the largest
+    job so far, still the right answer for "will this fit in the
+    container".  ``py_peak_kb`` appears only under
+    ``REPRO_TRACEMALLOC`` and measures allocations made *during* the
+    job.
+    """
+
+    __slots__ = ("_t0", "_cpu0", "_tracing", "_started_trace")
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self._cpu0: Optional[float] = None
+        if _resource is not None:
+            ru = _resource.getrusage(_resource.RUSAGE_SELF)
+            self._cpu0 = ru.ru_utime + ru.ru_stime
+        self._started_trace = False
+        self._tracing = tracemalloc_requested()
+        if self._tracing:
+            import tracemalloc
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_trace = True
+            else:
+                tracemalloc.reset_peak()
+
+    def finish(self) -> Optional[Dict[str, Any]]:
+        usage: Dict[str, Any] = {}
+        if _resource is not None and self._cpu0 is not None:
+            ru = _resource.getrusage(_resource.RUSAGE_SELF)
+            usage["cpu_s"] = round(ru.ru_utime + ru.ru_stime - self._cpu0, 6)
+            usage["max_rss_kb"] = int(ru.ru_maxrss)
+        if self._tracing:
+            import tracemalloc
+            if tracemalloc.is_tracing():
+                _, peak = tracemalloc.get_traced_memory()
+                usage["py_peak_kb"] = peak // 1024
+                if self._started_trace:
+                    tracemalloc.stop()
+        return usage or None

@@ -6,26 +6,48 @@ exposition text format (version 0.0.4), which is what a ``GET
 
 * counters  -> ``repro_<name>_total`` (``counter``);
 * gauges    -> ``repro_<name>`` (``gauge``; unset gauges are omitted);
-* histograms -> ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
-  The registry keeps coarse power-of-two buckets (bucket *i* counts
-  observations in ``[2**(i-1), 2**i)``), so the exported ``le`` bounds
-  are the powers of two -- coarse but cumulative and monotone, exactly
-  what quantile estimation over scrapes needs.
+* histograms -> a conformant ``_bucket{le="<bound>"}`` / ``_sum`` /
+  ``_count`` series built from the registry's fixed bucket boundaries,
+  cumulative and monotone up to the mandatory ``le="+Inf"`` bucket.
+  Buckets that carry an exemplar (a trace id captured at
+  ``Histogram.observe``) render it OpenMetrics-style after the sample:
+  ``... # {trace_id="a1b2"} 3.8`` -- the breadcrumb from a latency
+  spike back to one traced request.
 
 Metric names are sanitised (dots and other invalid characters become
-underscores): ``cache.hit`` -> ``repro_cache_hit_total``.
+underscores): ``cache.hit`` -> ``repro_cache_hit_total``.  Optional
+``# HELP`` lines (registered via :func:`set_help`) precede the
+``# TYPE`` line of their metric, and label/help text is escaped per
+the exposition-format rules (backslash, double quote, newline).
+Non-finite sample values render as ``NaN`` / ``+Inf`` / ``-Inf``.
 """
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Any, Dict, List, Optional
 
 from . import metrics as _metrics
 
-__all__ = ["render_prometheus"]
+__all__ = ["render_prometheus", "set_help", "escape_label_value"]
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: HELP text keyed by *raw* (pre-sanitisation) metric name.
+_HELP: Dict[str, str] = {
+    "serve.latency_ms": "End-to-end request handling latency.",
+    "serve.requests": "HTTP requests accepted by the gate service.",
+    "executor.jobs": "Jobs submitted to the runtime executor.",
+    "fdtd.steps": "Leapfrog time steps advanced by the scalar solver.",
+    "llg.steps": "LLG integrator steps taken.",
+}
+
+
+def set_help(name: str, text: str) -> None:
+    """Register a ``# HELP`` line for metric ``name`` (raw name, before
+    prefixing/sanitisation)."""
+    _HELP[name] = text
 
 
 def metric_name(name: str, prefix: str = "repro") -> str:
@@ -37,10 +59,70 @@ def metric_name(name: str, prefix: str = "repro") -> str:
     return full
 
 
-def _format_value(value: float) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
-    return repr(value) if isinstance(value, float) else str(value)
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote and line feed."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _format_bound(bound: float) -> str:
+    """``le`` label text for a bucket bound: integral bounds render
+    bare (``"1"``), fractional ones keep their decimals (``"0.25"``)."""
+    return _format_value(float(bound))
+
+
+def _header(lines: List[str], raw_name: str, full: str, kind: str) -> None:
+    help_text = _HELP.get(raw_name)
+    if help_text:
+        lines.append(f"# HELP {full} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {full} {kind}")
+
+
+def _render_histogram(lines: List[str], raw_name: str, full: str,
+                      data: Dict[str, Any]) -> None:
+    _header(lines, raw_name, full, "histogram")
+    bounds = data.get("bounds") or []
+    bucket_counts = data.get("bucket_counts") or []
+    exemplars = data.get("exemplars") or {}
+    cumulative = 0
+    for index, bound in enumerate(bounds):
+        if index < len(bucket_counts):
+            cumulative += bucket_counts[index]
+        le = _format_bound(bound)
+        line = f'{full}_bucket{{le="{le}"}} {cumulative}'
+        exemplar = exemplars.get(repr(float(bound)))
+        if exemplar:
+            trace = escape_label_value(exemplar["label"])
+            line += (f' # {{trace_id="{trace}"}} '
+                     f'{_format_value(float(exemplar["value"]))}')
+        lines.append(line)
+    count = data.get("count", 0)
+    inf_line = f'{full}_bucket{{le="+Inf"}} {count}'
+    inf_exemplar = exemplars.get("+Inf")
+    if inf_exemplar:
+        trace = escape_label_value(inf_exemplar["label"])
+        inf_line += (f' # {{trace_id="{trace}"}} '
+                     f'{_format_value(float(inf_exemplar["value"]))}')
+    lines.append(inf_line)
+    lines.append(f"{full}_sum {_format_value(data.get('sum', 0.0))}")
+    lines.append(f"{full}_count {count}")
 
 
 def render_prometheus(snapshot: Optional[Dict[str, Dict[str, Any]]] = None,
@@ -48,7 +130,8 @@ def render_prometheus(snapshot: Optional[Dict[str, Dict[str, Any]]] = None,
     """Render a metrics snapshot as Prometheus exposition text.
 
     ``snapshot`` defaults to the live registry.  The output ends with a
-    newline, as the exposition format requires.
+    newline, as the exposition format requires; an empty registry
+    renders as a single newline.
     """
     if snapshot is None:
         snapshot = _metrics.snapshot()
@@ -56,29 +139,17 @@ def render_prometheus(snapshot: Optional[Dict[str, Dict[str, Any]]] = None,
 
     for name, value in snapshot.get("counters", {}).items():
         full = metric_name(name, prefix) + "_total"
-        lines.append(f"# TYPE {full} counter")
+        _header(lines, name, full, "counter")
         lines.append(f"{full} {_format_value(value)}")
 
     for name, value in snapshot.get("gauges", {}).items():
         if value is None:
             continue
         full = metric_name(name, prefix)
-        lines.append(f"# TYPE {full} gauge")
+        _header(lines, name, full, "gauge")
         lines.append(f"{full} {_format_value(value)}")
 
     for name, data in snapshot.get("histograms", {}).items():
-        full = metric_name(name, prefix)
-        lines.append(f"# TYPE {full} histogram")
-        cumulative = 0
-        # Registry buckets are keyed by the integer exponent i; the
-        # upper bound of bucket i is 2**i (bucket 0 holds <= 1).
-        buckets = {int(k): v for k, v in (data.get("buckets") or {}).items()}
-        for exponent in sorted(buckets):
-            cumulative += buckets[exponent]
-            bound = 1 if exponent <= 0 else 2 ** exponent
-            lines.append(f'{full}_bucket{{le="{bound}"}} {cumulative}')
-        lines.append(f'{full}_bucket{{le="+Inf"}} {data.get("count", 0)}')
-        lines.append(f"{full}_sum {_format_value(data.get('sum', 0.0))}")
-        lines.append(f"{full}_count {data.get('count', 0)}")
+        _render_histogram(lines, name, metric_name(name, prefix), data)
 
     return "\n".join(lines) + "\n"

@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from . import _state
+from . import _state, flight as _flight
 
 _lock = threading.Lock()
 _finished: List[Dict[str, Any]] = []
@@ -120,6 +120,7 @@ class Span:
         stack = _stack()
         self.parent_id = stack[-1].span_id if stack else _root_parent
         stack.append(self)
+        _flight.record("span.open", name=self.name, span_id=self.span_id)
         self._ts_ns = time.time_ns()
         self._t0 = time.perf_counter_ns()
         return self
@@ -146,6 +147,9 @@ class Span:
         }
         with _lock:
             _finished.append(record)
+        _flight.record("span.close", name=self.name, span_id=self.span_id,
+                       dur_ms=dur_ns / 1e6,
+                       error=exc_type.__name__ if exc_type else None)
         return False
 
 

@@ -84,6 +84,8 @@ class CircuitBreaker:
                 raise CircuitOpen(self.name,
                                   retry_after=self.reset_timeout - elapsed)
             self.state = STATE_HALF_OPEN
+            obs.flight.record("breaker", name=self.name,
+                              state=STATE_HALF_OPEN)
             return  # this request is the probe
         # Half-open with a probe already in flight: reject further work
         # until the probe reports back.
@@ -92,8 +94,11 @@ class CircuitBreaker:
         raise CircuitOpen(self.name, retry_after=self.reset_timeout)
 
     def record_success(self) -> None:
-        if self.state != STATE_CLOSED and obs.enabled():
-            obs.counter("resilience.circuit_closed").inc()
+        if self.state != STATE_CLOSED:
+            obs.flight.record("breaker", name=self.name,
+                              state=STATE_CLOSED)
+            if obs.enabled():
+                obs.counter("resilience.circuit_closed").inc()
         self.state = STATE_CLOSED
         self.failures = 0
         self.opened_at = None
@@ -104,6 +109,9 @@ class CircuitBreaker:
                 self.failures >= self.fail_threshold:
             if self.state != STATE_OPEN:
                 self.trips += 1
+                obs.flight.record("breaker", name=self.name,
+                                  state=STATE_OPEN,
+                                  failures=self.failures)
                 if obs.enabled():
                     obs.counter("resilience.circuit_opened").inc()
             self.state = STATE_OPEN

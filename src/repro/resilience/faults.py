@@ -207,6 +207,8 @@ def site_hits(site: str) -> int:
 
 
 def _fire_counter(site: str, kind: str) -> None:
+    from ..obs import flight
+    flight.record("fault", site=site, fault=kind)
     from .. import obs
     if obs.enabled():
         obs.counter("resilience.fault_injected").inc()

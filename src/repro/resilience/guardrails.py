@@ -81,7 +81,16 @@ class Watchdog:
         raise NotImplementedError
 
     def fail(self, step: int, t: float, reason: str, **diagnostics: Any) -> None:
-        """Raise the typed divergence error (and count it)."""
+        """Raise the typed divergence error (and count it).
+
+        The flight recorder captures the trip and dumps its recent
+        history, so the post-mortem for a diverged run starts with the
+        last-N events (faults armed, spans open, prior checks) instead
+        of a bare traceback.
+        """
+        obs.flight.record("watchdog", solver=self.solver, step=step,
+                          t=t, reason=reason)
+        obs.flight.auto_dump(reason=f"divergence:{self.solver}")
         if obs.enabled():
             obs.counter("resilience.divergence").inc()
             obs.counter(f"resilience.divergence.{self.solver}").inc()

@@ -81,16 +81,17 @@ _Job = Tuple[int, JobSpec, str]
 
 @dataclass
 class _ShippedResult:
-    """A worker's return value bundled with the spans it collected.
+    """A worker's return value bundled with the telemetry it collected.
 
-    Workers run in their own process, so spans they record cannot reach
-    the parent's collector directly -- they ride back with the result
-    (standard distributed-tracing span shipping) and the executor
-    unbundles them via :func:`_unship`.
+    Workers run in their own process, so spans they record and the
+    CPU/RSS their job consumed cannot reach the parent directly --
+    they ride back with the result (standard distributed-tracing span
+    shipping) and the executor unbundles them via :func:`_unship`.
     """
 
     value: Any
     spans: List[Dict[str, Any]]
+    resources: Optional[Dict[str, Any]] = None
 
 
 def _invoke(ref: str, params: Dict[str, Any],
@@ -99,10 +100,15 @@ def _invoke(ref: str, params: Dict[str, Any],
     """Worker-side entry point: resolve the callable and run it.
 
     Module-level (not a closure) so it pickles to worker processes.
-    When a :class:`~repro.obs.TraceContext` is shipped along, the
-    worker collects spans under the parent's trace id and returns them
-    bundled with the value.  A serialized fault plan (or the
-    ``REPRO_FAULTS`` environment variable, which worker processes
+    Every pool job is bracketed with a
+    :class:`~repro.obs.ResourceProbe` (CPU seconds, max RSS, opt-in
+    tracemalloc peak) -- two ``getrusage`` calls, noise next to the
+    process round-trip -- so run reports carry per-job resource
+    accounting even with tracing off.  When a
+    :class:`~repro.obs.TraceContext` is shipped along, the worker
+    additionally collects spans under the parent's trace id and
+    returns them bundled with the value.  A serialized fault plan (or
+    the ``REPRO_FAULTS`` environment variable, which worker processes
     inherit) is armed once per worker so chaos tests reach pool
     workers too; hit counters persist across jobs within one worker.
     """
@@ -112,23 +118,26 @@ def _invoke(ref: str, params: Dict[str, Any],
         faults.install_from_env()
     if faults.active():
         faults.trip("executor.invoke")
+    probe = obs.ResourceProbe()
     if ctx is None:
-        return resolve_ref(ref)(**params)
+        value = resolve_ref(ref)(**params)
+        return _ShippedResult(value, [], probe.finish())
     obs.activate(ctx)
     try:
         with obs.span("executor.job", ref=ref, mode="pool"):
             value = resolve_ref(ref)(**params)
     finally:
         shipped_spans = obs.deactivate()
-    return _ShippedResult(value, shipped_spans)
+    return _ShippedResult(value, shipped_spans, probe.finish())
 
 
-def _unship(value: Any) -> Any:
-    """Merge spans shipped back from a worker; return the bare value."""
+def _unship(value: Any) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    """Merge spans shipped back from a worker; return the bare value
+    and the worker-side resource accounting (None when not shipped)."""
     if isinstance(value, _ShippedResult):
         obs.ingest(value.spans)
-        return value.value
-    return value
+        return value.value, value.resources
+    return value, None
 
 
 def _call_with_timeout(fn: Callable, params: Dict[str, Any],
@@ -406,7 +415,8 @@ class Executor:
                     index, spec, key = job
                     t0 = time.perf_counter()
                     try:
-                        value = _unship(future.result(timeout=self.timeout))
+                        value, resources = _unship(
+                            future.result(timeout=self.timeout))
                     except BrokenProcessPool:
                         raise  # the outer handler degrades survivors
                     except cf.TimeoutError:
@@ -436,14 +446,16 @@ class Executor:
                                             started)
                     else:
                         spent[index] += time.perf_counter() - t0
-                        outcomes[index] = JobOutcome(
-                            spec, key, value,
-                            JobRecord(label=spec.display_label, key=key,
-                                      status=STATUS_OK, mode=MODE_POOL,
-                                      attempts=attempts[index],
-                                      wall_time=spent[index],
-                                      started_at=started.get(index),
-                                      trace_id=trace_id))
+                        record = JobRecord(
+                            label=spec.display_label, key=key,
+                            status=STATUS_OK, mode=MODE_POOL,
+                            attempts=attempts[index],
+                            wall_time=spent[index],
+                            started_at=started.get(index),
+                            trace_id=trace_id)
+                        record.set_resources(resources)
+                        outcomes[index] = JobOutcome(spec, key, value,
+                                                     record)
                         self._commit(outcomes[index])
                 remaining = retry_round
         except BrokenProcessPool:
@@ -473,6 +485,10 @@ class Executor:
         else:
             if obs.enabled():
                 obs.counter("executor.failed").inc()
+            obs.flight.record("job.failed", label=spec.display_label,
+                              mode=mode, attempts=attempts[index],
+                              error=errors.get(index))
+            obs.flight.auto_dump(reason="job.failed")
             outcomes[index] = JobOutcome(
                 spec, key, None,
                 JobRecord(label=spec.display_label, key=key,
@@ -507,6 +523,7 @@ class Executor:
                     if obs.enabled():
                         obs.counter("executor.retry").inc()
                 t0 = time.perf_counter()
+                probe = obs.ResourceProbe() if obs.enabled() else None
                 try:
                     if faults.active():
                         faults.trip("executor.invoke")
@@ -521,14 +538,20 @@ class Executor:
                                  spec.display_label, attempt, error)
                 else:
                     spent += time.perf_counter() - t0
-                    return JobOutcome(
-                        spec, key, value,
-                        JobRecord(label=spec.display_label, key=key,
-                                  status=STATUS_OK, mode=MODE_SERIAL,
-                                  attempts=attempt, wall_time=spent,
-                                  started_at=started, trace_id=trace_id))
+                    record = JobRecord(label=spec.display_label, key=key,
+                                       status=STATUS_OK, mode=MODE_SERIAL,
+                                       attempts=attempt, wall_time=spent,
+                                       started_at=started,
+                                       trace_id=trace_id)
+                    if probe is not None:
+                        record.set_resources(probe.finish())
+                    return JobOutcome(spec, key, value, record)
         if obs.enabled():
             obs.counter("executor.failed").inc()
+        obs.flight.record("job.failed", label=spec.display_label,
+                          mode=MODE_SERIAL, attempts=self.retries + 1,
+                          error=error)
+        obs.flight.auto_dump(reason="job.failed")
         return JobOutcome(
             spec, key, None,
             JobRecord(label=spec.display_label, key=key,

@@ -56,6 +56,25 @@ class JobRecord:
     #: Resilience annotations ("resumed-after-interrupt",
     #: "degraded_from=llg", ...); None for an uneventful job.
     notes: Optional[str] = None
+    #: CPU seconds (user+system) the job consumed, measured by
+    #: ``resource.getrusage`` in whichever process ran it (pool
+    #: workers ship it back with the result).  None when the observer
+    #: was off or the platform lacks ``resource``.
+    cpu_s: Optional[float] = None
+    #: Process max-RSS high-water mark [kB] at job end (monotone per
+    #: process: a reused pool worker reports its largest job so far).
+    max_rss_kb: Optional[int] = None
+    #: Python-heap peak [kB] during the job, only under the opt-in
+    #: ``REPRO_TRACEMALLOC`` environment switch.
+    py_peak_kb: Optional[int] = None
+
+    def set_resources(self, resources: Optional[Dict[str, Any]]) -> None:
+        """Attach a :meth:`repro.obs.ResourceProbe.finish` payload."""
+        if not resources:
+            return
+        self.cpu_s = resources.get("cpu_s")
+        self.max_rss_kb = resources.get("max_rss_kb")
+        self.py_peak_kb = resources.get("py_peak_kb")
 
     @property
     def retries(self) -> int:
@@ -63,7 +82,7 @@ class JobRecord:
         return max(0, self.attempts - 1)
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"label": self.label, "key": self.key, "status": self.status,
+        data = {"label": self.label, "key": self.key, "status": self.status,
                 "mode": self.mode, "attempts": self.attempts,
                 "retries": self.retries,
                 "wall_time_s": round(self.wall_time, 6),
@@ -71,6 +90,13 @@ class JobRecord:
                 "trace_id": self.trace_id,
                 "notes": self.notes,
                 "error": self.error}
+        if self.cpu_s is not None:
+            data["cpu_s"] = self.cpu_s
+        if self.max_rss_kb is not None:
+            data["max_rss_kb"] = self.max_rss_kb
+        if self.py_peak_kb is not None:
+            data["py_peak_kb"] = self.py_peak_kb
+        return data
 
 
 @dataclass
@@ -127,6 +153,19 @@ class RunReport:
         parallel -- their ratio is the achieved speed-up)."""
         return sum(r.wall_time for r in self.records)
 
+    @property
+    def total_cpu_time(self) -> float:
+        """Sum of the per-job CPU seconds that were measured (0.0 when
+        resource accounting was off for the whole run)."""
+        return sum(r.cpu_s for r in self.records if r.cpu_s is not None)
+
+    @property
+    def max_rss_kb(self) -> Optional[int]:
+        """Largest per-job RSS high-water mark seen, or None."""
+        values = [r.max_rss_kb for r in self.records
+                  if r.max_rss_kb is not None]
+        return max(values) if values else None
+
     # -- rendering ----------------------------------------------------------
 
     def format_table(self) -> str:
@@ -163,6 +202,8 @@ class RunReport:
                 "retries": self.total_retries,
                 "elapsed_s": round(self.elapsed, 6),
                 "total_wall_time_s": round(self.total_wall_time, 6),
+                "total_cpu_s": round(self.total_cpu_time, 6),
+                "max_rss_kb": self.max_rss_kb,
                 "workers": self.workers,
             },
             "jobs": [r.as_dict() for r in self.records],

@@ -413,8 +413,15 @@ class GateService:
                     {"error": f"{type(exc).__name__}: {exc}"})
 
         duration_ms = (time.perf_counter() - t0) * 1e3
-        obs.histogram("serve.latency_ms").observe(duration_ms)
+        # The request id doubles as the latency exemplar: a slow bucket
+        # in the Prometheus export names a concrete request to chase.
+        obs.histogram("serve.latency_ms").observe(duration_ms,
+                                                  exemplar=request_id)
         obs.counter(f"serve.http_{status.value // 100}xx").inc()
+        obs.flight.record("http", method=request.method, path=request.path,
+                          status=status.value,
+                          duration_ms=round(duration_ms, 3),
+                          request_id=request_id)
         keep_alive = (request.headers.get("connection", "").lower()
                       != "close"
                       and request.headers.get("_http_version") != "HTTP/1.0"
@@ -595,6 +602,13 @@ class GateService:
     async def _handle_metrics(self, request: _Request, request_id: str):
         obs.gauge("serve.uptime_s").set(
             round(time.time() - self._started, 3))
+        # Materialise the latency quantiles as gauges at scrape time so
+        # dashboards get p50/p95/p99 without server-side PromQL.
+        latency = obs.histogram("serve.latency_ms")
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            value = latency.quantile(q)
+            if value is not None:
+                obs.gauge(f"serve.latency_{label}_ms").set(round(value, 3))
         return HTTPStatus.OK, obs.render_prometheus(), None
 
     async def _handle_gate(self, request: _Request, request_id: str):
