@@ -1,0 +1,237 @@
+"""Benchmark: the surrogate "instant" tier vs the network tier.
+
+The surrogate's contract (docs/SURROGATE.md) is a warm in-domain query
+answering in well under a millisecond and >= 100x faster than a *cold*
+network-tier ``run_gate_case`` -- the pool-worker / first-request cost
+the characterize-then-lookup flow amortises away.  This bench:
+
+1. characterizes a small grid (network tier) into a temp store, fits
+   the multilinear surrogate and round-trips it through save/load;
+2. times 2000 warm ``query_case`` calls (p50 gate: < 1 ms);
+3. times the cold network baseline in a fresh subprocess (interpreter
+   + import + first ``run_gate_case``, exactly what a cold pool worker
+   pays) and the warm in-process network call for scale;
+4. asserts the cold speedup >= 100x and that an in-domain surrogate
+   answer matches the network tier's truth table exactly, while an
+   out-of-domain query falls back to the network tier
+   (``degraded_from="surrogate"``) with identical outputs.
+
+Runnable standalone for CI (``python benchmarks/bench_surrogate.py``
+exits non-zero off-contract) or through pytest.
+"""
+
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import emit, write_bench_json  # noqa: E402
+
+try:
+    from repro.core.logic import input_patterns
+    from repro.micromag.experiments import run_gate_case
+    from repro.surrogate import (
+        AxisSpec,
+        CharacterizationStore,
+        characterize,
+        clear_registry,
+        fit_surrogate,
+        load_model,
+        query_point,
+        register,
+    )
+except ImportError:  # source checkout without an installed package
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+    from repro.core.logic import input_patterns
+    from repro.micromag.experiments import run_gate_case
+    from repro.surrogate import (
+        AxisSpec,
+        CharacterizationStore,
+        characterize,
+        clear_registry,
+        fit_surrogate,
+        load_model,
+        query_point,
+        register,
+    )
+
+GATE = "xor"
+N_QUERIES = 2000
+N_TRIALS = 16
+P50_BUDGET_MS = 1.0
+COLD_SPEEDUP_FLOOR = 100.0
+
+#: Small but non-degenerate grid: 2 x 3 x 1 x 2 = 12 corners,
+#: seconds to characterize from the network tier.
+AXES = (
+    AxisSpec("phase_noise", (0.0, 0.2)),
+    AxisSpec("frequency_detune", (-0.02, 0.0, 0.02)),
+    AxisSpec("geometry_jitter", (0.0,)),
+    AxisSpec("temperature", (0.0, 300.0)),
+)
+
+_COLD_SNIPPET = """\
+import sys, time
+sys.path[:0] = {paths!r}
+t0 = time.perf_counter()
+from repro.micromag.experiments import run_gate_case
+run_gate_case({gate!r}, {bits!r}, tier="network", calibrated=False)
+print((time.perf_counter() - t0) * 1e3)
+"""
+
+
+def _cold_network_ms(bits) -> float:
+    """Cold network-tier cost: fresh interpreter, import, first case.
+
+    This is what every cold pool worker (and the first request of a
+    freshly started service) pays before the network tier can answer
+    -- the baseline the surrogate's instant tier replaces.
+    """
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    snippet = _COLD_SNIPPET.format(paths=[src], gate=GATE,
+                                   bits=tuple(bits))
+    out = subprocess.run([sys.executable, "-c", snippet],
+                         capture_output=True, text=True, timeout=300,
+                         check=True)
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def run() -> dict:
+    clear_registry()
+    with tempfile.TemporaryDirectory() as root:
+        store = CharacterizationStore(root)
+        dataset = store.dataset(GATE, tier="network", axes=AXES,
+                                n_trials=N_TRIALS)
+        t0 = time.perf_counter()
+        records = characterize(dataset)
+        characterize_s = time.perf_counter() - t0
+        model = fit_surrogate(records.values())
+        fit_ms = model.meta["fit_ms"]
+        model.save(store.model_path(GATE))
+        model = load_model(store.model_path(GATE))  # round-trip
+        register(model)
+
+        # -- warm query latency --------------------------------------------
+        point = query_point(phase_noise=0.05, temperature=120.0)
+        bits_cycle = input_patterns(2)
+        model.query_case((1, 0), point)  # warm the import/glue path
+        samples = []
+        for i in range(N_QUERIES):
+            bits = bits_cycle[i % len(bits_cycle)]
+            t0 = time.perf_counter()
+            model.query_case(bits, point)
+            samples.append((time.perf_counter() - t0) * 1e3)
+        samples.sort()
+        p50 = statistics.median(samples)
+        p99 = samples[int(len(samples) * 0.99)]
+
+        # -- network baselines ---------------------------------------------
+        cold_ms = _cold_network_ms((1, 0))
+        t0 = time.perf_counter()
+        run_gate_case(GATE, (1, 0), tier="network", calibrated=False)
+        warm_network_ms = (time.perf_counter() - t0) * 1e3
+
+        # -- matched accuracy ----------------------------------------------
+        mismatches = []
+        for bits in bits_cycle:
+            via_surrogate = run_gate_case(GATE, bits, tier="surrogate")
+            via_network = run_gate_case(GATE, bits, tier="network",
+                                        calibrated=False)
+            assert via_surrogate["tier"] == "surrogate", via_surrogate
+            same_logic = all(
+                via_surrogate["outputs"][n]["logic"]
+                == via_network["outputs"][n]["logic"]
+                for n in via_network["outputs"])
+            drift = max(abs(a - b) for a, b in
+                        zip(via_surrogate["normalized"],
+                            via_network["normalized"]))
+            if not same_logic or drift > 1e-9:
+                mismatches.append((bits, drift))
+
+        # -- out-of-domain fallback ----------------------------------------
+        fallback = run_gate_case(GATE, (1, 0), tier="surrogate",
+                                 frequency=12e9)
+        direct = run_gate_case(GATE, (1, 0), tier="network",
+                               frequency=12e9)
+        fallback_ok = (fallback["tier"] == "network"
+                       and fallback.get("degraded_from") == "surrogate"
+                       and fallback["outputs"] == direct["outputs"])
+        clear_registry()
+
+    return {"p50_ms": p50, "p99_ms": p99, "cold_ms": cold_ms,
+            "warm_network_ms": warm_network_ms, "fit_ms": fit_ms,
+            "characterize_s": characterize_s,
+            "n_records": len(records), "mismatches": mismatches,
+            "fallback_ok": fallback_ok}
+
+
+def check(results: dict) -> list:
+    failures = []
+    if results["p50_ms"] >= P50_BUDGET_MS:
+        failures.append(f"warm query p50 {results['p50_ms']:.3f} ms "
+                        f">= budget {P50_BUDGET_MS} ms")
+    speedup = results["cold_ms"] / results["p50_ms"]
+    if speedup < COLD_SPEEDUP_FLOOR:
+        failures.append(f"speedup vs cold network {speedup:.0f}x "
+                        f"< floor {COLD_SPEEDUP_FLOOR:.0f}x")
+    if results["mismatches"]:
+        failures.append(f"in-domain truth-table mismatches: "
+                        f"{results['mismatches']}")
+    if not results["fallback_ok"]:
+        failures.append("out-of-domain query did not fall back to an "
+                        "identical network-tier answer")
+    return failures
+
+
+def report(results: dict) -> list:
+    speedup_cold = results["cold_ms"] / results["p50_ms"]
+    speedup_warm = results["warm_network_ms"] / results["p50_ms"]
+    failures = check(results)
+    body = [
+        f"gate                : {GATE} ({results['n_records']} grid "
+        f"corners, characterized in {results['characterize_s']:.2f} s, "
+        f"fit in {results['fit_ms']:.1f} ms)",
+        f"warm query p50      : {results['p50_ms'] * 1e3:.1f} us "
+        f"(budget {P50_BUDGET_MS * 1e3:.0f} us), "
+        f"p99 {results['p99_ms'] * 1e3:.1f} us",
+        f"cold network case   : {results['cold_ms']:.1f} ms "
+        "(fresh process: import + first run_gate_case)",
+        f"warm network case   : {results['warm_network_ms'] * 1e3:.0f} us "
+        "(in-process, for scale)",
+        f"speedup vs cold     : {speedup_cold:.0f}x "
+        f"(floor {COLD_SPEEDUP_FLOOR:.0f}x)",
+        f"speedup vs warm     : {speedup_warm:.1f}x",
+        "in-domain accuracy  : exact truth-table match vs network tier",
+        "out-of-domain       : falls back to the network tier "
+        "(degraded_from=surrogate), identical outputs",
+        "verdict             : " + ("PASS" if not failures
+                                    else "; ".join(failures)),
+    ]
+    emit("SURROGATE TIER -- instant queries vs the network tier",
+         "\n".join(body))
+    write_bench_json("surrogate", {
+        "query_p50_ms": (results["p50_ms"], "ms"),
+        "query_p99_ms": (results["p99_ms"], "ms"),
+        "cold_network_ms": (results["cold_ms"], "ms"),
+        "warm_network_ms": (results["warm_network_ms"], "ms"),
+        "speedup_cold_x": (speedup_cold, "x"),
+        "speedup_warm_x": (speedup_warm, "x"),
+        "fit_ms": (results["fit_ms"], "ms"),
+    })
+    return failures
+
+
+def test_surrogate_bench():
+    results = run()
+    failures = report(results)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    all_failures = report(run())
+    sys.exit(1 if all_failures else 0)

@@ -23,12 +23,21 @@ Python:
   gate-evaluation service (:mod:`repro.serve`): single-flight
   coalescing, micro-batching, 429 backpressure, ``/metrics`` and
   graceful drain on SIGTERM;
-* ``cache stats|prune [--max-bytes N]`` -- inspect the on-disk result
-  cache or evict least-recently-used entries down to a byte budget;
+* ``characterize maj3|xor [--axis NAME=V1,V2,...]`` -- sweep a gate
+  over the characterization axes through the engine, store the
+  records content-addressed (:mod:`repro.surrogate`), fit the
+  surrogate model and save it where the ``surrogate`` tier loads it;
+* ``cache stats|prune [--max-bytes N] [--json]`` -- inspect the
+  on-disk result cache (``--json`` prints the machine-readable usage
+  report, quarantine counts included) or evict least-recently-used
+  entries down to a byte budget;
 * ``bench report|compare`` -- sparkline history of the accumulated
   benchmark trajectory, and a regression gate (exit 1 when the latest
   commit moved a metric beyond ``--threshold`` against the rolling
-  baseline of earlier commits);
+  baseline of earlier commits).  A missing/empty trajectory prints a
+  clear pointer and exits 0 from ``report`` (nothing to show) but
+  exits 3 from ``compare`` (``EXIT_NO_TRAJECTORY``) so CI can tell
+  "no data yet" from "no regressions";
 * ``debug dump`` -- print the most recent flight-recorder dump (the
   last-N-events black box written on crashes,
   ``NumericalDivergenceError`` and SIGUSR2);
@@ -247,6 +256,82 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .runtime import DiskCache, Executor, JobFailed
+    from .surrogate import (
+        AxisSpec,
+        CharacterizationStore,
+        characterize,
+        fit_surrogate,
+    )
+
+    axes = None
+    if args.axis:
+        parsed = []
+        for text in args.axis:
+            name, _, values = text.partition("=")
+            if not values:
+                print(f"characterize: bad --axis {text!r}; expected "
+                      "NAME=V1,V2,...", file=sys.stderr)
+                return 2
+            try:
+                parsed.append(AxisSpec(
+                    name.strip(),
+                    tuple(float(v) for v in values.split(","))))
+            except ValueError as exc:
+                print(f"characterize: {exc}", file=sys.stderr)
+                return 2
+        axes = tuple(parsed)
+
+    store = CharacterizationStore(args.store)
+    dataset = store.dataset(args.gate, tier=args.tier, axes=axes,
+                            n_trials=args.n_trials)
+    cache = None if args.no_cache else DiskCache(root=args.cache_dir)
+    executor = Executor(workers=args.workers, cache=cache)
+    known = len(dataset.records())
+    print(f"characterizing {args.gate}@{args.tier}: "
+          f"{dataset.grid_size} grid corners "
+          f"({known} already on disk) -> {dataset.directory}")
+    try:
+        records = characterize(dataset, executor=executor)
+    except JobFailed as exc:
+        print(f"characterize failed: {exc}", file=sys.stderr)
+        return 1
+    model = fit_surrogate(records.values(), kind=args.kind,
+                          residual_threshold=args.residual_threshold)
+    path = args.model or store.model_path(args.gate)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    model.save(path)
+    max_residual = float(model.residual.max()) if model.residual.size \
+        else 0.0
+    print(f"fitted {args.kind} surrogate over {len(records)} records "
+          f"({len(model.response_names)} responses) in "
+          f"{model.meta['fit_ms']:.1f} ms; "
+          f"max leave-one-out residual {max_residual:.4g} "
+          f"(threshold {args.residual_threshold:g})")
+    print(f"model saved to {path} "
+          f"(the surrogate tier loads it from there; set "
+          f"REPRO_SURROGATE_DIR={args.store} if it is not the default)")
+    if args.json:
+        summary = {
+            "gate": args.gate, "tier": args.tier,
+            "dataset_id": dataset.id, "directory": dataset.directory,
+            "grid_size": dataset.grid_size, "n_records": len(records),
+            "kind": args.kind, "fit_ms": model.meta["fit_ms"],
+            "max_residual": max_residual,
+            "residual_threshold": args.residual_threshold,
+            "responses": len(model.response_names),
+            "model_path": path,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"summary written to {args.json}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from . import obs
     from .micromag.experiments import GATE_ARITY, run_gate_case
@@ -300,7 +385,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         deadline_s=args.deadline_s,
         breaker_threshold=args.breaker_threshold,
-        breaker_reset_s=args.breaker_reset_s)
+        breaker_reset_s=args.breaker_reset_s,
+        surrogate_dir=args.surrogate_dir)
     return GateService(config).run()
 
 
@@ -320,9 +406,14 @@ def _parse_size(text: str) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
     from .io.tables import format_table
     from .runtime.cache import cache_stats, prune_cache
 
+    if args.json and args.action != "stats":
+        print("cache: --json only applies to 'stats'", file=sys.stderr)
+        return 2
     if args.action == "prune":
         if args.max_bytes is None:
             print("cache prune: --max-bytes is required "
@@ -335,6 +426,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
 
     usage = cache_stats(args.cache_dir)
+    if args.json:
+        print(json.dumps(usage.as_dict(), indent=2, sort_keys=True))
+        return 0
     rows = [[salt, str(n), f"{size / 1024:.1f}"]
             for salt, (n, size) in sorted(usage.by_salt.items())]
     rows.append(["total", str(usage.entries),
@@ -441,6 +535,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0 if drc.clean else 1
 
 
+#: ``bench compare`` exit code when there is no trajectory to gate on.
+#: Distinct from 0 ("no regressions") and 1 ("regressed") so CI can
+#: treat a first-run repo as skip-not-pass.  ``bench report`` still
+#: exits 0 on an empty trajectory: an empty report is a valid report.
+EXIT_NO_TRAJECTORY = 3
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .obs import trajectory
 
@@ -448,7 +549,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not records:
         print(f"bench {args.action}: no trajectory at {args.trajectory} "
               "(run any benchmarks/bench_*.py to start one)")
-        return 0
+        return 0 if args.action == "report" else EXIT_NO_TRAJECTORY
     comparisons = trajectory.compare(records, threshold=args.threshold,
                                      baseline_window=args.baseline_window,
                                      bench=args.bench)
@@ -560,10 +661,13 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="truth-table grid through the parallel/cached engine")
     p_sweep.add_argument("gate", choices=["maj3", "xor"])
-    p_sweep.add_argument("--tier", choices=["network", "fdtd", "llg"],
+    p_sweep.add_argument("--tier",
+                         choices=["surrogate", "network", "fdtd", "llg"],
                          default="fdtd",
                          help="evaluation tier (default fdtd: real wave "
-                              "solves, seconds per cold pattern)")
+                              "solves, seconds per cold pattern; "
+                              "surrogate needs a fitted model -- run "
+                              "'characterize' first)")
     p_sweep.add_argument("--cache-dir", default=".repro_cache",
                          help="result-cache directory")
     p_sweep.add_argument("--timeout", type=float, default=None,
@@ -595,7 +699,8 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="run one gate case under the span tracer; print top spans")
     p_profile.add_argument("gate", choices=["maj3", "xor"])
-    p_profile.add_argument("--tier", choices=["network", "fdtd", "llg"],
+    p_profile.add_argument("--tier",
+                           choices=["surrogate", "network", "fdtd", "llg"],
                            default="fdtd",
                            help="evaluation tier to profile "
                                 "(default fdtd)")
@@ -606,6 +711,56 @@ def build_parser() -> argparse.ArgumentParser:
                            help="span names to show in the summary "
                                 "(default 12)")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_char = sub.add_parser(
+        "characterize",
+        help="sweep a gate over the characterization axes and fit the "
+             "surrogate tier's model (docs/SURROGATE.md)")
+    p_char.add_argument("gate", choices=["maj3", "xor"])
+    p_char.add_argument("--tier", choices=["network", "fdtd"],
+                        default="network",
+                        help="source tier the corners are evaluated "
+                             "through (default network; llg corners "
+                             "are minutes each)")
+    p_char.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                        default=None,
+                        help="override one axis grid, e.g. "
+                             "--axis phase_noise=0,0.1,0.2 (repeatable; "
+                             "axes: phase_noise, frequency_detune, "
+                             "geometry_jitter, temperature)")
+    p_char.add_argument("--n-trials", type=int, default=64, metavar="N",
+                        help="Monte-Carlo trials per corner for the "
+                             "error-rate response (default 64)")
+    p_char.add_argument("--store", default=".repro_characterization",
+                        metavar="DIR",
+                        help="characterization store root (default "
+                             ".repro_characterization/; the surrogate "
+                             "tier reads $REPRO_SURROGATE_DIR or the "
+                             "default)")
+    p_char.add_argument("--kind", choices=["multilinear", "rbf"],
+                        default="multilinear",
+                        help="surrogate model family (default "
+                             "multilinear; rbf accepts scattered "
+                             "records)")
+    p_char.add_argument("--residual-threshold", type=float, default=0.25,
+                        metavar="R",
+                        help="leave-one-out residual above which "
+                             "queries fall back to the network tier "
+                             "(default 0.25)")
+    p_char.add_argument("--model", metavar="PATH", default=None,
+                        help="write the fitted model here instead of "
+                             "<store>/<gate>.surrogate.npz")
+    p_char.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable fit summary")
+    p_char.add_argument("--cache-dir", default=".repro_cache",
+                        help="result-cache directory")
+    p_char.add_argument("--workers", type=int, metavar="N",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    p_char.add_argument("--no-cache", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    p_char.set_defaults(func=_cmd_characterize)
 
     p_serve = sub.add_parser(
         "serve",
@@ -655,6 +810,11 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="seconds an open circuit waits before "
                               "admitting a probe (default 30)")
+    p_serve.add_argument("--surrogate-dir", metavar="DIR", default=None,
+                         help="characterization store the surrogate "
+                              "tier loads fitted models from (default "
+                              "$REPRO_SURROGATE_DIR or "
+                              ".repro_characterization/)")
     p_serve.add_argument("--workers", type=int, metavar="N",
                          default=argparse.SUPPRESS,
                          help=argparse.SUPPRESS)
@@ -674,6 +834,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="prune: evict least-recently-used entries "
                               "until at most N bytes remain (suffixes "
                               "K/M/G accepted; 0 empties the cache)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="stats: print the machine-readable usage "
+                              "report (entries, bytes, per-salt split, "
+                              "quarantine count)")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_compile = sub.add_parser(
@@ -727,9 +891,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="report or gate on the accumulated benchmark trajectory "
              "(benchmarks/output/BENCH_TRAJECTORY.jsonl)")
     p_bench.add_argument("action", choices=["report", "compare"],
-                         help="report: sparkline history per metric; "
-                              "compare: exit 1 when the latest commit "
-                              "regressed beyond --threshold")
+                         help="report: sparkline history per metric "
+                              "(exit 0 even when the trajectory is "
+                              "missing); compare: exit 1 when the "
+                              "latest commit regressed beyond "
+                              "--threshold, exit 3 when there is no "
+                              "trajectory to gate on")
     p_bench.add_argument("--trajectory", metavar="PATH",
                          default="benchmarks/output/BENCH_TRAJECTORY.jsonl",
                          help="trajectory JSONL file (default "

@@ -17,6 +17,10 @@ family or a precise leaf:
   work for a failing job family;
 * :class:`FaultInjected` -- an error deliberately raised by the
   fault-injection framework (:mod:`repro.resilience.faults`);
+* :class:`SurrogateDomainError` -- a surrogate-tier query cannot be
+  answered within the fitted characterization domain (no fitted model,
+  out-of-grid point, or a leave-one-out residual above the accuracy
+  threshold); the degradation ladder falls back to the network tier;
 * :class:`CheckpointError` -- a solver checkpoint could not be read;
 * :class:`NetlistError` -- a gate netlist is structurally malformed
   (dangling nets, combinational loops, drive conflicts, fan-out above
@@ -49,6 +53,7 @@ __all__ = [
     "NetlistError",
     "NumericalDivergenceError",
     "ReproError",
+    "SurrogateDomainError",
 ]
 
 
@@ -124,6 +129,40 @@ class CircuitOpen(ReproError):
 
 class FaultInjected(ReproError):
     """An error deliberately injected by an armed fault plan."""
+
+
+class SurrogateDomainError(ReproError):
+    """A surrogate-tier query fell outside the fitted domain.
+
+    Raised by the accuracy guardrails of :mod:`repro.surrogate`: no
+    model has been fitted for the gate, the query point leaves the
+    characterized grid bounds, or the fit's leave-one-out residual
+    around the query exceeds the accuracy threshold.  The degradation
+    ladder (:func:`repro.micromag.experiments.run_gate_case`) catches
+    this and re-answers from the network tier, recording
+    ``degraded_from="surrogate"``.
+
+    Attributes
+    ----------
+    gate:
+        The gate whose surrogate was queried.
+    reason:
+        Machine-readable cause: ``"unfitted"`` (no model),
+        ``"bounds"`` (outside the characterized grid), ``"residual"``
+        (local fit error above the threshold) or ``"sparse"``
+        (scattered-data fit has no nearby sample).
+    point:
+        The offending query point (axis name -> value), when known.
+    """
+
+    def __init__(self, gate: str, reason: str, detail: str,
+                 point: Optional[Dict[str, float]] = None):
+        super().__init__(f"surrogate domain check failed for {gate!r} "
+                         f"({reason}): {detail}")
+        self.gate = gate
+        self.reason = reason
+        self.detail = detail
+        self.point = dict(point or {})
 
 
 class CheckpointError(ReproError):

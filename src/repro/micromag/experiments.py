@@ -154,12 +154,27 @@ def extract_dispersion(material: Material,
 GATE_ARITY = {"maj3": 3, "xor": 2}
 
 
+#: Degradation ladders per starting tier: each entry is walked left to
+#: right until a rung answers.  The surrogate's ladder falls through
+#: the network tier (the source its fits were characterized from) and
+#: on to FDTD, so even a chaos drill knocking out both instant tiers
+#: still produces a physically-grounded answer.
+_TIER_LADDERS = {
+    "llg": ("llg", "fdtd", "network"),
+    "fdtd": ("fdtd", "network"),
+    "network": ("network",),
+    "surrogate": ("surrogate", "network", "fdtd"),
+}
+
+
 def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
                   calibrated: bool = False,
                   frequency: Optional[float] = None,
                   n_d1: int = 2, cells_per_wavelength: int = 10,
                   temperature: float = 0.0,
                   seed: Optional[int] = None,
+                  phase_noise: float = 0.0,
+                  geometry_jitter: float = 0.0,
                   remediate: bool = True) -> Dict[str, Any]:
     """Evaluate ONE input pattern of a triangle gate -- as a job.
 
@@ -176,6 +191,7 @@ def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
     bits:
         The input pattern (3 bits for MAJ3, 2 for XOR).
     tier:
+        ``"surrogate"`` (fitted characterization lookup, microseconds),
         ``"network"`` (analytic, instantaneous), ``"fdtd"`` (rasterised
         wave solver, seconds) or ``"llg"`` (scaled micromagnetics,
         minutes).
@@ -194,14 +210,25 @@ def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
         deterministically from the job's identifying parameters
         (:func:`repro.micromag.fields.thermal.seed_from_key`), so
         cached thermal runs reproduce bit-exact across processes.
+    phase_noise / geometry_jitter:
+        Surrogate tier only: input phase jitter sigma [rad] and
+        relative fabrication length error -- characterization axes the
+        fitted model interpolates over.  The physical tiers model
+        neither knob, so nonzero values there raise ``ValueError``
+        (and a surrogate fallback answers the *nominal* case).
     remediate:
-        Numerical-divergence policy (default True): an LLG run that
-        trips its magnetisation watchdog is retried with a halved dt
-        (bounded by :class:`~repro.resilience.RemediationPolicy`), and
-        a tier whose retry budget is exhausted degrades to the
-        next-coarser tier (llg -> fdtd -> network), recording
-        ``degraded_from`` in the result.  ``remediate=False`` lets the
-        :class:`~repro.errors.NumericalDivergenceError` propagate.
+        Degradation policy (default True): an LLG run that trips its
+        magnetisation watchdog is retried with a halved dt (bounded by
+        :class:`~repro.resilience.RemediationPolicy`), and a tier
+        whose retry budget is exhausted degrades down its ladder
+        (llg -> fdtd -> network; surrogate -> network -> fdtd),
+        recording ``degraded_from`` (the requested tier) and
+        ``degradation_path`` (every rung walked) in the result.  The
+        surrogate rung additionally degrades on
+        :class:`~repro.errors.SurrogateDomainError` -- an accuracy
+        guardrail miss is handled exactly like a numerical failure --
+        and the two instant rungs degrade on injected faults
+        (chaos drills).  ``remediate=False`` lets the error propagate.
         The default is deliberately not part of sweep cache keys.
 
     Returns
@@ -222,47 +249,76 @@ def run_gate_case(gate: str, bits: Sequence[int], tier: str = "network",
         raise ValueError(f"{gate} takes {GATE_ARITY[gate]} bits, "
                          f"got {len(bits)}")
     expected = majority(*bits) if gate == "maj3" else xor_fn(*bits)
-    if tier not in ("network", "fdtd", "llg"):
+    if tier not in _TIER_LADDERS:
         raise ValueError(f"unknown tier {tier!r}; choose from "
-                         "'network', 'fdtd', 'llg'")
+                         "'surrogate', 'network', 'fdtd', 'llg'")
+    if tier != "surrogate" and (phase_noise or geometry_jitter):
+        raise ValueError("phase_noise/geometry_jitter are characterization "
+                         "axes of the surrogate tier; the physical tiers "
+                         "do not model them")
 
-    from ..errors import NumericalDivergenceError
+    from ..errors import (
+        FaultInjected,
+        NumericalDivergenceError,
+        SurrogateDomainError,
+    )
     from ..resilience.guardrails import run_with_dt_remediation
 
     with obs.span("gate_case", gate=gate, tier=tier,
                   bits="".join(map(str, bits))):
-        attempt_tier = tier
-        degraded_from: Optional[str] = None
+        ladder = _TIER_LADDERS[tier]
+        rung = 0
+        failed: list = []
         while True:
+            attempt_tier = ladder[rung]
             try:
                 case = _evaluate_tier(gate, bits, expected, attempt_tier,
                                       calibrated, frequency, n_d1,
                                       cells_per_wavelength, temperature,
-                                      seed, remediate,
-                                      run_with_dt_remediation)
+                                      seed, phase_noise, geometry_jitter,
+                                      remediate, run_with_dt_remediation)
                 break
-            except NumericalDivergenceError as exc:
-                coarser = {"llg": "fdtd", "fdtd": "network"}.get(attempt_tier)
-                if not remediate or coarser is None:
+            except (NumericalDivergenceError, SurrogateDomainError,
+                    FaultInjected) as exc:
+                # The physical rungs (fdtd/llg) only degrade on genuine
+                # numerical divergence -- an injected fault there is
+                # meant to propagate, as it always has.  The instant
+                # rungs (surrogate/network) degrade on anything
+                # handled, including chaos-drill faults and surrogate
+                # domain misses.
+                degradable = (isinstance(exc, NumericalDivergenceError)
+                              or attempt_tier in ("surrogate", "network"))
+                if (not remediate or not degradable
+                        or rung + 1 >= len(ladder)):
                     raise
                 obs.get_logger("micromag.experiments").warning(
-                    "%s tier diverged for %s %s (%s); degrading to %s",
-                    attempt_tier, gate, bits, exc, coarser)
+                    "%s tier failed for %s %s (%s); degrading to %s",
+                    attempt_tier, gate, bits, exc, ladder[rung + 1])
                 if obs.enabled():
                     obs.counter("resilience.degraded").inc()
-                degraded_from = degraded_from or attempt_tier
-                attempt_tier = coarser
-        if degraded_from is not None:
-            case["degraded_from"] = degraded_from
+                failed.append(attempt_tier)
+                rung += 1
+        if failed:
+            case["degraded_from"] = failed[0]
+            case["degradation_path"] = failed + [attempt_tier]
         return case
 
 
 def _evaluate_tier(gate: str, bits: Tuple[int, ...], expected: int,
                    tier: str, calibrated: bool, frequency: Optional[float],
                    n_d1: int, cells_per_wavelength: int, temperature: float,
-                   seed: Optional[int], remediate: bool,
+                   seed: Optional[int], phase_noise: float,
+                   geometry_jitter: float, remediate: bool,
                    run_with_dt_remediation: Any) -> Dict[str, Any]:
     """One tier of the degradation ladder, with LLG dt remediation."""
+    if tier == "surrogate":
+        from ..surrogate.tier import evaluate_surrogate, query_point
+
+        return evaluate_surrogate(
+            gate, bits, query_point(phase_noise=phase_noise,
+                                    frequency=frequency,
+                                    geometry_jitter=geometry_jitter,
+                                    temperature=temperature))
     if tier in ("network", "fdtd"):
         result, normalized = _evaluate_model_tier(gate, bits, tier,
                                                   calibrated, frequency)
@@ -301,7 +357,9 @@ def _evaluate_model_tier(gate: str, bits: Tuple[int, ...], tier: str,
         TriangleXorGate,
         paper_table_i_gate,
     )
+    from ..resilience import faults
 
+    faults.trip(f"{tier}.evaluate")
     kwargs = {} if frequency is None else {"frequency": frequency}
     if gate == "maj3":
         instance = paper_table_i_gate() if calibrated and not kwargs \

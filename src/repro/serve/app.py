@@ -59,8 +59,13 @@ _LOG = obs.get_logger("serve.app")
 
 #: run_gate_case parameters accepted over the wire, beyond gate/bits/tier.
 _CASE_PARAMS = ("calibrated", "frequency", "n_d1", "cells_per_wavelength",
-                "temperature", "seed")
-_TIERS = ("network", "fdtd", "llg")
+                "temperature", "seed", "phase_noise", "geometry_jitter")
+_TIERS = ("surrogate", "network", "fdtd", "llg")
+
+#: Characterization-axis parameters only the surrogate tier models;
+#: dropped when a domain miss rewrites the request for the network
+#: fallback (which answers the nominal case).
+_SURROGATE_ONLY_PARAMS = ("phase_noise", "geometry_jitter")
 
 MAX_REQUEST_LINE = 8192
 MAX_HEADERS = 64
@@ -93,6 +98,8 @@ class ServeConfig:
     deadline_s: Optional[float] = None  # default request deadline
     breaker_threshold: int = 5       # failures that open a tier's circuit
     breaker_reset_s: float = 30.0    # open time before a probe is let in
+    surrogate_dir: Optional[str] = None  # characterization store root
+    # (None = $REPRO_SURROGATE_DIR or .repro_characterization/)
 
 
 class AccessLog:
@@ -490,6 +497,13 @@ class GateService:
                 or any(b not in (0, 1) for b in bits)):
             raise BadRequest(f"bits must be {GATE_ARITY[gate]} values "
                              f"of 0/1 for {gate}, got {bits!r}")
+        if tier != "surrogate":
+            bad = [name for name in _SURROGATE_ONLY_PARAMS
+                   if payload.get(name)]
+            if bad:
+                raise BadRequest(f"{sorted(bad)} are characterization "
+                                 "axes of the surrogate tier; the "
+                                 "physical tiers do not model them")
         params: Dict[str, Any] = {
             "gate": gate, "bits": [int(b) for b in bits], "tier": tier,
             "calibrated": bool(payload.get("calibrated",
@@ -565,6 +579,29 @@ class GateService:
 
     async def _serve_spec(self, spec: JobSpec, tier: str,
                           deadline: Optional[float] = None) -> ServedResult:
+        if tier == "surrogate":
+            # Surrogate requests are answered in-process, ahead of the
+            # pipeline's single-flight/DiskCache fast path: a fitted
+            # model query is microseconds, cheaper than the cache's own
+            # disk read.  Guardrail misses rewrite the request for the
+            # network tier (dropping the axes only the surrogate
+            # models) and annotate the answer with the degradation.
+            case = self._surrogate_case(spec)
+            if case is not None:
+                return ServedResult(value=case, source="surrogate",
+                                    key=spec.key())
+            fallback, fallback_tier = self._surrogate_fallback_spec(spec)
+            served = await self._serve_spec(fallback, fallback_tier,
+                                            deadline)
+            value = served.value
+            if isinstance(value, dict):
+                value = dict(value)
+                value["degraded_from"] = "surrogate"
+                value.setdefault("degradation_path",
+                                 ["surrogate", fallback_tier])
+            return ServedResult(value=value, source=served.source,
+                                key=served.key,
+                                batch_size=served.batch_size)
         breaker_key = f"tier:{tier}"
         if tier == "network":
             return await self.pipeline.submit(spec, batchable=True,
@@ -574,6 +611,37 @@ class GateService:
                                           executor=self.heavy_executor,
                                           deadline=deadline,
                                           breaker_key=breaker_key)
+
+    def _surrogate_case(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
+        """Answer a surrogate-tier spec from the fitted model, or None
+        when the accuracy guardrails (or a chaos fault) say fall back."""
+        from ..errors import FaultInjected, SurrogateDomainError
+        from ..surrogate.tier import evaluate_surrogate, query_point
+
+        params = spec.params
+        point = query_point(
+            phase_noise=params.get("phase_noise", 0.0),
+            frequency=params.get("frequency"),
+            geometry_jitter=params.get("geometry_jitter", 0.0),
+            temperature=params.get("temperature", 0.0))
+        try:
+            return evaluate_surrogate(params["gate"], params["bits"],
+                                      point,
+                                      root=self.config.surrogate_dir)
+        except (SurrogateDomainError, FaultInjected) as exc:
+            _LOG.info("surrogate miss for %s (%s); falling back to the "
+                      "network tier", spec.label, exc)
+            return None
+
+    @staticmethod
+    def _surrogate_fallback_spec(spec: JobSpec) -> Tuple[JobSpec, str]:
+        """The network-tier rewrite of a surrogate request."""
+        params = {name: value for name, value in spec.params.items()
+                  if name not in _SURROGATE_ONLY_PARAMS}
+        params["tier"] = "network"
+        label = (spec.label or "").replace("@surrogate", "@network") \
+            or None
+        return JobSpec(fn=spec.fn, params=params, label=label), "network"
 
     # -- handlers -----------------------------------------------------------
 

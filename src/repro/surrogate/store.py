@@ -1,0 +1,307 @@
+"""Versioned, content-addressed on-disk characterization datasets.
+
+A dataset is one characterization sweep of one gate through one tier
+over a named axis grid.  Its identity is the SHA-256 of the canonical
+(gate, tier, axes, n_trials, salt) tuple, so the same sweep requested
+twice lands in the same directory and a changed grid (or a version
+bump, via the salt) lands in a new one.  On disk:
+
+.. code-block:: text
+
+    .repro_characterization/
+        maj3-network-<id>/
+            manifest.json      # axes, grid, tier, commit, repro version
+            records.jsonl      # one characterized corner per line
+        maj3.surrogate.npz     # fitted model (repro.surrogate.model)
+
+``records.jsonl`` is append-only: :func:`characterize` computes only
+the corners missing from it (and the runtime's content-addressed cache
+deduplicates across datasets that share corners), so growing a grid is
+incremental.  The manifest is rewritten atomically after every append.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .. import obs
+from ..runtime.cache import atomic_write
+from ..runtime.spec import canonical_json, default_salt
+from .jobs import AXIS_NAMES
+
+SCHEMA_VERSION = 1
+DEFAULT_ROOT = ".repro_characterization"
+
+_LOG = obs.get_logger("surrogate.store")
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One characterization axis: a name and its grid values."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in AXIS_NAMES:
+            raise ValueError(f"unknown axis {self.name!r}; choose from "
+                             f"{list(AXIS_NAMES)}")
+        values = tuple(sorted({float(v) for v in self.values}))
+        if not values:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+        object.__setattr__(self, "values", values)
+
+
+#: The default corner grid: small enough to characterize from the
+#: network tier in seconds, wide enough to cover the ablation benches'
+#: operating ranges.
+DEFAULT_AXES: Tuple[AxisSpec, ...] = (
+    AxisSpec("phase_noise", (0.0, 0.15, 0.3)),
+    AxisSpec("frequency_detune", (-0.02, 0.0, 0.02)),
+    AxisSpec("geometry_jitter", (-0.02, 0.0, 0.02)),
+    AxisSpec("temperature", (0.0, 300.0)),
+)
+
+
+def repo_commit() -> str:
+    """Commit stamped into manifests: ``REPRO_COMMIT`` (CI) or git."""
+    commit = os.environ.get("REPRO_COMMIT")
+    if commit:
+        return commit
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+        if result.returncode == 0 and result.stdout.strip():
+            return result.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def point_key(point: Mapping[str, float]) -> str:
+    """Canonical identity of one grid corner (sorted compact JSON)."""
+    return canonical_json({name: float(value)
+                           for name, value in point.items()})
+
+
+def dataset_id(gate: str, tier: str, axes: Iterable[AxisSpec],
+               n_trials: int, salt: str) -> str:
+    """Content hash identifying a dataset (16 hex chars)."""
+    payload = canonical_json({
+        "schema": SCHEMA_VERSION, "gate": gate, "tier": tier,
+        "axes": [[axis.name, list(axis.values)] for axis in axes],
+        "n_trials": int(n_trials), "salt": salt})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class CharacterizationDataset:
+    """One sweep's on-disk home: manifest + append-only records."""
+
+    def __init__(self, root: str, gate: str, tier: str,
+                 axes: Iterable[AxisSpec], n_trials: int = 64,
+                 salt: Optional[str] = None):
+        self.root = root
+        self.gate = gate
+        self.tier = tier
+        self.axes: Tuple[AxisSpec, ...] = tuple(
+            sorted(axes, key=lambda a: AXIS_NAMES.index(a.name)))
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axes: {names}")
+        self.n_trials = int(n_trials)
+        self.salt = salt if salt is not None else default_salt()
+        self.id = dataset_id(gate, tier, self.axes, self.n_trials,
+                             self.salt)
+        self.directory = os.path.join(root, f"{gate}-{tier}-{self.id}")
+        self.manifest_path = os.path.join(self.directory, "manifest.json")
+        self.records_path = os.path.join(self.directory, "records.jsonl")
+
+    # -- grid ---------------------------------------------------------------
+
+    def grid_points(self) -> List[Dict[str, float]]:
+        """Every corner of the axis grid (cartesian product)."""
+        names = [axis.name for axis in self.axes]
+        return [dict(zip(names, combo)) for combo in itertools.product(
+            *(axis.values for axis in self.axes))]
+
+    @property
+    def grid_size(self) -> int:
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    # -- persistence --------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.manifest_path)
+
+    def load_manifest(self) -> Dict[str, Any]:
+        with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        """All characterized corners, keyed by :func:`point_key`.
+
+        Duplicate keys resolve last-wins, so re-characterizing a corner
+        (e.g. after a physics fix, by appending) supersedes cleanly.
+        Torn trailing lines (a killed writer) are ignored.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        try:
+            handle = open(self.records_path, "r", encoding="utf-8")
+        except OSError:
+            return records
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    _LOG.warning("skipping torn record line in %s",
+                                 self.records_path)
+                    continue
+                records[entry["key"]] = entry["record"]
+        return records
+
+    def append(self, new_records: Iterable[Dict[str, Any]]) -> int:
+        """Append characterized corners; returns how many were new.
+
+        Corners already present (by point key) are skipped, keeping the
+        file append-only and idempotent.  The manifest is rewritten
+        atomically afterwards.
+        """
+        existing = set(self.records())
+        os.makedirs(self.directory, exist_ok=True)
+        appended = 0
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            for record in new_records:
+                key = point_key(record["point"])
+                if key in existing:
+                    continue
+                handle.write(json.dumps({"key": key, "record": record},
+                                        sort_keys=True) + "\n")
+                existing.add(key)
+                appended += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._write_manifest(len(existing))
+        return appended
+
+    def _write_manifest(self, n_records: int) -> None:
+        created = time.time()
+        if self.exists():
+            try:
+                created = self.load_manifest().get("created", created)
+            except (OSError, ValueError):
+                pass
+        from .. import __version__
+
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "dataset_id": self.id,
+            "gate": self.gate,
+            "tier": self.tier,
+            "axes": [{"name": axis.name, "values": list(axis.values)}
+                     for axis in self.axes],
+            "grid_size": self.grid_size,
+            "n_trials": self.n_trials,
+            "salt": self.salt,
+            "repro_version": __version__,
+            "commit": repo_commit(),
+            "created": created,
+            "updated": time.time(),
+            "n_records": n_records,
+        }
+        atomic_write(self.manifest_path, lambda fh: fh.write(
+            json.dumps(manifest, indent=2, sort_keys=True)
+            .encode("utf-8")))
+
+
+class CharacterizationStore:
+    """Root directory of characterization datasets and fitted models."""
+
+    def __init__(self, root: str = DEFAULT_ROOT):
+        self.root = root
+
+    def dataset(self, gate: str, tier: str = "network",
+                axes: Optional[Iterable[AxisSpec]] = None,
+                n_trials: int = 64,
+                salt: Optional[str] = None) -> CharacterizationDataset:
+        return CharacterizationDataset(
+            self.root, gate, tier,
+            DEFAULT_AXES if axes is None else axes,
+            n_trials=n_trials, salt=salt)
+
+    def model_path(self, gate: str) -> str:
+        """Where the fitted surrogate for ``gate`` lives (the path the
+        tier registry loads by default)."""
+        return os.path.join(self.root, f"{gate}.surrogate.npz")
+
+    def manifests(self) -> List[Dict[str, Any]]:
+        """Manifests of every dataset under the root."""
+        found = []
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return found
+        for name in names:
+            path = os.path.join(self.root, name, "manifest.json")
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    found.append(json.load(handle))
+            except (OSError, ValueError):
+                continue
+        return found
+
+
+def characterize(dataset: CharacterizationDataset,
+                 executor: Optional[Any] = None,
+                 workers: Optional[int] = None,
+                 cache: Optional[Any] = None) -> Dict[str, Dict[str, Any]]:
+    """Fill a dataset's grid through the runtime engine.
+
+    Builds one :func:`repro.surrogate.jobs.characterize_point` JobSpec
+    per *missing* grid corner and fans them through an
+    :class:`repro.runtime.Executor` -- parallel across corners,
+    content-addressed-cached across invocations.  Returns all records
+    (existing + new), keyed by :func:`point_key`.
+    """
+    from ..runtime import Executor, JobSpec
+
+    existing = dataset.records()
+    pending = [point for point in dataset.grid_points()
+               if point_key(point) not in existing]
+    if not pending:
+        return existing
+    if executor is None:
+        executor = Executor(workers=workers, cache=cache)
+    specs = []
+    for index, point in enumerate(pending):
+        params: Dict[str, Any] = {"gate": dataset.gate,
+                                  "tier": dataset.tier,
+                                  "n_trials": dataset.n_trials}
+        params.update(point)
+        specs.append(JobSpec(
+            fn="repro.surrogate.jobs:characterize_point", params=params,
+            label=f"char:{dataset.gate}@{dataset.tier}:{index}"))
+    with obs.span("characterize", gate=dataset.gate, tier=dataset.tier,
+                  n_jobs=len(specs)):
+        result = executor.run(specs)
+    result.raise_on_failure()
+    appended = dataset.append(outcome.value for outcome in result
+                              if outcome.ok)
+    _LOG.info("characterized %d new corner(s) of %s@%s into %s",
+              appended, dataset.gate, dataset.tier, dataset.directory)
+    return dataset.records()

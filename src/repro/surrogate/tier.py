@@ -1,0 +1,128 @@
+"""The surrogate as a fidelity tier: model registry + instant queries.
+
+``evaluate_surrogate`` is the entry point the degradation ladder
+(:func:`repro.micromag.experiments.run_gate_case`) and the serving
+tier call.  Models come from an in-process registry (fast path for
+tests, benchmarks and the serve loop) or are loaded lazily from the
+characterization store root -- ``$REPRO_SURROGATE_DIR`` if set, else
+``.repro_characterization/<gate>.surrogate.npz``.
+
+Every query is metered (``surrogate.hit`` / ``surrogate.fallback``
+counters, ``surrogate.query_ms`` latency histogram) and passes the
+``surrogate.query`` fault-injection site, so chaos drills can knock
+out the tier's top rung on demand.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from .. import obs
+from ..errors import SurrogateDomainError
+from ..resilience import faults
+from .store import DEFAULT_ROOT
+
+#: In-process model registry: gate name -> fitted surrogate.
+_REGISTRY: Dict[str, Any] = {}
+
+#: Query-latency histogram buckets [ms] -- the tier's whole point is
+#: sub-millisecond answers, so the resolution is microsecond-scale.
+QUERY_MS_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                    5.0, 10.0)
+
+
+def register(model: Any) -> None:
+    """Install a fitted surrogate for its gate, in-process."""
+    _REGISTRY[model.gate] = model
+
+
+def clear_registry() -> None:
+    """Drop every registered model (tests)."""
+    _REGISTRY.clear()
+
+
+def surrogate_root(root: Optional[str] = None) -> str:
+    """The characterization-store root models are loaded from."""
+    if root:
+        return root
+    return os.environ.get("REPRO_SURROGATE_DIR", DEFAULT_ROOT)
+
+
+def model_path(gate: str, root: Optional[str] = None) -> str:
+    """Default on-disk location of a gate's fitted surrogate."""
+    return os.path.join(surrogate_root(root), f"{gate}.surrogate.npz")
+
+
+def get_model(gate: str, root: Optional[str] = None) -> Any:
+    """A fitted surrogate for ``gate``: registry first, then disk.
+
+    Raises :class:`SurrogateDomainError` (reason ``"unfitted"``) when
+    neither has one -- the ladder treats that exactly like any other
+    domain miss and answers from the network tier instead.
+    """
+    model = _REGISTRY.get(gate)
+    if model is not None:
+        return model
+    path = model_path(gate, root)
+    if not os.path.exists(path):
+        raise SurrogateDomainError(
+            gate, "unfitted",
+            f"no surrogate model at {path}; run "
+            f"`python -m repro characterize {gate}` first")
+    from .model import load_model
+
+    model = load_model(path)
+    _REGISTRY[gate] = model
+    return model
+
+
+def query_point(phase_noise: float = 0.0,
+                frequency: Optional[float] = None,
+                geometry_jitter: float = 0.0,
+                temperature: float = 0.0) -> Dict[str, float]:
+    """Map :func:`run_gate_case`-style knobs onto characterization axes.
+
+    ``frequency`` [Hz] becomes relative detuning from the paper's
+    operating point; absent knobs sit at their nominal (zero) values,
+    which the model clamps to the nearest characterized value on
+    single-point axes.
+    """
+    from ..core.layout import PAPER_FREQUENCY
+
+    point = {"phase_noise": float(phase_noise),
+             "geometry_jitter": float(geometry_jitter),
+             "temperature": float(temperature)}
+    if frequency is not None:
+        point["frequency_detune"] = float(frequency) / PAPER_FREQUENCY - 1.0
+    return point
+
+
+def evaluate_surrogate(gate: str, bits: Sequence[int],
+                       point: Optional[Mapping[str, float]] = None,
+                       root: Optional[str] = None) -> Dict[str, Any]:
+    """Answer one gate case from the fitted surrogate.
+
+    Returns the same result shape as :func:`run_gate_case` with
+    ``tier="surrogate"`` plus a ``"surrogate"`` provenance block.
+    Raises :class:`SurrogateDomainError` when the guardrails reject the
+    query (unfitted / out of bounds / residual too high / sparse) --
+    metered as ``surrogate.fallback`` -- and :class:`FaultInjected`
+    when a chaos plan has armed the ``surrogate.query`` site.
+    """
+    faults.trip("surrogate.query")
+    metered = obs.enabled()
+    t0 = time.perf_counter() if metered else 0.0
+    try:
+        model = get_model(gate, root)
+        case = model.query_case(bits, point or {})
+    except SurrogateDomainError:
+        if metered:
+            obs.counter("surrogate.fallback").inc()
+        raise
+    if metered:
+        obs.counter("surrogate.hit").inc()
+        obs.histogram("surrogate.query_ms", buckets=QUERY_MS_BUCKETS) \
+            .observe((time.perf_counter() - t0) * 1e3)
+    return case

@@ -263,6 +263,34 @@ class TestCacheCommand:
         assert "pruned 2 of 2 entries" in out
         assert cache.usage().entries == 0
 
+    def test_stats_json_includes_quarantine(self, tmp_path, capsys):
+        cache = self._fill(str(tmp_path))
+        # Tear one entry so the JSON report has a quarantine to count.
+        json_path, _npz = cache._paths("00" * 20)
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write('{"torn": ')
+        cache.get("00" * 20)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["quarantined"] == 1
+        assert payload["total_bytes"] > 0
+        assert payload["root"] == str(tmp_path)
+        assert "by_salt" in payload
+
+    def test_stats_json_on_empty_root(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "nowhere"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 0
+        assert payload["quarantined"] == 0
+
+    def test_json_rejected_for_prune(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "0", "--json"]) == 2
+        assert "--json" in capsys.readouterr().err
+
     def test_parse_size_suffixes(self):
         import argparse
 
@@ -276,6 +304,82 @@ class TestCacheCommand:
         assert _parse_size("10KB") == 10 * 1024
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_size("lots")
+
+
+class TestCharacterizeCommand:
+    AXIS_FLAGS = ["--axis", "phase_noise=0,0.2",
+                  "--axis", "frequency_detune=-0.02,0,0.02",
+                  "--axis", "geometry_jitter=0",
+                  "--axis", "temperature=0"]
+
+    def test_characterize_fits_and_saves_model(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        summary = tmp_path / "fit.json"
+        code = main(["characterize", "xor", "--store", store,
+                     "--n-trials", "2", "--no-cache",
+                     "--json", str(summary), *self.AXIS_FLAGS])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6/6" in out or "6 of 6" in out or "grid" in out
+        payload = json.loads(summary.read_text())
+        assert payload["gate"] == "xor"
+        assert payload["grid_size"] == 6
+        assert payload["n_records"] == 6
+        assert payload["kind"] == "multilinear"
+        assert payload["max_residual"] <= payload["residual_threshold"]
+        import os
+
+        assert os.path.exists(payload["model_path"])
+        from repro.surrogate import load_model
+
+        assert load_model(payload["model_path"]).gate == "xor"
+
+    def test_characterize_is_idempotent(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["characterize", "xor", "--store", store,
+                "--n-trials", "2", "--no-cache", *self.AXIS_FLAGS]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0  # all corners already on disk
+
+    def test_bad_axis_spec_exits_2(self, tmp_path, capsys):
+        assert main(["characterize", "xor", "--store", str(tmp_path),
+                     "--axis", "voltage=1,2"]) == 2
+        assert "axis" in capsys.readouterr().err
+
+    def test_unknown_gate_exits_2(self, tmp_path, capsys):
+        assert main(["characterize", "maj7",
+                     "--store", str(tmp_path)]) == 2
+
+
+class TestSweepSurrogateTier:
+    def test_sweep_answers_from_fitted_model(self, tmp_path, monkeypatch,
+                                             capsys):
+        from repro.surrogate import (
+            AxisSpec,
+            CharacterizationStore,
+            characterize,
+            clear_registry,
+            fit_surrogate,
+        )
+
+        store = CharacterizationStore(str(tmp_path))
+        dataset = store.dataset("xor", axes=(
+            AxisSpec("phase_noise", (0.0, 0.2)),
+            AxisSpec("frequency_detune", (-0.02, 0.0, 0.02)),
+            AxisSpec("geometry_jitter", (0.0,)),
+            AxisSpec("temperature", (0.0,))), n_trials=2)
+        fit_surrogate(characterize(dataset).values()).save(
+            store.model_path("xor"))
+        clear_registry()
+        monkeypatch.setenv("REPRO_SURROGATE_DIR", store.root)
+        try:
+            assert main(["sweep", "xor", "--tier", "surrogate",
+                         "--no-cache"]) == 0
+        finally:
+            clear_registry()
+        out = capsys.readouterr().out
+        assert "all cases correct" in out or "correct" in out
 
 
 class TestServeParserWiring:

@@ -463,6 +463,15 @@ class TestBenchCli:
         assert code == 0
         assert "no trajectory" in capsys.readouterr().out
 
+    def test_compare_missing_trajectory_exits_three(self, tmp_path,
+                                                    capsys):
+        # Distinct from a real regression (1) and from success (0):
+        # CI can treat "nothing to compare yet" as a soft skip.
+        code = main(["bench", "compare",
+                     "--trajectory", str(tmp_path / "none.jsonl")])
+        assert code == 3
+        assert "no trajectory" in capsys.readouterr().out
+
     def test_compare_same_commit_twice_exits_zero(self, tmp_path, capsys):
         path = tmp_path / "traj.jsonl"
         trajectory.append_records(path, [

@@ -25,6 +25,7 @@ from repro.errors import (
     JobTimeout,
     NumericalDivergenceError,
     ReproError,
+    SurrogateDomainError,
 )
 from repro.fdtd.scalar import ScalarWaveSimulator, WaveSource
 from repro.micromag.experiments import run_gate_case
@@ -66,7 +67,8 @@ class TestErrorHierarchy:
     def test_all_handled_failures_are_repro_errors(self):
         for exc_type in (JobTimeout, JobFailed, CacheCorrupt,
                          NumericalDivergenceError, CircuitOpen,
-                         FaultInjected, CheckpointError):
+                         FaultInjected, CheckpointError,
+                         SurrogateDomainError):
             assert issubclass(exc_type, ReproError)
         assert issubclass(ReproError, Exception)
 
@@ -396,6 +398,46 @@ class TestTierDegradation:
             FaultSpec(site="fdtd.step", kind="nan", at=50)]))
         with pytest.raises(NumericalDivergenceError):
             run_gate_case("xor", (0, 1), tier="fdtd", remediate=False)
+
+    def test_surrogate_fault_degrades_to_network(self):
+        # The fault fires before model lookup, so no fitted surrogate
+        # is needed; the ladder must hop to the network tier and record
+        # where it came from.
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="surrogate.query", kind="error")]))
+        case = run_gate_case("xor", (0, 1), tier="surrogate")
+        assert case["tier"] == "network"
+        assert case["degraded_from"] == "surrogate"
+        assert case["degradation_path"] == ["surrogate", "network"]
+        assert case["correct"]
+
+    def test_surrogate_double_fault_reaches_fdtd(self):
+        # Both the surrogate and network rungs fail: the ladder walks
+        # surrogate -> network -> fdtd and the full hop sequence is
+        # recorded.
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="surrogate.query", kind="error"),
+            FaultSpec(site="network.evaluate", kind="error")]))
+        case = run_gate_case("xor", (0, 1), tier="surrogate")
+        assert case["tier"] == "fdtd"
+        assert case["degraded_from"] == "surrogate"
+        assert case["degradation_path"] == ["surrogate", "network", "fdtd"]
+        assert case["correct"]
+
+    def test_surrogate_remediate_false_propagates_fault(self):
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="surrogate.query", kind="error")]))
+        with pytest.raises(FaultInjected):
+            run_gate_case("xor", (0, 1), tier="surrogate",
+                          remediate=False)
+
+    def test_physical_tier_fault_still_propagates(self):
+        # Injected faults on the physical tiers are test instrumentation,
+        # not degradable failures: the ladder must NOT absorb them.
+        faults.install(FaultPlan(specs=[
+            FaultSpec(site="fdtd.evaluate", kind="error")]))
+        with pytest.raises(FaultInjected):
+            run_gate_case("xor", (0, 1), tier="fdtd")
 
 
 class TestJournal:

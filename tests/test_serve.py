@@ -393,6 +393,90 @@ def _post(base, path, payload, headers=None, timeout=30.0):
         return err.code, dict(err.headers), json.loads(err.read())
 
 
+@pytest.fixture()
+def surrogate_dir(tmp_path):
+    """A characterized + fitted XOR surrogate model on disk."""
+    from repro.surrogate import (
+        AxisSpec,
+        CharacterizationStore,
+        characterize,
+        clear_registry,
+        fit_surrogate,
+    )
+
+    clear_registry()
+    store = CharacterizationStore(str(tmp_path / "surrogate"))
+    dataset = store.dataset("xor", axes=(
+        AxisSpec("phase_noise", (0.0, 0.2)),
+        AxisSpec("frequency_detune", (-0.02, 0.0, 0.02)),
+        AxisSpec("geometry_jitter", (0.0,)),
+        AxisSpec("temperature", (0.0,))), n_trials=2)
+    fit_surrogate(characterize(dataset).values()).save(
+        store.model_path("xor"))
+    yield store.root
+    clear_registry()
+
+
+class TestSurrogateServing:
+    def test_in_domain_answers_from_surrogate(self, tmp_path,
+                                              surrogate_dir):
+        with _server(tmp_path, surrogate_dir=surrogate_dir) as server:
+            client = ServeClient(server.base_url)
+            reply = client.gate("xor", [1, 0], tier="surrogate",
+                                phase_noise=0.1)
+            assert reply["served"]["source"] == "surrogate"
+            assert reply["result"]["tier"] == "surrogate"
+            assert reply["result"]["correct"] is True
+            assert "degraded_from" not in reply["result"]
+
+    def test_sweep_served_from_surrogate(self, tmp_path, surrogate_dir):
+        with _server(tmp_path, surrogate_dir=surrogate_dir) as server:
+            client = ServeClient(server.base_url)
+            sweep = client.sweep("xor", tier="surrogate")
+            assert sweep["all_correct"] is True
+            assert all(case["tier"] == "surrogate"
+                       for case in sweep["cases"])
+
+    def test_out_of_domain_falls_back_with_annotation(self, tmp_path,
+                                                      surrogate_dir):
+        with _server(tmp_path, surrogate_dir=surrogate_dir) as server:
+            client = ServeClient(server.base_url)
+            reply = client.gate("xor", [1, 0], tier="surrogate",
+                                frequency=12e9)  # outside the grid
+            assert reply["result"]["tier"] == "network"
+            assert reply["result"]["degraded_from"] == "surrogate"
+            assert reply["result"]["correct"] is True
+            assert reply["served"]["source"] != "surrogate"
+
+            # The fallback is cached under the network spec; a second
+            # hit must STILL carry the annotation (applied after
+            # retrieval, not baked into the cached value).
+            again = client.gate("xor", [1, 0], tier="surrogate",
+                                frequency=12e9)
+            assert again["served"]["source"] == SOURCE_CACHED
+            assert again["result"]["degraded_from"] == "surrogate"
+
+    def test_unfitted_model_falls_back(self, tmp_path):
+        from repro.surrogate import clear_registry
+
+        clear_registry()
+        empty = str(tmp_path / "no-models")
+        os.makedirs(empty)
+        with _server(tmp_path, surrogate_dir=empty) as server:
+            client = ServeClient(server.base_url)
+            reply = client.gate("xor", [1, 0], tier="surrogate")
+            assert reply["result"]["correct"] is True
+            assert reply["result"]["degraded_from"] == "surrogate"
+
+    def test_surrogate_params_rejected_on_physical_tier(self, tmp_path):
+        with _server(tmp_path) as server:
+            client = ServeClient(server.base_url, retries=0)
+            with pytest.raises(ServeError) as err:
+                client.gate("xor", [1, 0], tier="network",
+                            phase_noise=0.1)
+            assert err.value.status == 400
+
+
 class TestDeadlines:
     def test_deadline_exceeded_returns_504(self, tmp_path):
         """A request whose deadline expires gets 504 while the

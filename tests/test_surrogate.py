@@ -1,0 +1,466 @@
+"""Tests for the surrogate subsystem (``repro.surrogate``).
+
+Covers the contract promised in docs/SURROGATE.md: the versioned
+content-addressed characterization store (identity, idempotent append,
+manifest), the characterization job itself, both surrogate model
+families (grid-point exactness, interpolation, save/load round-trip),
+every accuracy guardrail (unfitted / bounds / residual / sparse), the
+surrogate rung of the degradation ladder, and the obs metrics.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import SurrogateDomainError
+from repro.micromag.experiments import run_gate_case, sweep_gate_truth_table
+from repro.surrogate import (
+    AXIS_NAMES,
+    AxisSpec,
+    CharacterizationStore,
+    MultilinearSurrogate,
+    RbfSurrogate,
+    characterize,
+    characterize_point,
+    clear_registry,
+    dataset_id,
+    evaluate_surrogate,
+    fit_surrogate,
+    get_model,
+    load_model,
+    point_key,
+    query_point,
+    register,
+    response_names,
+    response_vector,
+    thermal_phase_sigma,
+)
+
+#: Small but non-degenerate grid: 2 x 3 x 1 x 2 = 12 corners.
+SMALL_AXES = (
+    AxisSpec("phase_noise", (0.0, 0.2)),
+    AxisSpec("frequency_detune", (-0.02, 0.0, 0.02)),
+    AxisSpec("geometry_jitter", (0.0,)),
+    AxisSpec("temperature", (0.0, 300.0)),
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """No fitted model leaks between tests (or into other files)."""
+    clear_registry()
+    yield
+    clear_registry()
+
+
+@pytest.fixture(scope="module")
+def xor_records(tmp_path_factory):
+    """A characterized small grid for XOR (shared; read-only)."""
+    root = str(tmp_path_factory.mktemp("char"))
+    store = CharacterizationStore(root)
+    dataset = store.dataset("xor", axes=SMALL_AXES, n_trials=2)
+    return characterize(dataset), store, dataset
+
+
+def _linear_record(point, slope=0.1):
+    """A synthetic record whose every response is linear in the axes.
+
+    Multilinear interpolation is exact on multilinear data, so fits on
+    these records must reproduce midpoints to machine precision.
+    """
+    s = sum(point.values()) * slope
+    patterns = {}
+    for bits in ("00", "01", "10", "11"):
+        row = {}
+        for name in ("O1", "O2"):
+            row[name] = {"re": 1.0 + s, "im": 0.5 * s,
+                         "margin": 0.4 + s, "logic": 0}
+        row["correct"] = True
+        patterns[bits] = row
+    return {"gate": "xor", "tier": "network", "point": dict(point),
+            "patterns": patterns, "min_margin": 0.4 + s,
+            "error_rate": abs(s), "n_trials": 0, "seed": 1}
+
+
+def _linear_grid(values_by_axis):
+    import itertools
+
+    names = list(values_by_axis)
+    records = []
+    for combo in itertools.product(*values_by_axis.values()):
+        records.append(_linear_record(dict(zip(names, combo))))
+    return records
+
+
+class TestCharacterizationStore:
+    def test_dataset_id_is_content_addressed(self):
+        a = dataset_id("maj3", "network", SMALL_AXES, 8, "salt1")
+        assert a == dataset_id("maj3", "network", SMALL_AXES, 8, "salt1")
+        assert a != dataset_id("maj3", "network", SMALL_AXES, 9, "salt1")
+        assert a != dataset_id("maj3", "network", SMALL_AXES, 8, "salt2")
+        assert a != dataset_id("xor", "network", SMALL_AXES, 8, "salt1")
+
+    def test_axis_spec_sorts_dedupes_and_validates(self):
+        axis = AxisSpec("phase_noise", (0.3, 0.0, 0.3, 0.1))
+        assert axis.values == (0.0, 0.1, 0.3)
+        with pytest.raises(ValueError, match="unknown axis"):
+            AxisSpec("voltage", (0.0,))
+        with pytest.raises(ValueError, match="at least one"):
+            AxisSpec("phase_noise", ())
+
+    def test_grid_points_cartesian(self, tmp_path):
+        store = CharacterizationStore(str(tmp_path))
+        dataset = store.dataset("xor", axes=SMALL_AXES, n_trials=2)
+        points = dataset.grid_points()
+        assert len(points) == dataset.grid_size == 2 * 3 * 1 * 2
+        assert len({point_key(p) for p in points}) == len(points)
+        assert all(tuple(p) == AXIS_NAMES for p in points)
+
+    def test_append_is_idempotent_and_manifest_tracks(self, tmp_path):
+        store = CharacterizationStore(str(tmp_path))
+        dataset = store.dataset("xor", axes=SMALL_AXES, n_trials=0)
+        points = dataset.grid_points()
+        recs = [{"gate": "xor", "tier": "network", "point": p, "x": i}
+                for i, p in enumerate(points[:3])]
+        assert dataset.append(recs) == 3
+        assert dataset.append(recs) == 0          # dedupe by point key
+        assert dataset.append(
+            [{"gate": "xor", "tier": "network",
+              "point": points[3], "x": 99}]) == 1  # incremental append
+        manifest = dataset.load_manifest()
+        assert manifest["n_records"] == 4
+        assert manifest["grid_size"] == 12
+        assert manifest["gate"] == "xor"
+        assert manifest["dataset_id"] == dataset.id
+        assert "repro_version" in manifest and "commit" in manifest
+        assert store.manifests()[0]["dataset_id"] == dataset.id
+
+    def test_torn_record_line_is_skipped(self, tmp_path):
+        store = CharacterizationStore(str(tmp_path))
+        dataset = store.dataset("xor", axes=SMALL_AXES, n_trials=0)
+        point = dataset.grid_points()[0]
+        dataset.append([{"gate": "xor", "tier": "network",
+                         "point": point, "x": 1}])
+        with open(dataset.records_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn", "rec')  # kill -9 mid-write
+        records = dataset.records()
+        assert len(records) == 1
+        assert records[point_key(point)]["x"] == 1
+
+    def test_characterize_fills_and_is_incremental(self, xor_records):
+        records, _store, dataset = xor_records
+        assert len(records) == dataset.grid_size
+        # Second call computes nothing new (all corners on disk).
+        assert len(characterize(dataset)) == dataset.grid_size
+
+
+class TestCharacterizePoint:
+    def test_nominal_corner_is_correct_and_deterministic(self):
+        a = characterize_point("xor", n_trials=4)
+        b = characterize_point("xor", n_trials=4)
+        assert a == b                              # derived seed
+        assert a["error_rate"] == 0.0
+        assert a["min_margin"] > 0.0
+        assert set(a["point"]) == set(AXIS_NAMES)
+        assert all(row["correct"] for row in a["patterns"].values())
+
+    def test_noise_raises_error_rate(self):
+        noisy = characterize_point("xor", phase_noise=1.2, n_trials=32)
+        assert noisy["error_rate"] > 0.0
+        assert noisy["sigma"] == pytest.approx(1.2)
+
+    def test_thermal_sigma_scales_sqrt(self):
+        assert thermal_phase_sigma(0.0) == 0.0
+        assert thermal_phase_sigma(300.0) == pytest.approx(0.05)
+        assert thermal_phase_sigma(75.0) == pytest.approx(0.025)
+        hot = characterize_point("xor", temperature=300.0, n_trials=0)
+        assert hot["sigma"] == pytest.approx(0.05)
+
+    def test_llg_tier_rejected(self):
+        with pytest.raises(ValueError, match="network.*fdtd"):
+            characterize_point("xor", tier="llg")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            characterize_point("maj7")
+
+
+class TestMultilinearModel:
+    def test_grid_points_reproduced_exactly(self, xor_records):
+        records, _, _ = xor_records
+        model = fit_surrogate(records.values())
+        names = response_names(next(iter(records.values())))
+        for record in records.values():
+            got = model.query(record["point"])
+            np.testing.assert_allclose(
+                got, response_vector(record, names), atol=1e-12)
+
+    def test_midpoints_exact_on_linear_data(self):
+        records = _linear_grid({"phase_noise": (0.0, 0.2, 0.4),
+                                "temperature": (0.0, 300.0)})
+        model = fit_surrogate(records)
+        mid = {"phase_noise": 0.1, "temperature": 150.0}
+        values = model.query_responses(mid)
+        expected = sum(mid.values()) * 0.1
+        assert values["error_rate"] == pytest.approx(expected, abs=1e-12)
+        assert values["min_margin"] == pytest.approx(0.4 + expected,
+                                                     abs=1e-12)
+        assert float(model.residual.max()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_missing_axes_default_to_nominal(self):
+        records = _linear_grid({"phase_noise": (0.0, 0.2),
+                                "temperature": (0.0, 300.0)})
+        model = fit_surrogate(records)
+        assert (model.query({}) == model.query(
+            {"phase_noise": 0.0, "temperature": 0.0})).all()
+
+    def test_bounds_guardrail(self, xor_records):
+        records, _, _ = xor_records
+        model = fit_surrogate(records.values())
+        with pytest.raises(SurrogateDomainError) as err:
+            model.query({"phase_noise": 0.5})
+        assert err.value.reason == "bounds"
+        assert err.value.gate == "xor"
+        assert err.value.point["phase_noise"] == 0.5
+        with pytest.raises(SurrogateDomainError, match="bounds"):
+            model.query({"frequency_detune": -0.1})
+        # Numerically *on* the boundary is in-domain.
+        model.query({"phase_noise": 0.2})
+
+    def test_residual_guardrail(self):
+        # A spiky middle sample makes the linear cross-validation fail
+        # there; queries near it must refuse, far from it must answer.
+        # The spike also poisons the residual of its grid neighbours
+        # (they are predicted *from* it), so the clean cell sits two
+        # grid points away.
+        records = _linear_grid(
+            {"phase_noise": (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+             "temperature": (0.0, 300.0)})
+        for record in records:
+            if record["point"]["phase_noise"] == 0.2:
+                record["error_rate"] = 25.0      # wildly off-trend
+        model = fit_surrogate(records, residual_threshold=0.25)
+        with pytest.raises(SurrogateDomainError) as err:
+            model.query({"phase_noise": 0.1, "temperature": 0.0})
+        assert err.value.reason == "residual"
+        # Cell [0.6, 0.8] has clean corners on both sides: answers.
+        model.query({"phase_noise": 0.7, "temperature": 0.0})
+
+    def test_incomplete_grid_suggests_rbf(self):
+        records = _linear_grid({"phase_noise": (0.0, 0.2, 0.4),
+                                "temperature": (0.0, 300.0)})
+        with pytest.raises(ValueError, match="rbf"):
+            fit_surrogate(records[:-1])
+
+    def test_save_load_round_trip(self, xor_records, tmp_path):
+        records, _, _ = xor_records
+        model = fit_surrogate(records.values())
+        path = str(tmp_path / "xor.surrogate.npz")
+        model.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded, MultilinearSurrogate)
+        assert loaded.gate == "xor"
+        assert loaded.response_names == model.response_names
+        point = query_point(phase_noise=0.1, temperature=200.0)
+        np.testing.assert_allclose(loaded.query(point),
+                                   model.query(point), atol=1e-15)
+        assert loaded.query_case((1, 0), point) \
+            == model.query_case((1, 0), point)
+
+    def test_query_case_shape_and_decode(self, xor_records):
+        records, _, _ = xor_records
+        model = fit_surrogate(records.values())
+        case = model.query_case((1, 0), {})
+        assert case["tier"] == "surrogate"
+        assert case["bits"] == [1, 0]
+        assert case["expected"] == 1
+        assert case["correct"] is True
+        assert case["fanout_matched"] is True
+        assert set(case["outputs"]) == {"O1", "O2"}
+        assert case["surrogate"]["source_tier"] == "network"
+        assert 0.0 <= case["surrogate"]["error_rate"] <= 1.0
+        # JSON-shaped: a cache/serve layer must be able to ship it.
+        json.dumps(case)
+        with pytest.raises(ValueError, match="pattern"):
+            model.query_case((1, 0, 1), {})
+
+    def test_fit_rejects_empty_and_unknown_kind(self):
+        with pytest.raises(ValueError, match="zero records"):
+            fit_surrogate([])
+        with pytest.raises(ValueError, match="unknown surrogate kind"):
+            fit_surrogate(_linear_grid({"phase_noise": (0.0, 0.2)}),
+                          kind="spline")
+
+
+class TestRbfModel:
+    def test_fits_scattered_records(self):
+        rng = np.random.default_rng(7)
+        records = []
+        for _ in range(40):
+            point = {"phase_noise": float(rng.uniform(0, 0.4)),
+                     "temperature": float(rng.uniform(0, 300))}
+            records.append(_linear_record(point))
+        model = fit_surrogate(records, kind="rbf")
+        assert isinstance(model, RbfSurrogate)
+        probe = dict(records[11]["point"])
+        values = model.query_responses(probe)
+        expected = sum(probe.values()) * 0.1
+        assert values["error_rate"] == pytest.approx(expected, rel=0.05,
+                                                     abs=0.01)
+
+    def test_bounds_and_sparse_guardrails(self):
+        # Two tight clusters: every sample has a close neighbour (so
+        # the sparse radius stays small), but the gap between the
+        # clusters is inside the bounding box and far from all samples.
+        records = [_linear_record({"phase_noise": p, "temperature": t})
+                   for p in (0.0, 0.05, 0.1, 0.9, 0.95, 1.0)
+                   for t in (0.0, 300.0)]
+        model = fit_surrogate(records, kind="rbf")
+        with pytest.raises(SurrogateDomainError, match="bounds"):
+            model.query({"phase_noise": 5.0, "temperature": 0.0})
+        with pytest.raises(SurrogateDomainError) as err:
+            model.query({"phase_noise": 0.5, "temperature": 0.0})
+        assert err.value.reason == "sparse"
+        model.query({"phase_noise": 0.06, "temperature": 10.0})
+
+    def test_save_load_round_trip(self, tmp_path):
+        records = [_linear_record({"phase_noise": p, "temperature": t})
+                   for p in (0.0, 0.1, 0.2) for t in (0.0, 150.0, 300.0)]
+        model = fit_surrogate(records, kind="rbf")
+        path = str(tmp_path / "xor-rbf.npz")
+        model.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded, RbfSurrogate)
+        probe = {"phase_noise": 0.15, "temperature": 100.0}
+        np.testing.assert_allclose(loaded.query(probe),
+                                   model.query(probe), atol=1e-15)
+
+
+class TestSurrogateTier:
+    def test_unfitted_raises_typed_error(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SURROGATE_DIR", str(tmp_path))
+        with pytest.raises(SurrogateDomainError) as err:
+            evaluate_surrogate("maj3", (0, 0, 0))
+        assert err.value.reason == "unfitted"
+        assert "characterize" in str(err.value)
+
+    def test_registry_beats_disk_and_get_model_loads(self, xor_records,
+                                                     monkeypatch):
+        records, store, _ = xor_records
+        model = fit_surrogate(records.values())
+        model.save(store.model_path("xor"))
+        monkeypatch.setenv("REPRO_SURROGATE_DIR", store.root)
+        loaded = get_model("xor")              # lazy disk load
+        assert loaded.gate == "xor"
+        assert get_model("xor") is loaded      # cached in the registry
+        register(model)
+        assert get_model("xor") is model       # explicit register wins
+
+    def test_in_domain_matches_network_tier(self, xor_records):
+        records, _, _ = xor_records
+        register(fit_surrogate(records.values()))
+        for bits in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            via_surrogate = run_gate_case("xor", bits, tier="surrogate")
+            via_network = run_gate_case("xor", bits, tier="network",
+                                        calibrated=False)
+            assert via_surrogate["tier"] == "surrogate"
+            assert "degraded_from" not in via_surrogate
+            for name in via_network["outputs"]:
+                assert (via_surrogate["outputs"][name]["logic"]
+                        == via_network["outputs"][name]["logic"])
+            np.testing.assert_allclose(via_surrogate["normalized"],
+                                       via_network["normalized"],
+                                       atol=1e-9)
+
+    def test_out_of_domain_falls_back_identically(self, xor_records):
+        records, _, _ = xor_records
+        register(fit_surrogate(records.values()))
+        fallback = run_gate_case("xor", (1, 0), tier="surrogate",
+                                 frequency=12e9)   # outside +-2 % grid
+        direct = run_gate_case("xor", (1, 0), tier="network",
+                               frequency=12e9)
+        assert fallback["tier"] == "network"
+        assert fallback["degraded_from"] == "surrogate"
+        assert fallback["degradation_path"] == ["surrogate", "network"]
+        assert fallback["outputs"] == direct["outputs"]
+        assert fallback["normalized"] == direct["normalized"]
+
+    def test_remediate_false_propagates(self, xor_records):
+        records, _, _ = xor_records
+        register(fit_surrogate(records.values()))
+        with pytest.raises(SurrogateDomainError, match="bounds"):
+            run_gate_case("xor", (1, 0), tier="surrogate",
+                          frequency=12e9, remediate=False)
+
+    def test_physical_tiers_reject_surrogate_axes(self):
+        with pytest.raises(ValueError, match="characterization axes"):
+            run_gate_case("xor", (1, 0), tier="network", phase_noise=0.1)
+
+    def test_interpolated_point_queries(self, xor_records):
+        records, _, _ = xor_records
+        register(fit_surrogate(records.values()))
+        case = run_gate_case("xor", (0, 1), tier="surrogate",
+                             phase_noise=0.1, temperature=150.0)
+        assert case["tier"] == "surrogate"
+        assert case["correct"]
+
+    def test_sweep_through_engine(self, xor_records):
+        records, store, _ = xor_records
+        fit_surrogate(records.values()).save(store.model_path("xor"))
+        os.environ["REPRO_SURROGATE_DIR"] = store.root
+        try:
+            sweep = sweep_gate_truth_table("xor", tier="surrogate",
+                                           cache=None)
+            assert sweep.all_correct
+            assert {case["tier"] for case in sweep.cases.values()} \
+                == {"surrogate"}
+        finally:
+            del os.environ["REPRO_SURROGATE_DIR"]
+
+    def test_query_point_maps_frequency_to_detune(self):
+        point = query_point(frequency=10.2e9, phase_noise=0.1)
+        assert point["frequency_detune"] == pytest.approx(0.02)
+        assert point["phase_noise"] == 0.1
+        assert "frequency_detune" not in query_point()
+
+    def test_metrics_hit_and_fallback(self, xor_records):
+        records, _, _ = xor_records
+        register(fit_surrogate(records.values()))
+        obs.enable()
+        try:
+            evaluate_surrogate("xor", (1, 0))
+            with pytest.raises(SurrogateDomainError):
+                evaluate_surrogate("xor", (1, 0),
+                                   {"phase_noise": 9.0})
+            snapshot = obs.metrics_snapshot()
+            assert snapshot["counters"]["surrogate.hit"] == 1
+            assert snapshot["counters"]["surrogate.fallback"] == 1
+            assert snapshot["histograms"]["surrogate.query_ms"]["count"] \
+                == 1
+        finally:
+            obs.disable()
+            obs.reset_metrics()
+            obs.drain_spans()
+
+    def test_maj3_end_to_end(self, tmp_path):
+        store = CharacterizationStore(str(tmp_path))
+        dataset = store.dataset("maj3", axes=(
+            AxisSpec("phase_noise", (0.0, 0.2)),
+            AxisSpec("frequency_detune", (-0.02, 0.0, 0.02)),
+            AxisSpec("geometry_jitter", (0.0,)),
+            AxisSpec("temperature", (0.0,))), n_trials=2)
+        register(fit_surrogate(characterize(dataset).values()))
+        for bits in ((0, 0, 0), (1, 1, 0), (1, 0, 1), (1, 1, 1)):
+            case = run_gate_case("maj3", bits, tier="surrogate")
+            reference = run_gate_case("maj3", bits, tier="network",
+                                      calibrated=False)
+            assert case["tier"] == "surrogate"
+            assert case["correct"] == reference["correct"] is True
+            assert [case["outputs"][n]["logic"]
+                    for n in sorted(case["outputs"])] \
+                == [reference["outputs"][n]["logic"]
+                    for n in sorted(reference["outputs"])]
