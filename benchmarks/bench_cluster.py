@@ -1,0 +1,202 @@
+"""Scaling and overhead benchmark for the repro.cluster backend.
+
+Starts an in-process coordinator plus real ``python -m repro worker``
+subprocesses and drives Monte-Carlo phase-noise jobs
+(:func:`repro.runtime.jobs.phase_noise_error_rate`, ~0.3 s each)
+through the TCP backend, reporting two things:
+
+* **scaling efficiency** -- wall time of the same 8-job batch on 1, 2
+  and 4 workers; efficiency_n = T1 / (n * Tn).  Jobs are genuinely
+  CPU-bound and run in separate processes, so the curve reflects the
+  coordinator's scheduling, not the GIL.
+* **coordination overhead** -- a batch of cheap distinct jobs through
+  one worker; overhead/job = (batch wall time - sum of on-worker job
+  times) / jobs.  This isolates what the cluster machinery itself
+  costs: framing, scheduling, the cache check, outcome fan-out.
+
+The ISSUE budget is < 5 ms coordination overhead per job;
+``REPRO_CLUSTER_MAX_OVERHEAD_MS`` overrides it (0 disables the gate,
+e.g. on a throttled CI runner).  Runnable standalone
+(``python benchmarks/bench_cluster.py`` exits non-zero over budget)
+or through pytest; CI runs it non-gating.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import emit, write_bench_json  # noqa: E402
+
+try:
+    from repro.cluster import Coordinator, TcpClusterBackend
+except ImportError:  # source checkout without an installed package
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+    from repro.cluster import Coordinator, TcpClusterBackend
+from repro.runtime import Executor, JobSpec  # noqa: E402
+
+MAX_OVERHEAD_MS = float(os.environ.get("REPRO_CLUSTER_MAX_OVERHEAD_MS", "5"))
+WORKER_COUNTS = (1, 2, 4)
+HEAVY_JOBS = 8
+HEAVY_TRIALS = 1200     # ~0.3 s of Monte-Carlo per job
+CHEAP_JOBS = 40
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _spawn_workers(url, count):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return [subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", url,
+         "--capacity", "1", "--name", f"bench{i}"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        for i in range(count)]
+
+
+def _wait_for_workers(coordinator, count, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(coordinator.status()["workers"]) >= count:
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"{count} worker(s) never registered")
+
+
+def _stop_workers(procs):
+    for proc in procs:
+        proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def _heavy_specs():
+    """Distinct keys (distinct sigma) so nothing coalesces or caches."""
+    return [JobSpec(fn="repro.runtime.jobs:phase_noise_error_rate",
+                    params={"sigma": 0.10 + 0.01 * i,
+                            "n_trials": HEAVY_TRIALS},
+                    label=f"noise{i}")
+            for i in range(HEAVY_JOBS)]
+
+
+def _cheap_specs():
+    return [JobSpec(fn="repro.runtime.jobs:phase_noise_error_rate",
+                    params={"sigma": 0.10 + 0.001 * i, "n_trials": 1},
+                    label=f"cheap{i}")
+            for i in range(CHEAP_JOBS)]
+
+
+def _run_batch(url, specs):
+    executor = Executor(workers=1, cache=None,
+                        backend=TcpClusterBackend(url))
+    t0 = time.perf_counter()
+    result = executor.run(specs)
+    elapsed = time.perf_counter() - t0
+    failures = result.failures
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} job(s) failed: "
+            f"{failures[0].record.error}")
+    busy = sum(r.wall_time for r in result.report.records)
+    return elapsed, busy
+
+
+def measure():
+    # No cache anywhere: every batch recomputes, keeping rounds
+    # comparable (the shared-cache path has its own tests).
+    coordinator = Coordinator(port=0, cache=None).start()
+    scaling = {}
+    overhead_ms = None
+    try:
+        for count in WORKER_COUNTS:
+            procs = _spawn_workers(coordinator.url, count)
+            try:
+                _wait_for_workers(coordinator, count)
+                # One throwaway cheap batch warms the workers' imports
+                # so the first timed job is not paying module loading.
+                _run_batch(coordinator.url, _cheap_specs()[:count])
+                elapsed, busy = _run_batch(coordinator.url, _heavy_specs())
+                scaling[count] = {"elapsed_s": elapsed, "busy_s": busy}
+                if count == 1:
+                    cheap_elapsed, cheap_busy = _run_batch(
+                        coordinator.url, _cheap_specs())
+                    overhead_ms = max(
+                        0.0,
+                        (cheap_elapsed - cheap_busy) / CHEAP_JOBS * 1e3)
+            finally:
+                _stop_workers(procs)
+            # Let the coordinator notice the workers are gone.
+            deadline = time.monotonic() + 10
+            while (coordinator.status()["workers"]
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+    finally:
+        coordinator.stop()
+    t1 = scaling[WORKER_COUNTS[0]]["elapsed_s"]
+    for count, stats in scaling.items():
+        stats["efficiency"] = t1 / (count * stats["elapsed_s"])
+    return {"scaling": scaling, "overhead_ms_per_job": overhead_ms}
+
+
+def _report(result):
+    lines = [f"{HEAVY_JOBS} Monte-Carlo jobs "
+             f"({HEAVY_TRIALS} trials each), TCP worker processes, "
+             f"{os.cpu_count()} CPU(s) on this host"]
+    for count, stats in sorted(result["scaling"].items()):
+        lines.append(
+            f"{count} worker(s): {stats['elapsed_s']:6.2f} s wall "
+            f"({stats['busy_s']:6.2f} s on-worker) -> "
+            f"efficiency {stats['efficiency'] * 100:5.1f} %")
+    overhead = result["overhead_ms_per_job"]
+    lines.append(f"coordination overhead: {overhead:.2f} ms/job "
+                 f"({CHEAP_JOBS} cheap jobs through 1 worker)")
+    if MAX_OVERHEAD_MS:
+        verdict = "PASS" if overhead < MAX_OVERHEAD_MS else "FAIL"
+        lines.append(f"budget: < {MAX_OVERHEAD_MS:.0f} ms/job -> {verdict}")
+    else:
+        lines.append("budget: disabled (REPRO_CLUSTER_MAX_OVERHEAD_MS=0)")
+    return "\n".join(lines)
+
+
+def _write_trajectory(result):
+    metrics = {"overhead_ms_per_job": (result["overhead_ms_per_job"],
+                                       "ms")}
+    for count, stats in result["scaling"].items():
+        metrics[f"elapsed_{count}w"] = (stats["elapsed_s"], "s")
+        metrics[f"efficiency_{count}w"] = stats["efficiency"]
+    write_bench_json("cluster", metrics)
+
+
+def bench_cluster_scaling(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("CLUSTER SCALING (1 -> 2 -> 4 TCP workers + overhead budget)",
+         _report(result))
+    _write_trajectory(result)
+    if (os.cpu_count() or 1) >= 2:
+        # Parallel speedup needs parallel hardware; a 1-CPU host can
+        # still verify the overhead budget below.
+        assert result["scaling"][2]["elapsed_s"] \
+            < result["scaling"][1]["elapsed_s"]  # 2 workers beat 1
+    if MAX_OVERHEAD_MS:
+        assert result["overhead_ms_per_job"] < MAX_OVERHEAD_MS
+
+
+def main() -> int:
+    result = measure()
+    emit("CLUSTER SCALING (1 -> 2 -> 4 TCP workers + overhead budget)",
+         _report(result))
+    _write_trajectory(result)
+    if not MAX_OVERHEAD_MS:
+        return 0
+    return 0 if result["overhead_ms_per_job"] < MAX_OVERHEAD_MS else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

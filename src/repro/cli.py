@@ -22,7 +22,15 @@ Python:
 * ``serve [--port --workers --max-queue --rate ...]`` -- the HTTP
   gate-evaluation service (:mod:`repro.serve`): single-flight
   coalescing, micro-batching, 429 backpressure, ``/metrics`` and
-  graceful drain on SIGTERM;
+  graceful drain on SIGTERM; ``--prefork N`` forks N SO_REUSEPORT
+  processes on one port, ``--backend tcp://...`` runs solver tiers on
+  a cluster;
+* ``cluster start|status|stop`` -- run or inspect a
+  :mod:`repro.cluster` coordinator that shards sweep jobs over TCP
+  workers with a shared cache, single-flight brokering and
+  heartbeat-based rescheduling (docs/CLUSTER.md);
+* ``worker tcp://HOST:PORT [--capacity N]`` -- join a coordinator and
+  execute its jobs;
 * ``characterize maj3|xor [--axis NAME=V1,V2,...]`` -- sweep a gate
   over the characterization axes through the engine, store the
   records content-addressed (:mod:`repro.surrogate`), fit the
@@ -209,10 +217,25 @@ def _cmd_adder(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import os
 
+    from .errors import ClusterConfigError
     from .micromag.experiments import sweep_gate_truth_table
     from .resilience import JobJournal
-    from .runtime import DiskCache, Executor, JobFailed
+    from .runtime import DiskCache, Executor, JobFailed, create_backend
 
+    try:
+        backend = create_backend(args.backend, secret=args.secret)
+        if args.backend and args.backend.startswith("tcp://"):
+            # Fail fast with a typed, actionable error -- not a socket
+            # traceback mid-sweep -- when the coordinator is down or
+            # has no workers attached.
+            from .cluster import ClusterClient
+
+            with ClusterClient(args.backend, secret=args.secret) as client:
+                n = client.require_ready()
+            print(f"cluster backend {args.backend}: {n} worker(s) ready")
+    except ClusterConfigError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else DiskCache(root=args.cache_dir)
     journal = None
     if args.resume or args.journal:
@@ -224,7 +247,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"{journal.state.summary()}")
     executor = Executor(workers=args.workers, cache=cache,
                         timeout=args.timeout, retries=args.retries,
-                        journal=journal)
+                        journal=journal, backend=backend)
     try:
         sweep = sweep_gate_truth_table(args.gate, tier=args.tier,
                                        executor=executor)
@@ -374,6 +397,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .errors import ClusterConfigError
     from .serve import GateService, ServeConfig
 
     config = ServeConfig(
@@ -386,8 +410,103 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_s,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset_s,
-        surrogate_dir=args.surrogate_dir)
-    return GateService(config).run()
+        surrogate_dir=args.surrogate_dir,
+        backend=args.backend, prefork=args.prefork)
+    try:
+        if config.prefork:
+            from .serve import run_prefork
+
+            return run_prefork(config)
+        return GateService(config).run()
+    except ClusterConfigError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .errors import ClusterAuthError, ClusterConfigError
+    from .cluster import run_worker
+
+    try:
+        run_worker(args.url, secret=args.secret, capacity=args.capacity,
+                   name=args.name or "")
+    except ClusterConfigError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    except ClusterAuthError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ClusterAuthError, ClusterConfigError, ClusterError
+    from .io.tables import format_table
+
+    if args.action == "start":
+        from .cluster import Coordinator
+        from .resilience import JobJournal
+        from .runtime import DiskCache
+
+        cache = None if args.no_cache else DiskCache(root=args.cache_dir)
+        journal = None
+        if args.journal:
+            journal = JobJournal(args.journal)
+        coordinator = Coordinator(
+            host=args.host, port=args.port, cache=cache, journal=journal,
+            secret=args.secret, retries=args.retries,
+            heartbeat_timeout=args.heartbeat_timeout)
+        print(f"cluster coordinator on {coordinator.url} "
+              f"(cache={'off' if cache is None else args.cache_dir}, "
+              f"journal={args.journal or 'off'}); workers join with:\n"
+              f"  python -m repro worker {coordinator.url}")
+        try:
+            coordinator.serve_forever()
+        finally:
+            if journal is not None:
+                journal.close()
+        return 0
+
+    from .cluster import ClusterClient
+
+    if not args.url:
+        print(f"cluster {args.action}: coordinator URL required, e.g. "
+              f"python -m repro cluster {args.action} tcp://127.0.0.1:7421",
+              file=sys.stderr)
+        return 2
+    try:
+        with ClusterClient(args.url, secret=args.secret) as client:
+            if args.action == "stop":
+                client.shutdown()
+                print(f"coordinator at {args.url} asked to stop")
+                return 0
+            status = client.status()
+    except (ClusterConfigError, ClusterAuthError, ClusterError) as exc:
+        print(f"cluster {args.action}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"coordinator {status['url']}: up {status['uptime_s']:.0f} s, "
+          f"{len(status['workers'])} worker(s)")
+    print(f"jobs: {status['inflight']} inflight, {status['queued']} "
+          f"queued, {status['completed']} completed, "
+          f"{status['failed']} failed, {status['rescheduled']} "
+          f"rescheduled, {status['coalesced']} coalesced, "
+          f"{status['cache_hits']} cache hits")
+    if status["workers"]:
+        rows = [[str(w["id"]), w["name"], w["addr"], str(w["capacity"]),
+                 str(w["inflight"]), str(w["jobs_done"]),
+                 f"{w['last_heartbeat_age_s']:.2f}"]
+                for w in status["workers"]]
+        print(format_table(
+            ["id", "name", "addr", "cap", "inflight", "done", "beat (s)"],
+            rows, title="workers"))
+    return 0
 
 
 def _parse_size(text: str) -> int:
@@ -684,6 +803,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "<cache-dir>/journal-<gate>-<tier>.jsonl "
                               "when journalling is on; --resume implies "
                               "journalling)")
+    p_sweep.add_argument("--backend", metavar="URL", default=None,
+                         help="execution backend: 'local' (default) or "
+                              "tcp://host:port of a cluster coordinator "
+                              "(docs/CLUSTER.md)")
+    p_sweep.add_argument("--secret", default=None,
+                         help="cluster shared secret (default "
+                              "$REPRO_CLUSTER_SECRET)")
     # Accept the global engine flags after the subcommand too
     # (``sweep maj3 --no-cache``); SUPPRESS keeps the subparser from
     # clobbering values parsed at the top level.
@@ -815,6 +941,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "tier loads fitted models from (default "
                               "$REPRO_SURROGATE_DIR or "
                               ".repro_characterization/)")
+    p_serve.add_argument("--backend", metavar="URL", default=None,
+                         help="execution backend for solver tiers: "
+                              "'local' (default) or tcp://host:port of "
+                              "a cluster coordinator")
+    p_serve.add_argument("--prefork", type=int, default=0, metavar="N",
+                         help="fork N SO_REUSEPORT serve processes on "
+                              "one port (default 0 = single process; "
+                              "needs a fixed --port)")
     p_serve.add_argument("--workers", type=int, metavar="N",
                          default=argparse.SUPPRESS,
                          help=argparse.SUPPRESS)
@@ -822,6 +956,64 @@ def build_parser() -> argparse.ArgumentParser:
                          default=argparse.SUPPRESS,
                          help=argparse.SUPPRESS)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a repro.cluster coordinator and execute jobs "
+             "(see docs/CLUSTER.md)")
+    p_worker.add_argument("url", metavar="tcp://HOST:PORT",
+                          help="coordinator address, e.g. "
+                               "tcp://127.0.0.1:7421")
+    p_worker.add_argument("--capacity", type=int, default=1, metavar="N",
+                          help="jobs this worker runs concurrently "
+                               "(default 1)")
+    p_worker.add_argument("--name", default="",
+                          help="worker name shown in `cluster status` "
+                               "(default <hostname>:<pid>)")
+    p_worker.add_argument("--secret", default=None,
+                          help="cluster shared secret (default "
+                               "$REPRO_CLUSTER_SECRET)")
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run or inspect a cluster coordinator "
+             "(see docs/CLUSTER.md)")
+    p_cluster.add_argument("action", choices=["start", "status", "stop"],
+                           help="start a coordinator, or query/stop a "
+                                "running one")
+    p_cluster.add_argument("url", nargs="?", default=None,
+                           metavar="tcp://HOST:PORT",
+                           help="coordinator address (status/stop)")
+    p_cluster.add_argument("--host", default="127.0.0.1",
+                           help="bind address for start "
+                                "(default 127.0.0.1)")
+    p_cluster.add_argument("--port", type=int, default=7421,
+                           help="TCP port for start (default 7421; "
+                                "0 = ephemeral)")
+    p_cluster.add_argument("--cache-dir", default=".repro_cache",
+                           help="shared result-cache directory "
+                                "(default .repro_cache)")
+    p_cluster.add_argument("--no-cache", action="store_true",
+                           help="run the coordinator without a shared "
+                                "cache tier")
+    p_cluster.add_argument("--journal", metavar="PATH", default=None,
+                           help="write-ahead job journal path")
+    p_cluster.add_argument("--secret", default=None,
+                           help="cluster shared secret (default "
+                                "$REPRO_CLUSTER_SECRET)")
+    p_cluster.add_argument("--retries", type=int, default=2, metavar="N",
+                           help="attempts per failing job beyond the "
+                                "first (default 2; worker deaths do "
+                                "not consume attempts)")
+    p_cluster.add_argument("--heartbeat-timeout", type=float, default=3.0,
+                           metavar="S",
+                           help="seconds without a heartbeat before a "
+                                "worker is declared lost and its jobs "
+                                "rescheduled (default 3.0)")
+    p_cluster.add_argument("--json", action="store_true",
+                           help="machine-readable status output")
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     p_cache = sub.add_parser(
         "cache",

@@ -1,0 +1,294 @@
+"""Client side of the cluster: :class:`TcpClusterBackend`.
+
+``Executor(backend=TcpClusterBackend("tcp://host:port"))`` -- or the
+equivalent ``python -m repro sweep --backend tcp://host:port`` -- makes
+the executor ship its cache misses to a coordinator instead of a local
+process pool.  The executor still does everything it always did
+(cache lookup, write-through commit, journalling, telemetry); only
+the execution mechanism changes, which is what keeps the
+backend-conformance contract (bit-identical results, identical
+cache-hit accounting) trivially true.
+
+Each :meth:`TcpClusterBackend.execute` call opens its *own*
+authenticated connection, so concurrent batches (e.g. parallel serve
+requests sharing one backend object) never serialize behind a shared
+socket conversation.  Non-portable jobs (closures -- nothing to name
+in a frame) quietly run on the executor's serial path, exactly like
+the local pool treats them.
+
+A coordinator that is unreachable, or reachable but workerless,
+raises :class:`~repro.errors.ClusterConfigError` before any job is
+sent.  A connection lost *mid-batch* fails the affected jobs (status
+``failed``, error ``cluster connection lost``) rather than raising,
+so a sweep keeps every result that did come back.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+from .. import obs
+from ..errors import ClusterConfigError, ClusterError
+from ..resilience import faults
+from ..runtime.backend import ExecutorBackend, PendingJob
+from ..runtime.report import (
+    MODE_CACHED,
+    MODE_CLUSTER,
+    STATUS_FAILED,
+    STATUS_HIT,
+    STATUS_OK,
+    JobRecord,
+    utc_now_iso,
+)
+from . import protocol
+
+_LOG = obs.get_logger("cluster.backend")
+
+
+class ClusterClient:
+    """One authenticated client connection to a coordinator."""
+
+    def __init__(self, url: str, secret: Optional[str] = None,
+                 connect_timeout: float = 5.0):
+        self.url = url
+        self.host, self.port = protocol.parse_url(url)
+        self.secret = protocol.resolve_secret(secret)
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+
+    def connect(self) -> "ClusterClient":
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.connect_timeout)
+        except OSError as exc:
+            raise ClusterConfigError(
+                f"cannot reach cluster coordinator at {self.url}: {exc} "
+                "-- is `python -m repro cluster start` running there?")
+        sock.settimeout(None)
+        try:
+            protocol.client_handshake(sock, self.secret, role="client")
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ClusterClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request/response helpers -------------------------------------------
+
+    def _roundtrip(self, message: Dict[str, Any],
+                   expect: str) -> Dict[str, Any]:
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        protocol.send_frame(self._sock, message)
+        reply = protocol.recv_frame(self._sock)
+        if reply is None:
+            raise ClusterError(
+                f"coordinator at {self.url} closed the connection")
+        if reply.get("type") != expect:
+            raise ClusterError(
+                f"expected a {expect!r} frame, got {reply.get('type')!r}")
+        return reply
+
+    def ping(self) -> Dict[str, Any]:
+        """Reachability probe; the reply carries the worker count."""
+        return self._roundtrip({"type": "ping"}, "pong")
+
+    def status(self) -> Dict[str, Any]:
+        """The coordinator's :meth:`~Coordinator.status` snapshot."""
+        return self._roundtrip({"type": "status"}, "status")["status"]
+
+    def shutdown(self) -> None:
+        """Ask the coordinator to stop (``repro cluster stop``)."""
+        try:
+            self._roundtrip({"type": "shutdown"}, "bye")
+        except ClusterError:
+            pass  # it stopped before answering; mission accomplished
+
+    def require_ready(self, min_workers: int = 1) -> int:
+        """Connect and verify at least ``min_workers`` are attached.
+
+        Returns the worker count; raises
+        :class:`~repro.errors.ClusterConfigError` (never a raw socket
+        traceback) when the coordinator is unreachable or idle-handed.
+        """
+        workers = int(self.ping().get("workers", 0))
+        if workers < min_workers:
+            raise ClusterConfigError(
+                f"cluster coordinator at {self.url} has {workers} "
+                f"connected worker(s), need >= {min_workers}; start some "
+                f"with `python -m repro worker {self.url}`")
+        return workers
+
+
+class TcpClusterBackend(ExecutorBackend):
+    """Ship an executor's cache misses to a cluster coordinator.
+
+    Parameters
+    ----------
+    url:
+        ``tcp://host:port`` of the coordinator.
+    secret:
+        HMAC shared secret (defaults to ``REPRO_CLUSTER_SECRET``).
+    min_workers:
+        Fail fast (:class:`~repro.errors.ClusterConfigError`) unless
+        this many workers are attached when a batch starts.
+    """
+
+    name = "tcp"
+
+    def __init__(self, url: str, secret: Optional[str] = None,
+                 min_workers: int = 1):
+        protocol.parse_url(url)  # validate eagerly: bad URLs fail at build
+        self.url = url
+        self.secret = secret
+        self.min_workers = max(0, int(min_workers))
+
+    def describe(self) -> str:
+        return f"tcp({self.url})"
+
+    def execute(self, executor, pending: List[PendingJob],
+                outcomes: List[Optional[Any]]) -> None:
+        from ..runtime.executor import JobOutcome
+
+        remote = [job for job in pending if job[1].portable]
+        local = [job for job in pending if not job[1].portable]
+        if local:
+            _LOG.debug("%d non-portable job(s) run in-process instead of "
+                       "on the cluster", len(local))
+
+        if remote:
+            self._execute_remote(executor, remote, outcomes, JobOutcome)
+
+        for index, spec, key in local:
+            outcomes[index] = executor._run_serial(spec, key)
+            executor._commit(outcomes[index])
+
+    # -- the remote path ----------------------------------------------------
+
+    def _execute_remote(self, executor, remote: List[PendingJob],
+                        outcomes: List[Optional[Any]], JobOutcome) -> None:
+        client = ClusterClient(self.url, secret=self.secret).connect()
+        try:
+            if self.min_workers:
+                client.require_ready(self.min_workers)
+            self._submit_and_collect(executor, remote, outcomes, JobOutcome,
+                                     client)
+        finally:
+            client.close()
+
+    def _submit_and_collect(self, executor, remote: List[PendingJob],
+                            outcomes, JobOutcome,
+                            client: ClusterClient) -> None:
+        trace_id = obs.current_trace_id()
+        ctx = obs.current_context()
+        plan = faults.installed_plan()
+        started = utc_now_iso()
+        by_id: Dict[str, PendingJob] = {}
+        jobs = []
+        for index, spec, key in remote:
+            job_id = str(index)
+            by_id[job_id] = (index, spec, key)
+            if executor.journal is not None:
+                executor.journal.start(key, spec.display_label)
+            if obs.enabled():
+                obs.counter("executor.executed").inc()
+            job = {"id": job_id, "key": key, "ref": spec.ref,
+                   "params": spec.param_dict(),
+                   "label": spec.display_label,
+                   "timeout": executor.timeout,
+                   "retries": executor.retries}
+            if plan is not None:
+                job["fault_plan"] = plan.to_json()
+            if ctx is not None:
+                job["trace"] = ctx.as_dict()
+            jobs.append(job)
+
+        assert client._sock is not None
+        sock = client._sock
+        lost: Optional[str] = None
+        try:
+            protocol.send_frame(sock, {"type": "submit", "jobs": jobs})
+            while by_id:
+                frame = protocol.recv_frame(sock)
+                if frame is None:
+                    raise ClusterError("cluster connection lost")
+                if frame.get("type") != "outcome":
+                    continue  # tolerate future informational frames
+                job = by_id.pop(str(frame.get("id")), None)
+                if job is None:
+                    continue
+                index, spec, key = job
+                outcomes[index] = self._outcome(
+                    spec, key, frame, trace_id, started, JobOutcome)
+                executor._commit(outcomes[index])
+        except (OSError, ClusterError) as exc:
+            lost = str(exc) or type(exc).__name__
+        if lost is None:
+            return
+        # The coordinator (or the network to it) went away mid-batch:
+        # jobs whose outcomes never arrived fail in place, everything
+        # already received stays.
+        _LOG.warning("cluster batch aborted after %d of %d outcome(s): %s",
+                     len(remote) - len(by_id), len(remote), lost)
+        if obs.enabled():
+            obs.counter("cluster.client_aborted_jobs").inc(len(by_id))
+        for index, spec, key in by_id.values():
+            outcomes[index] = JobOutcome(
+                spec, key, None,
+                JobRecord(label=spec.display_label, key=key,
+                          status=STATUS_FAILED, mode=MODE_CLUSTER,
+                          attempts=1, error=f"cluster connection lost: "
+                          f"{lost}", started_at=started,
+                          trace_id=trace_id))
+            executor._commit(outcomes[index])
+
+    def _outcome(self, spec, key: str, frame: Dict[str, Any],
+                 trace_id: Optional[str], started: str, JobOutcome):
+        status = frame.get("status")
+        if frame.get("spans"):
+            obs.ingest(frame["spans"])
+        if status == "hit":
+            value = protocol.decode_value(frame)
+            record = JobRecord(label=spec.display_label, key=key,
+                               status=STATUS_HIT, mode=MODE_CACHED,
+                               attempts=0, started_at=started,
+                               trace_id=trace_id,
+                               notes="cluster-cache")
+            return JobOutcome(spec, key, value, record)
+        if status == "ok":
+            value = protocol.decode_value(frame)
+            record = JobRecord(label=spec.display_label, key=key,
+                               status=STATUS_OK, mode=MODE_CLUSTER,
+                               attempts=int(frame.get("attempts", 1)),
+                               wall_time=float(frame.get("wall_time", 0.0)),
+                               started_at=started, trace_id=trace_id)
+            rescheduled = int(frame.get("rescheduled", 0))
+            if rescheduled:
+                record.notes = f"rescheduled x{rescheduled}"
+            record.set_resources(frame.get("resources"))
+            return JobOutcome(spec, key, value, record)
+        record = JobRecord(label=spec.display_label, key=key,
+                           status=STATUS_FAILED, mode=MODE_CLUSTER,
+                           attempts=int(frame.get("attempts", 1)),
+                           wall_time=float(frame.get("wall_time", 0.0)),
+                           error=str(frame.get("error", "cluster failure")),
+                           started_at=started, trace_id=trace_id)
+        return JobOutcome(spec, key, None, record)

@@ -1,0 +1,276 @@
+"""Wire protocol of the cluster: frames, handshake, value codec.
+
+Everything on a cluster socket is a *frame*: a 4-byte big-endian
+length followed by that many bytes of UTF-8 JSON (one object per
+frame).  Numpy arrays inside job results ride as a base64-encoded
+in-memory ``.npz`` attached to the JSON object -- the same tagged-JSON
+codec the disk cache uses (:mod:`repro.runtime.cache`), so anything
+cacheable is shippable and decodes bit-identically on the other side.
+
+Connections authenticate *mutually* with an HMAC-SHA256
+challenge-response over a shared secret before any job data flows:
+
+1. server -> client: ``{"type": "challenge", "nonce": <hex>}``
+2. client -> server: ``{"type": "auth", "role": ..., "nonce": <hex>,
+   "mac": HMAC(secret, "client:" + server_nonce)}``
+3. server -> client: ``{"type": "welcome",
+   "mac": HMAC(secret, "server:" + client_nonce)}``
+
+A peer that cannot produce the MAC is dropped with
+:class:`~repro.errors.ClusterAuthError`; because the *server* must
+answer the client's nonce too, a client never sends job parameters to
+a coordinator that does not hold the secret.  The secret comes from
+the ``REPRO_CLUSTER_SECRET`` environment variable (see
+``docs/CLUSTER.md`` for the security model and its limits -- the
+payload itself is not encrypted).
+
+Message types after the handshake:
+
+======================  =====================================================
+frame                   direction and meaning
+======================  =====================================================
+``hello``               worker -> coordinator: register, with ``capacity``
+``job``                 coordinator -> worker: run one job (ref, params,
+                        timeout, optional fault plan and trace context)
+``result``              worker -> coordinator: one job's outcome
+``heartbeat``           worker -> coordinator: liveness, every interval
+``submit``              client -> coordinator: a batch of jobs
+``outcome``             coordinator -> client: one job's final outcome
+``status``              client -> coordinator and back: cluster snapshot
+``ping`` / ``pong``     client -> coordinator and back: reachability probe
+``shutdown``            client -> coordinator: stop serving; coordinator ->
+                        worker: exit
+``error``               either direction: protocol-level failure report
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import io
+import json
+import os
+import secrets as _secrets
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..errors import ClusterAuthError, ClusterError
+from ..resilience import faults
+from ..runtime.cache import _decode, _encode
+
+#: Environment variable holding the cluster shared secret.
+SECRET_ENV = "REPRO_CLUSTER_SECRET"
+
+#: Secret used when ``REPRO_CLUSTER_SECRET`` is unset -- fine for
+#: localhost development and the test suite, NOT for shared networks
+#: (anyone can read this file); see the security note in
+#: ``docs/CLUSTER.md``.
+DEV_SECRET = "repro-dev-cluster-secret"
+
+#: Hard ceiling on one frame's payload: a malformed or hostile length
+#: prefix never makes a peer allocate gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def resolve_secret(secret: Optional[str] = None) -> str:
+    """Explicit secret, else ``REPRO_CLUSTER_SECRET``, else the
+    development secret."""
+    if secret:
+        return secret
+    return os.environ.get(SECRET_ENV) or DEV_SECRET
+
+
+# -- framing ----------------------------------------------------------------
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> int:
+    """Serialize ``message`` and write one length-prefixed frame.
+
+    Returns the bytes written (prefix included).  The fault site
+    ``cluster.frame.send`` supports ``slow`` (the frame is delayed, by
+    :func:`~repro.resilience.faults.trip` itself), ``error``/``crash``
+    (fired inside ``trip``) and ``corrupt`` (the frame is *dropped*:
+    the connection is torn down so both peers see a clean EOF rather
+    than a desynchronized stream).
+    """
+    if faults.active():
+        fault = faults.trip("cluster.frame.send")
+        if fault is not None and fault.kind == "corrupt":
+            try:
+                sock.close()
+            finally:
+                raise ClusterError(
+                    "fault injection dropped a frame (cluster.frame.send)")
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    data = _LENGTH.pack(len(payload)) + payload
+    sock.sendall(data)
+    if obs.enabled():
+        obs.counter("cluster.bytes_sent").inc(len(data))
+        obs.counter("cluster.frames_sent").inc()
+    return len(data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or None on a clean EOF."""
+    chunks = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(min(n - got, 1 << 20))
+        except OSError:
+            return None  # peer reset / socket closed under us
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; None on EOF (peer gone).
+
+    A syntactically broken frame (bad length, bad JSON, non-object
+    payload) raises :class:`~repro.errors.ClusterError` -- the caller
+    drops the connection rather than guessing at re-synchronisation.
+    """
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"peer announced a {length}-byte frame (limit "
+            f"{MAX_FRAME_BYTES}); dropping the connection")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ClusterError(f"undecodable frame: {exc}")
+    if not isinstance(message, dict):
+        raise ClusterError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}")
+    if obs.enabled():
+        obs.counter("cluster.bytes_received").inc(_LENGTH.size + length)
+        obs.counter("cluster.frames_received").inc()
+    return message
+
+
+# -- value codec ------------------------------------------------------------
+
+def encode_value(value: Any) -> Dict[str, Any]:
+    """Encode a job result for a frame: tagged JSON plus an optional
+    base64 in-memory npz carrying the ndarrays."""
+    arrays: Dict[str, np.ndarray] = {}
+    node = _encode(value, arrays)
+    encoded: Dict[str, Any] = {"value": node}
+    if arrays:
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        encoded["npz"] = base64.b64encode(buffer.getvalue()).decode("ascii")
+    return encoded
+
+
+def decode_value(encoded: Dict[str, Any]) -> Any:
+    """Invert :func:`encode_value` (bit-identical arrays included)."""
+    arrays = None
+    blob = encoded.get("npz")
+    if blob:
+        with np.load(io.BytesIO(base64.b64decode(blob))) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+    return _decode(encoded.get("value"), arrays)
+
+
+# -- HMAC handshake ---------------------------------------------------------
+
+def _mac(secret: str, role: str, nonce: str) -> str:
+    return hmac.new(secret.encode("utf-8"),
+                    f"{role}:{nonce}".encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+def server_handshake(sock: socket.socket, secret: str) -> Dict[str, Any]:
+    """Coordinator side: challenge the peer, verify, answer its nonce.
+
+    Returns the peer's ``auth`` frame (the ``role`` field tells worker
+    from client).  Raises :class:`~repro.errors.ClusterAuthError` on a
+    missing or wrong MAC; the caller closes the socket.
+    """
+    nonce = _secrets.token_hex(16)
+    send_frame(sock, {"type": "challenge", "nonce": nonce})
+    reply = recv_frame(sock)
+    if reply is None or reply.get("type") != "auth":
+        raise ClusterAuthError("peer hung up before authenticating")
+    expected = _mac(secret, "client", nonce)
+    if not hmac.compare_digest(str(reply.get("mac", "")), expected):
+        raise ClusterAuthError("peer failed the HMAC challenge")
+    peer_nonce = str(reply.get("nonce", ""))
+    send_frame(sock, {"type": "welcome",
+                      "mac": _mac(secret, "server", peer_nonce)})
+    return reply
+
+
+def client_handshake(sock: socket.socket, secret: str,
+                     role: str = "client",
+                     extra: Optional[Dict[str, Any]] = None) -> None:
+    """Worker/client side: answer the challenge, verify the server.
+
+    ``extra`` fields (e.g. a worker's ``capacity``) ride on the auth
+    frame so registration needs no extra round trip.
+    """
+    challenge = recv_frame(sock)
+    if challenge is None or challenge.get("type") != "challenge":
+        raise ClusterAuthError("coordinator did not send a challenge")
+    nonce = _secrets.token_hex(16)
+    auth: Dict[str, Any] = {
+        "type": "auth", "role": role, "nonce": nonce,
+        "mac": _mac(secret, "client", str(challenge.get("nonce", "")))}
+    auth.update(extra or {})
+    send_frame(sock, auth)
+    welcome = recv_frame(sock)
+    if welcome is None or welcome.get("type") != "welcome":
+        raise ClusterAuthError(
+            "coordinator rejected the HMAC credential (wrong "
+            f"{SECRET_ENV}?)")
+    if not hmac.compare_digest(str(welcome.get("mac", "")),
+                               _mac(secret, "server", nonce)):
+        raise ClusterAuthError(
+            "coordinator failed to prove knowledge of the shared "
+            "secret; refusing to send it any work")
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """``tcp://host:port`` -> (host, port); raises
+    :class:`~repro.errors.ClusterConfigError` on anything else."""
+    from ..errors import ClusterConfigError
+
+    if not url.startswith("tcp://"):
+        raise ClusterConfigError(
+            f"cluster URL must start with tcp://, got {url!r}")
+    rest = url[len("tcp://"):]
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host:
+        raise ClusterConfigError(
+            f"cluster URL must be tcp://host:port, got {url!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterConfigError(
+            f"cluster URL port must be an integer, got {url!r}")
+    if not 0 < port < 65536:
+        raise ClusterConfigError(
+            f"cluster URL port out of range, got {url!r}")
+    return host, port

@@ -1,0 +1,215 @@
+"""The cluster worker: ``python -m repro worker tcp://host:port``.
+
+A worker is one process that dials the coordinator, authenticates
+with the shared secret, announces a capacity (how many jobs it will
+run concurrently, each on its own thread) and then executes ``job``
+frames until the coordinator says ``shutdown`` or the connection
+drops.  Liveness is a dedicated heartbeat thread, so a long-running
+job never makes the coordinator think this worker died -- only actual
+death (or a wedged process) does.
+
+Job execution mirrors the local pool's worker side
+(:func:`repro.runtime.executor._invoke`): an optional fault plan from
+the coordinator (or the inherited ``REPRO_FAULTS`` environment) is
+armed first so chaos drills reach remote workers; a
+:class:`~repro.obs.ResourceProbe` accounts CPU/RSS; a shipped
+:class:`~repro.obs.TraceContext` re-parents the job's spans under the
+submitting client's trace, and the spans ride back on the ``result``
+frame (distributed span shipping, now across hosts).  The per-job
+``timeout`` from the frame is enforced here with the executor's own
+:func:`~repro.runtime.executor._call_with_timeout`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .. import obs
+from ..errors import ClusterError
+from ..resilience import faults
+from ..runtime.executor import _call_with_timeout
+from ..runtime.spec import resolve_ref
+from . import protocol
+
+_LOG = obs.get_logger("cluster.worker")
+
+
+class Worker:
+    """One worker process's connection to the coordinator.
+
+    Parameters
+    ----------
+    url:
+        ``tcp://host:port`` of the coordinator.
+    secret:
+        HMAC shared secret (defaults to ``REPRO_CLUSTER_SECRET``).
+    capacity:
+        Concurrent jobs this worker accepts (one thread each).
+    name:
+        Display name in ``cluster status``; defaults to
+        ``<hostname>:<pid>``.
+    """
+
+    def __init__(self, url: str, secret: Optional[str] = None,
+                 capacity: int = 1, name: str = ""):
+        self.host, self.port = protocol.parse_url(url)
+        self.secret = protocol.resolve_secret(secret)
+        self.capacity = max(1, int(capacity))
+        self.name = name or f"{socket.gethostname()}:{os.getpid()}"
+        self.heartbeat_interval = 0.5
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        self.jobs_run = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def connect(self, timeout: float = 10.0) -> None:
+        """Dial the coordinator, retrying refusals for ``timeout`` s.
+
+        Workers and their coordinator are routinely launched together
+        (CI scripts, ``&``-backgrounded shells), so losing the startup
+        race must not be fatal.  Authentication failures are never
+        retried -- a wrong secret will not get righter.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                sock = socket.create_connection((self.host, self.port),
+                                                timeout=10.0)
+                break
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ClusterError(
+                        f"coordinator {self.host}:{self.port} unreachable "
+                        f"after {timeout:.0f} s: {exc}") from exc
+                time.sleep(0.2)
+        sock.settimeout(None)
+        protocol.client_handshake(
+            sock, self.secret, role="worker",
+            extra={"capacity": self.capacity, "name": self.name})
+        self._sock = sock
+        _LOG.info("worker %s connected to %s:%d (capacity %d)",
+                  self.name, self.host, self.port, self.capacity)
+
+    def run(self) -> None:
+        """Connect (if needed) and serve jobs until shutdown/EOF."""
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        beat = threading.Thread(target=self._heartbeat_loop,
+                                name="worker-heartbeat", daemon=True)
+        beat.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = protocol.recv_frame(self._sock)
+                except ClusterError as exc:
+                    _LOG.warning("broken frame from coordinator: %s", exc)
+                    break
+                if frame is None:
+                    _LOG.info("coordinator closed the connection")
+                    break
+                kind = frame.get("type")
+                if kind == "job":
+                    threading.Thread(
+                        target=self._run_job, args=(frame,),
+                        name=f"worker-job-{frame.get('key', '')[:8]}",
+                        daemon=True).start()
+                elif kind == "config":
+                    interval = frame.get("heartbeat_interval")
+                    if interval:
+                        self.heartbeat_interval = float(interval)
+                elif kind == "shutdown":
+                    _LOG.info("coordinator requested shutdown")
+                    break
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        if self._sock is None:
+            return
+        try:
+            with self._send_lock:
+                protocol.send_frame(self._sock, message)
+        except (OSError, ClusterError) as exc:
+            _LOG.warning("send to coordinator failed: %s", exc)
+            self._stop.set()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            self._send({"type": "heartbeat"})
+
+    # -- job execution ------------------------------------------------------
+
+    def _run_job(self, frame: Dict[str, Any]) -> None:
+        key = str(frame.get("key", ""))
+        result: Dict[str, Any] = {"type": "result", "key": key}
+        t0 = time.perf_counter()
+        spans = []
+        probe = obs.ResourceProbe()
+        ctx_dict = frame.get("trace")
+        activated = False
+        try:
+            plan_json = frame.get("fault_plan")
+            if plan_json is not None and not faults.active():
+                faults.install(faults.FaultPlan.from_json(plan_json))
+            elif not faults.active():
+                faults.install_from_env()
+            if faults.active():
+                faults.trip("executor.invoke")
+            fn = resolve_ref(str(frame.get("ref", "")))
+            params = dict(frame.get("params") or {})
+            if ctx_dict is not None:
+                obs.activate(obs.TraceContext.from_dict(ctx_dict))
+                activated = True
+                with obs.span("executor.job", ref=frame.get("ref"),
+                              mode="cluster"):
+                    value = _call_with_timeout(fn, params,
+                                               frame.get("timeout"))
+            else:
+                value = _call_with_timeout(fn, params, frame.get("timeout"))
+        except BaseException as exc:
+            result["ok"] = False
+            result["error"] = f"{type(exc).__name__}: {exc}".strip()
+        else:
+            result["ok"] = True
+            try:
+                result.update(protocol.encode_value(value))
+            except TypeError as exc:
+                result["ok"] = False
+                result.pop("value", None)
+                result.pop("npz", None)
+                result["error"] = f"unshippable result: {exc}"
+        finally:
+            if activated:
+                spans = obs.deactivate()
+        result["wall_time"] = time.perf_counter() - t0
+        if spans:
+            result["spans"] = spans
+        resources = probe.finish()
+        if resources:
+            result["resources"] = resources
+        self.jobs_run += 1
+        self._send(result)
+
+
+def run_worker(url: str, secret: Optional[str] = None, capacity: int = 1,
+               name: str = "") -> None:
+    """Blocking entry point used by ``python -m repro worker``."""
+    worker = Worker(url, secret=secret, capacity=capacity, name=name)
+    worker.connect()
+    worker.run()

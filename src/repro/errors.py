@@ -15,6 +15,11 @@ family or a precise leaf:
   non-finite values or runaway drift, with step diagnostics attached;
 * :class:`CircuitOpen` -- a serving-tier circuit breaker is rejecting
   work for a failing job family;
+* :class:`ClusterError` -- the distributed execution backend
+  (:mod:`repro.cluster`) lost a peer or received a malformed frame,
+  with leaves for misconfiguration (:class:`ClusterConfigError` -- bad
+  ``tcp://`` URL, unreachable coordinator, no connected workers) and
+  failed HMAC authentication (:class:`ClusterAuthError`);
 * :class:`FaultInjected` -- an error deliberately raised by the
   fault-injection framework (:mod:`repro.resilience.faults`);
 * :class:`SurrogateDomainError` -- a surrogate-tier query cannot be
@@ -42,6 +47,9 @@ __all__ = [
     "CacheCorrupt",
     "CheckpointError",
     "CircuitOpen",
+    "ClusterAuthError",
+    "ClusterConfigError",
+    "ClusterError",
     "CombinationalLoopError",
     "DanglingNetError",
     "DriveConflictError",
@@ -125,6 +133,36 @@ class CircuitOpen(ReproError):
                          f"{retry_after:.1f} s")
         self.name = name
         self.retry_after = max(0.0, retry_after)
+
+
+class ClusterError(ReproError):
+    """A distributed-execution failure the cluster layer handles.
+
+    Base of every :mod:`repro.cluster` failure mode: lost coordinator
+    connections, malformed or oversized frames, dead workers.  The
+    coordinator reschedules work on surviving workers where it can;
+    what cannot be recovered surfaces as this family so callers
+    distinguish cluster transport trouble from job failures.
+    """
+
+
+class ClusterConfigError(ClusterError):
+    """The cluster backend is misconfigured or unreachable.
+
+    Raised instead of a raw socket traceback when a ``tcp://`` backend
+    URL is malformed, the coordinator does not answer, or the
+    coordinator is up but has no connected workers to run jobs on.
+    """
+
+
+class ClusterAuthError(ClusterError):
+    """A cluster peer failed the HMAC shared-secret handshake.
+
+    Both sides authenticate: a coordinator rejects clients and workers
+    that cannot prove knowledge of the shared secret, and clients
+    refuse coordinators that cannot (so a redirected connection never
+    receives job parameters).  See ``docs/CLUSTER.md``.
+    """
 
 
 class FaultInjected(ReproError):

@@ -34,6 +34,7 @@ See ``docs/RUNTIME.md`` for the job model and the cache layout.
 """
 
 from .aio import run_async, submit_async
+from .backend import ExecutorBackend, LocalPoolBackend, create_backend
 from .cache import (
     DEFAULT_CACHE_ROOT,
     QUARANTINE_DIR,
@@ -66,11 +67,13 @@ __all__ = [
     "DEFAULT_CACHE_ROOT",
     "DiskCache",
     "Executor",
+    "ExecutorBackend",
     "JobFailed",
     "JobOutcome",
     "JobRecord",
     "JobSpec",
     "JobTimeout",
+    "LocalPoolBackend",
     "MemoryCache",
     "PruneResult",
     "QUARANTINE_DIR",
@@ -83,6 +86,7 @@ __all__ = [
     "count_quarantined",
     "callable_ref",
     "canonical_json",
+    "create_backend",
     "job_key",
     "prune_cache",
     "resolve_ref",

@@ -1,0 +1,128 @@
+"""Pluggable execution backends for the :class:`Executor`.
+
+The executor owns the *policy* around a batch of jobs -- cache lookups,
+write-through commits, journalling, retries, telemetry -- while an
+:class:`ExecutorBackend` owns the *mechanism* that actually runs the
+cache misses.  Two backends ship with the package:
+
+* :class:`LocalPoolBackend` -- the reference implementation and the
+  default: a ``ProcessPoolExecutor`` on this machine for portable
+  jobs, with graceful degradation to serial in-process execution
+  (exactly the behaviour the executor had before the protocol was
+  extracted);
+* :class:`repro.cluster.TcpClusterBackend` -- ships jobs to a
+  coordinator over TCP, which shards them across ``python -m repro
+  worker`` processes on any number of hosts (see ``docs/CLUSTER.md``).
+
+Any future backend (asyncio in-process, subprocess-over-ssh, a batch
+scheduler) plugs in by implementing :meth:`ExecutorBackend.execute`
+and passing the backend-conformance suite in
+``tests/test_cluster.py::BackendContract``: same sweep, bit-identical
+results, identical cache-hit accounting.
+
+:func:`create_backend` resolves a backend *description* -- ``None`` or
+``"local"`` for the pool, a ``tcp://host:port`` URL for the cluster --
+which is how ``python -m repro sweep --backend ...`` and
+``repro serve --backend ...`` pick theirs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from .. import obs
+from ..errors import ClusterConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .executor import Executor, JobOutcome
+    from .spec import JobSpec
+
+_LOG = obs.get_logger("runtime.backend")
+
+#: (index into the submitted batch, spec, content key) -- the unit of
+#: work a backend receives after the executor's cache pass.
+PendingJob = Tuple[int, "JobSpec", str]
+
+
+class ExecutorBackend:
+    """Interface every execution backend implements.
+
+    A backend receives the batch's cache *misses* and must fill
+    ``outcomes[index]`` with a :class:`~repro.runtime.executor.JobOutcome`
+    for every pending job -- successful, failed-after-retries, or
+    degraded, but never missing -- committing each one through
+    ``executor._commit`` the moment it is known so write-through
+    caching and journalling hold under any backend.
+    """
+
+    #: Telemetry name ("local-pool", "tcp", ...).
+    name = "backend"
+
+    def execute(self, executor: "Executor", pending: List[PendingJob],
+                outcomes: List[Optional["JobOutcome"]]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (connections, pools); idempotent."""
+
+    def describe(self) -> str:
+        """Human-readable identity for logs and ``RunReport``s."""
+        return self.name
+
+
+class LocalPoolBackend(ExecutorBackend):
+    """The single-host reference backend: process pool + serial fallback.
+
+    Portable jobs fan out over a ``ProcessPoolExecutor`` sized by
+    ``executor.workers``; non-portable jobs (lambdas, closures) and any
+    jobs the pool cannot take (spawn failure, broken pool, unpicklable
+    results) run serially in-process.  Retries, timeouts and backoff
+    are handled inside the executor's pool/serial paths.
+    """
+
+    name = "local-pool"
+
+    def execute(self, executor: "Executor", pending: List[PendingJob],
+                outcomes: List[Optional["JobOutcome"]]) -> None:
+        serial_jobs = pending
+        if executor.workers > 1:
+            pool_jobs = [job for job in pending if job[1].portable]
+            serial_jobs = [job for job in pending if not job[1].portable]
+            if serial_jobs:
+                _LOG.debug("%d non-portable job(s) stay in-process",
+                           len(serial_jobs))
+            degraded = executor._run_pool(pool_jobs, outcomes)
+            if degraded:
+                _LOG.warning("pool degraded: %d job(s) fall back to "
+                             "serial execution", len(degraded))
+                if obs.enabled():
+                    obs.counter("executor.fallback_serial").inc(
+                        len(degraded))
+            serial_jobs += degraded
+
+        for index, spec, key in serial_jobs:
+            outcomes[index] = executor._run_serial(spec, key)
+            executor._commit(outcomes[index])
+
+
+def create_backend(description: Optional[str] = None,
+                   secret: Optional[str] = None) -> ExecutorBackend:
+    """Resolve a backend description into a backend instance.
+
+    ``None`` or ``"local"`` build the :class:`LocalPoolBackend`; a
+    ``tcp://host:port`` URL builds a
+    :class:`repro.cluster.TcpClusterBackend` against that coordinator
+    (``secret`` overrides the shared-secret resolution; see
+    ``docs/CLUSTER.md``).  Anything else raises
+    :class:`~repro.errors.ClusterConfigError` -- a typed error, not a
+    socket traceback.
+    """
+    if description is None or description == "local":
+        return LocalPoolBackend()
+    if description.startswith("tcp://"):
+        from ..cluster import TcpClusterBackend
+
+        return TcpClusterBackend(description, secret=secret)
+    raise ClusterConfigError(
+        f"unknown executor backend {description!r}; expected 'local' "
+        "or a 'tcp://host:port' coordinator URL")

@@ -31,12 +31,18 @@ cache stats|prune`` exposes both from the command line.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
 import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: store() falls back to rename-only safety
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -309,6 +315,35 @@ class DiskCache(ResultCache):
             if obs.enabled():
                 obs.counter("cache.quarantined").inc()
 
+    @contextlib.contextmanager
+    def _store_lock(self, json_path: str) -> Iterator[None]:
+        """Serialize writers of one key across *processes*.
+
+        Two cluster workers (or prefork serve children) materialising
+        the same key used to race: each wrote its own temp files and
+        the renames interleaved, briefly pairing one writer's ``.json``
+        with the other's ``.npz`` sidecar -- a decode failure the
+        quarantine counted as a loss.  An ``fcntl.flock`` on a 0-byte
+        ``<key>.lock`` beside the entry makes the whole
+        npz-then-json sequence exclusive.  The lock file is invisible
+        to :func:`scan_cache` (it only looks at ``.json``) and inert
+        where ``fcntl`` does not exist (Windows), which degrades to
+        the old rename-only behaviour.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = json_path[:-len(".json")] + ".lock"
+        handle = open(lock_path, "a+b")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
     def _store(self, key: str, value: Any) -> None:
         json_path, npz_path = self._paths(key)
         corrupt_fault = None
@@ -319,12 +354,13 @@ class DiskCache(ResultCache):
         document = {"key": key, "salt": self.salt,
                     "arrays": sorted(arrays), "value": payload}
         os.makedirs(os.path.dirname(json_path), exist_ok=True)
-        if arrays:
-            atomic_write(npz_path, lambda fh: np.savez(fh, **arrays))
         text = json.dumps(document).encode("utf-8")
         if corrupt_fault is not None and corrupt_fault.kind == "corrupt":
             text = text[:max(1, len(text) // 2)]  # torn write
-        atomic_write(json_path, lambda fh: fh.write(text))
+        with self._store_lock(json_path):
+            if arrays:
+                atomic_write(npz_path, lambda fh: np.savez(fh, **arrays))
+            atomic_write(json_path, lambda fh: fh.write(text))
         if obs.enabled():
             written = os.path.getsize(json_path)
             if arrays:
@@ -502,6 +538,10 @@ def prune_cache(root: str = DEFAULT_CACHE_ROOT,
                 freed += size
             except OSError:
                 pass  # concurrent prune got it first
+        try:  # the 0-byte store-lock file, when one was ever taken
+            os.unlink(entry.json_path[:-len(".json")] + ".lock")
+        except OSError:
+            pass
         total -= entry.size_bytes
         result.removed += 1
         result.freed_bytes += freed

@@ -5,9 +5,13 @@ objects and returns a :class:`RunResult` whose values align with the
 submitted specs.  Per job it:
 
 1. looks the content key up in the :class:`ResultCache` (if any);
-2. on a miss, runs the job -- on a ``ProcessPoolExecutor`` when
-   ``workers > 1`` and the spec is portable (addressable by
-   ``module:qualname``), otherwise in-process;
+2. on a miss, hands the job to its
+   :class:`~repro.runtime.backend.ExecutorBackend` -- by default the
+   :class:`~repro.runtime.backend.LocalPoolBackend`, which uses a
+   ``ProcessPoolExecutor`` when ``workers > 1`` and the spec is
+   portable (addressable by ``module:qualname``), otherwise runs
+   in-process; a ``tcp://`` backend ships it to a
+   :mod:`repro.cluster` coordinator instead;
 3. enforces an optional per-job ``timeout`` and retries failures up to
    ``retries`` times with exponential backoff;
 4. records everything in a :class:`RunReport`.
@@ -43,6 +47,7 @@ from .. import obs
 from ..errors import JobFailed, JobTimeout
 from ..resilience import faults
 from ..resilience.journal import JobJournal
+from .backend import ExecutorBackend, LocalPoolBackend
 from .cache import ResultCache
 from .report import (
     MODE_CACHED,
@@ -236,6 +241,15 @@ class Executor:
         a ``done`` record at its outcome, and jobs the replayed
         journal marks interrupted are flagged in their telemetry
         (``python -m repro sweep --resume`` builds on this).
+    backend:
+        An :class:`~repro.runtime.backend.ExecutorBackend` that runs
+        the cache misses, or None for the default
+        :class:`~repro.runtime.backend.LocalPoolBackend` (the
+        pool/serial behaviour described above).  Pass a
+        :class:`repro.cluster.TcpClusterBackend` (or use
+        :func:`~repro.runtime.backend.create_backend` with a
+        ``tcp://host:port`` URL) to shard the batch across worker
+        processes on any number of hosts.
     """
 
     def __init__(self, workers: Optional[int] = None,
@@ -244,7 +258,8 @@ class Executor:
                  retries: int = 2,
                  backoff: float = 0.1,
                  salt: Optional[str] = None,
-                 journal: Optional[JobJournal] = None):
+                 journal: Optional[JobJournal] = None,
+                 backend: Optional[ExecutorBackend] = None):
         if workers == 0:
             workers = os.cpu_count() or 1
         self.workers = max(1, int(workers or 1))
@@ -254,6 +269,7 @@ class Executor:
         self.backoff = backoff
         self.salt = salt
         self.journal = journal
+        self.backend = backend if backend is not None else LocalPoolBackend()
         self._interrupted_now: set = set()
 
     # -- public API ---------------------------------------------------------
@@ -301,25 +317,8 @@ class Executor:
                     obs.counter("resilience.resumed_interrupted").inc()
             pending.append((index, spec, key))
 
-        serial_jobs = pending
-        if self.workers > 1:
-            pool_jobs = [job for job in pending if job[1].portable]
-            serial_jobs = [job for job in pending if not job[1].portable]
-            if serial_jobs:
-                _LOG.debug("%d non-portable job(s) stay in-process",
-                           len(serial_jobs))
-            degraded = self._run_pool(pool_jobs, outcomes)
-            if degraded:
-                _LOG.warning("pool degraded: %d job(s) fall back to "
-                             "serial execution", len(degraded))
-                if obs.enabled():
-                    obs.counter("executor.fallback_serial").inc(
-                        len(degraded))
-            serial_jobs += degraded
-
-        for index, spec, key in serial_jobs:
-            outcomes[index] = self._run_serial(spec, key)
-            self._commit(outcomes[index])
+        if pending:
+            self.backend.execute(self, pending, outcomes)
 
         for outcome in outcomes:
             assert outcome is not None

@@ -32,6 +32,7 @@ STATUS_FAILED = "failed"  # all attempts exhausted
 MODE_CACHED = "cached"
 MODE_POOL = "pool"
 MODE_SERIAL = "serial"
+MODE_CLUSTER = "cluster"  # executed remotely via repro.cluster
 
 
 @dataclass
@@ -174,9 +175,9 @@ class RunReport:
         for r in self.records:
             rows.append([r.label, r.status, r.mode, str(r.attempts),
                          f"{r.wall_time * 1e3:.1f}",
-                         (r.error or "")[:40]])
+                         (r.error or r.notes or "")[:40]])
         return format_table(
-            ["job", "status", "mode", "attempts", "wall (ms)", "error"],
+            ["job", "status", "mode", "attempts", "wall (ms)", "notes"],
             rows, title="run telemetry")
 
     def summary(self) -> str:

@@ -36,6 +36,7 @@ from .app import (
     ServerThread,
 )
 from .client import ServeClient, ServeError
+from .prefork import run_prefork
 from .pipeline import (
     GatePipeline,
     Overloaded,
@@ -56,4 +57,5 @@ __all__ = [
     "ServedResult",
     "ServerThread",
     "TokenBucket",
+    "run_prefork",
 ]

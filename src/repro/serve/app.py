@@ -100,6 +100,12 @@ class ServeConfig:
     breaker_reset_s: float = 30.0    # open time before a probe is let in
     surrogate_dir: Optional[str] = None  # characterization store root
     # (None = $REPRO_SURROGATE_DIR or .repro_characterization/)
+    backend: Optional[str] = None    # solver-tier execution backend:
+    # None/"local" = in-process pool, "tcp://host:port" = repro.cluster
+    prefork: int = 0                 # worker processes sharing the port
+    # via SO_REUSEPORT (0 = single process); see repro.serve.prefork
+    reuse_port: bool = False         # bind with SO_REUSEPORT (set
+    # automatically for prefork children)
 
 
 class AccessLog:
@@ -156,11 +162,16 @@ class GateService:
             DiskCache(root=self.config.cache_dir)
             if self.config.cache_dir else None)
         # Network-tier jobs are microsecond-scale: keep them serial and
-        # in-process.  Solver tiers get the pool and the job timeout.
+        # in-process.  Solver tiers get the pool -- or, with
+        # ``--backend tcp://...``, the cluster -- and the job timeout.
+        from ..runtime.backend import create_backend
+
         self.fast_executor = Executor(workers=1, cache=self.cache)
         self.heavy_executor = Executor(workers=self.config.workers,
                                        cache=self.cache,
-                                       timeout=self.config.timeout)
+                                       timeout=self.config.timeout,
+                                       backend=create_backend(
+                                           self.config.backend))
         self.pipeline = GatePipeline(
             self.fast_executor, cache=self.cache,
             max_queue=self.config.max_queue, rate=self.config.rate,
@@ -219,12 +230,14 @@ class GateService:
         self._install_signal_handlers()
 
         server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port)
+            self._handle_connection, self.config.host, self.config.port,
+            reuse_port=self.config.reuse_port or None)
         self.port = server.sockets[0].getsockname()[1]
-        _LOG.info("serving on http://%s:%d (workers=%s, max_queue=%d, "
-                  "rate=%s)", self.config.host, self.port,
+        _LOG.info("serving on http://%s:%d (pid=%d, workers=%s, "
+                  "max_queue=%d, rate=%s, backend=%s)",
+                  self.config.host, self.port, os.getpid(),
                   self.config.workers, self.config.max_queue,
-                  self.config.rate)
+                  self.config.rate, self.config.backend or "local")
         flusher = self._loop.create_task(self._span_flusher())
         if ready is not None:
             ready.set()

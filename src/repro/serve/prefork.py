@@ -1,0 +1,157 @@
+"""Prefork multi-worker serving: N processes, one port, ``SO_REUSEPORT``.
+
+One asyncio process saturates one core; heavy traffic wants one per
+core.  ``python -m repro serve --prefork N`` forks N children that
+each run a full :class:`~repro.serve.app.GateService` bound to the
+*same* host:port with ``SO_REUSEPORT``, so the kernel load-balances
+accepted connections across the processes -- no proxy, no master
+socket handoff, no shared accept lock.
+
+What makes N independent services coherent:
+
+* the :class:`~repro.runtime.DiskCache` is shared through the
+  filesystem, and the fcntl store lock (PR 9) makes concurrent
+  materialisations of one key safe, so the children behave as one
+  cache tier;
+* with ``--backend tcp://...`` the children also share one cluster
+  coordinator, whose single-flight brokering dedupes identical solver
+  jobs *across* the children -- in-process coalescing only ever saw
+  one child's requests;
+* each child owns its own metrics registry; scrape ``/metrics``
+  per-process or aggregate upstream (standard prefork practice).
+
+The parent is a tiny supervisor: it forwards SIGTERM/SIGINT to the
+children (each drains gracefully exactly like a single-process serve)
+and reaps them; a child that dies *unrequested* is logged and
+restarted, up to ``max_restarts`` per child, so one crashed worker
+does not shrink capacity forever.
+
+``SO_REUSEPORT`` and ``os.fork`` are POSIX; on platforms without them
+this module raises :class:`~repro.errors.ClusterConfigError` with a
+clear message instead of an attribute error.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import socket
+import time
+from dataclasses import replace
+from typing import Dict, Optional
+
+from .. import obs
+from ..errors import ClusterConfigError
+from .app import GateService, ServeConfig
+
+_LOG = obs.get_logger("serve.prefork")
+
+
+def _check_platform(config: ServeConfig) -> None:
+    if not hasattr(os, "fork"):
+        raise ClusterConfigError(
+            "--prefork needs os.fork (POSIX); run a single process or "
+            "start N serve processes behind a proxy instead")
+    if not hasattr(socket, "SO_REUSEPORT"):
+        raise ClusterConfigError(
+            "--prefork needs SO_REUSEPORT, which this platform lacks")
+    if config.port == 0:
+        raise ClusterConfigError(
+            "--prefork needs a fixed --port: with port 0 every child "
+            "would bind a different ephemeral port")
+
+
+def _child(config: ServeConfig) -> "int":
+    """Run one serve child; never returns (``os._exit``)."""
+    # A fresh default signal disposition: the child's own asyncio
+    # loop installs its graceful-drain handlers in serve().
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    code = 1
+    try:
+        code = GateService(config).run()
+    except BaseException as exc:
+        _LOG.error("serve child %d crashed: %s", os.getpid(), exc)
+    finally:
+        os._exit(code)
+    return code  # unreachable; keeps type checkers honest
+
+
+def run_prefork(config: ServeConfig, processes: Optional[int] = None,
+                max_restarts: int = 3) -> int:
+    """Fork ``processes`` serve children on one SO_REUSEPORT port.
+
+    Blocks until every child has exited (after SIGTERM/SIGINT, which
+    is forwarded to the whole brood).  Returns 0 when all children
+    exited cleanly.
+    """
+    n = processes if processes is not None else config.prefork
+    n = max(1, int(n or 1))
+    _check_platform(config)
+    child_config = replace(config, prefork=0, reuse_port=True)
+
+    children: Dict[int, int] = {}          # pid -> restarts consumed
+    shutting_down = {"flag": False}
+
+    def _spawn(restarts: int) -> None:
+        pid = os.fork()
+        if pid == 0:
+            _child(child_config)
+        children[pid] = restarts
+        _LOG.info("prefork child %d started (%d/%d)", pid,
+                  len(children), n)
+
+    def _forward(signum, _frame) -> None:
+        shutting_down["flag"] = True
+        for pid in list(children):
+            try:
+                os.kill(pid, signum)
+            except OSError:
+                pass
+
+    for _ in range(n):
+        _spawn(0)
+    previous = {signum: signal.signal(signum, _forward)
+                for signum in (signal.SIGTERM, signal.SIGINT)}
+    _LOG.info("prefork supervisor %d: %d children on %s:%d",
+              os.getpid(), n, config.host, config.port)
+
+    worst = 0
+    try:
+        while children:
+            try:
+                pid, status = os.wait()
+            except OSError as exc:
+                if exc.errno == errno.EINTR:
+                    continue  # a forwarded signal interrupted wait()
+                if exc.errno == errno.ECHILD:
+                    break
+                raise
+            except KeyboardInterrupt:
+                _forward(signal.SIGINT, None)
+                continue
+            restarts = children.pop(pid, 0)
+            code = (os.waitstatus_to_exitcode(status)
+                    if hasattr(os, "waitstatus_to_exitcode")
+                    else os.WEXITSTATUS(status))
+            if shutting_down["flag"]:
+                worst = max(worst, abs(int(code)))
+                continue
+            # Unrequested death: keep capacity up (bounded).
+            _LOG.warning("prefork child %d died with %s; restarting",
+                         pid, code)
+            if obs.enabled():
+                obs.counter("serve.prefork_restarts").inc()
+            if restarts < max_restarts:
+                time.sleep(min(1.0, 0.1 * 2 ** restarts))
+                _spawn(restarts + 1)
+            else:
+                worst = max(worst, 1)
+                _LOG.error("prefork child exceeded %d restarts; not "
+                           "restarting", max_restarts)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    _LOG.info("prefork supervisor exiting (%d)", worst)
+    return worst
