@@ -14,6 +14,13 @@ through the TCP backend, reporting two things:
   times) / jobs.  This isolates what the cluster machinery itself
   costs: framing, scheduling, the cache check, outcome fan-out.
 
+The overhead figure is the regression gate for the high-availability
+machinery as well: every frame on the measured path now flows through
+``send_message``/``recv_message`` (the chunk-threshold check), every
+submitted job through the backend's resubmission bookkeeping
+(``by_id``/``frames`` built per batch) and the journalling hook --
+so a regression in any of them shows up here as ms/job.
+
 The ISSUE budget is < 5 ms coordination overhead per job;
 ``REPRO_CLUSTER_MAX_OVERHEAD_MS`` overrides it (0 disables the gate,
 e.g. on a throttled CI runner).  Runnable standalone

@@ -214,6 +214,20 @@ def _cmd_adder(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_tls(args: argparse.Namespace):
+    """Resolve ``--tls-cert/--tls-key/--tls-ca`` into a TlsConfig.
+
+    Returns ``None`` when no TLS flag was given; raises
+    :class:`~repro.errors.ClusterConfigError` on a partial pair or
+    missing PEM files (callers map it to exit code 2).
+    """
+    from .cluster import tls_config
+
+    return tls_config(cert=getattr(args, "tls_cert", None),
+                      key=getattr(args, "tls_key", None),
+                      ca=getattr(args, "tls_ca", None))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import os
 
@@ -223,14 +237,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .runtime import DiskCache, Executor, JobFailed, create_backend
 
     try:
-        backend = create_backend(args.backend, secret=args.secret)
+        tls = _build_tls(args)
+        backend = create_backend(args.backend, secret=args.secret,
+                                 tls=tls)
         if args.backend and args.backend.startswith("tcp://"):
             # Fail fast with a typed, actionable error -- not a socket
             # traceback mid-sweep -- when the coordinator is down or
             # has no workers attached.
             from .cluster import ClusterClient
 
-            with ClusterClient(args.backend, secret=args.secret) as client:
+            with ClusterClient(args.backend, secret=args.secret,
+                               tls=tls) as client:
                 n = client.require_ready()
             print(f"cluster backend {args.backend}: {n} worker(s) ready")
     except ClusterConfigError as exc:
@@ -429,7 +446,11 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     try:
         run_worker(args.url, secret=args.secret, capacity=args.capacity,
-                   name=args.name or "")
+                   name=args.name or "",
+                   dial_timeout=args.dial_timeout,
+                   dial_backoff=args.dial_backoff,
+                   reconnect_window=args.reconnect_window,
+                   tls=_build_tls(args))
     except ClusterConfigError as exc:
         print(f"worker: {exc}", file=sys.stderr)
         return 2
@@ -447,6 +468,29 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .errors import ClusterAuthError, ClusterConfigError, ClusterError
     from .io.tables import format_table
 
+    try:
+        tls = _build_tls(args)
+    except ClusterConfigError as exc:
+        print(f"cluster {args.action}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "supervise":
+        from .cluster import run_supervised
+
+        try:
+            return run_supervised(
+                host=args.host, port=args.port,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                journal_path=args.journal, secret=args.secret,
+                retries=args.retries,
+                heartbeat_timeout=args.heartbeat_timeout, tls=tls,
+                max_restarts=args.max_restarts, pid_file=args.pid_file)
+        except ClusterConfigError as exc:
+            print(f"cluster supervise: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            return 0
+
     if args.action == "start":
         from .cluster import Coordinator
         from .resilience import JobJournal
@@ -455,15 +499,22 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         cache = None if args.no_cache else DiskCache(root=args.cache_dir)
         journal = None
         if args.journal:
-            journal = JobJournal(args.journal)
+            # resume=True: a restarted coordinator replays the journal
+            # instead of truncating it, requeueing interrupted jobs.
+            journal = JobJournal(args.journal, resume=True)
         coordinator = Coordinator(
             host=args.host, port=args.port, cache=cache, journal=journal,
             secret=args.secret, retries=args.retries,
-            heartbeat_timeout=args.heartbeat_timeout)
+            heartbeat_timeout=args.heartbeat_timeout, tls=tls)
         print(f"cluster coordinator on {coordinator.url} "
               f"(cache={'off' if cache is None else args.cache_dir}, "
               f"journal={args.journal or 'off'}); workers join with:\n"
               f"  python -m repro worker {coordinator.url}")
+        replayed = coordinator.journal_replayed
+        if replayed["completed"] or replayed["interrupted"]:
+            print(f"journal replay: {replayed['completed']} completed, "
+                  f"{replayed['interrupted']} interrupted job(s) "
+                  f"requeued")
         try:
             coordinator.serve_forever()
         finally:
@@ -479,7 +530,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
-        with ClusterClient(args.url, secret=args.secret) as client:
+        with ClusterClient(args.url, secret=args.secret,
+                           tls=tls) as client:
             if args.action == "stop":
                 client.shutdown()
                 print(f"coordinator at {args.url} asked to stop")
@@ -494,10 +546,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"coordinator {status['url']}: up {status['uptime_s']:.0f} s, "
           f"{len(status['workers'])} worker(s)")
     print(f"jobs: {status['inflight']} inflight, {status['queued']} "
-          f"queued, {status['completed']} completed, "
+          f"queued (depth {status.get('queue_depth', 0)}), "
+          f"{status['completed']} completed, "
           f"{status['failed']} failed, {status['rescheduled']} "
           f"rescheduled, {status['coalesced']} coalesced, "
           f"{status['cache_hits']} cache hits")
+    replayed = status.get("journal_replayed") or {}
+    if replayed.get("completed") or replayed.get("interrupted"):
+        print(f"journal replay: {replayed['completed']} completed, "
+              f"{replayed['interrupted']} interrupted")
     if status["workers"]:
         rows = [[str(w["id"]), w["name"], w["addr"], str(w["capacity"]),
                  str(w["inflight"]), str(w["jobs_done"]),
@@ -727,6 +784,22 @@ def _cmd_debug(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_tls_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--tls-*`` flags for cluster-facing subcommands.
+
+    cert+key are a pair (partial config is a typed error); --tls-ca
+    additionally pins the peer certificate on both sides.
+    """
+    parser.add_argument("--tls-cert", metavar="PEM", default=None,
+                        help="TLS certificate chain for this endpoint "
+                             "(requires --tls-key)")
+    parser.add_argument("--tls-key", metavar="PEM", default=None,
+                        help="private key for --tls-cert")
+    parser.add_argument("--tls-ca", metavar="PEM", default=None,
+                        help="CA bundle; peers must present a "
+                             "certificate it signed")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -810,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--secret", default=None,
                          help="cluster shared secret (default "
                               "$REPRO_CLUSTER_SECRET)")
+    _add_tls_flags(p_sweep)
     # Accept the global engine flags after the subcommand too
     # (``sweep maj3 --no-cache``); SUPPRESS keeps the subparser from
     # clobbering values parsed at the top level.
@@ -973,15 +1047,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument("--secret", default=None,
                           help="cluster shared secret (default "
                                "$REPRO_CLUSTER_SECRET)")
+    p_worker.add_argument("--dial-timeout", type=float, default=10.0,
+                          metavar="S",
+                          help="seconds to keep redialling an absent "
+                               "coordinator at startup (default 10)")
+    p_worker.add_argument("--dial-backoff", type=float, default=0.2,
+                          metavar="S",
+                          help="base delay between dial attempts; "
+                               "doubles per retry with jitter, capped "
+                               "at 2 s (default 0.2)")
+    p_worker.add_argument("--reconnect-window", type=float, default=60.0,
+                          metavar="S",
+                          help="seconds to redial a lost coordinator "
+                               "before the worker gives up "
+                               "(default 60)")
+    _add_tls_flags(p_worker)
     p_worker.set_defaults(func=_cmd_worker)
 
     p_cluster = sub.add_parser(
         "cluster",
         help="run or inspect a cluster coordinator "
              "(see docs/CLUSTER.md)")
-    p_cluster.add_argument("action", choices=["start", "status", "stop"],
-                           help="start a coordinator, or query/stop a "
-                                "running one")
+    p_cluster.add_argument("action",
+                           choices=["start", "supervise", "status",
+                                    "stop"],
+                           help="start a coordinator (supervise: under "
+                                "a restart-on-crash supervisor), or "
+                                "query/stop a running one")
     p_cluster.add_argument("url", nargs="?", default=None,
                            metavar="tcp://HOST:PORT",
                            help="coordinator address (status/stop)")
@@ -1011,6 +1103,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="seconds without a heartbeat before a "
                                 "worker is declared lost and its jobs "
                                 "rescheduled (default 3.0)")
+    p_cluster.add_argument("--max-restarts", type=int, default=20,
+                           metavar="N",
+                           help="supervise: restart budget before "
+                                "giving up; 5 s of healthy uptime "
+                                "refills it (default 20)")
+    p_cluster.add_argument("--pid-file", metavar="PATH", default=None,
+                           help="supervise: write the live "
+                                "coordinator pid here after every "
+                                "(re)spawn")
+    _add_tls_flags(p_cluster)
     p_cluster.add_argument("--json", action="store_true",
                            help="machine-readable status output")
     p_cluster.set_defaults(func=_cmd_cluster)

@@ -38,13 +38,18 @@ from .coordinator import Coordinator
 from .protocol import (
     DEV_SECRET,
     SECRET_ENV,
+    TlsConfig,
     decode_value,
     encode_value,
     parse_url,
     recv_frame,
+    recv_message,
     resolve_secret,
     send_frame,
+    send_message,
+    tls_config,
 )
+from .supervise import run_supervised
 from .worker import Worker, run_worker
 
 __all__ = [
@@ -53,12 +58,17 @@ __all__ = [
     "DEV_SECRET",
     "SECRET_ENV",
     "TcpClusterBackend",
+    "TlsConfig",
     "Worker",
     "decode_value",
     "encode_value",
     "parse_url",
     "recv_frame",
+    "recv_message",
     "resolve_secret",
+    "run_supervised",
     "run_worker",
     "send_frame",
+    "send_message",
+    "tls_config",
 ]

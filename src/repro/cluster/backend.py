@@ -18,7 +18,14 @@ the local pool treats them.
 
 A coordinator that is unreachable, or reachable but workerless,
 raises :class:`~repro.errors.ClusterConfigError` before any job is
-sent.  A connection lost *mid-batch* fails the affected jobs (status
+sent.  A connection lost *mid-batch* triggers the reconnect loop: the
+backend redials with capped, jittered exponential backoff for up to
+``reconnect_window`` seconds and resubmits the outstanding jobs --
+resubmission is idempotent because jobs are keyed by content key, so
+the coordinator's cache and single-flight machinery dedupe anything
+that already ran (a supervised coordinator restart is invisible to
+the sweep: same truth table, ``failed == 0``).  Only when the window
+expires do the still-outstanding jobs fail in place (status
 ``failed``, error ``cluster connection lost``) rather than raising,
 so a sweep keeps every result that did come back.
 """
@@ -26,12 +33,14 @@ so a sweep keeps every result that did come back.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, List, Optional
 
 from .. import obs
-from ..errors import ClusterConfigError, ClusterError
+from ..errors import ClusterAuthError, ClusterConfigError, ClusterError
 from ..resilience import faults
 from ..runtime.backend import ExecutorBackend, PendingJob
+from ..runtime.executor import backoff_delay
 from ..runtime.report import (
     MODE_CACHED,
     MODE_CLUSTER,
@@ -50,11 +59,13 @@ class ClusterClient:
     """One authenticated client connection to a coordinator."""
 
     def __init__(self, url: str, secret: Optional[str] = None,
-                 connect_timeout: float = 5.0):
+                 connect_timeout: float = 5.0,
+                 tls: Optional[protocol.TlsConfig] = None):
         self.url = url
         self.host, self.port = protocol.parse_url(url)
         self.secret = protocol.resolve_secret(secret)
         self.connect_timeout = connect_timeout
+        self.tls = tls
         self._sock: Optional[socket.socket] = None
 
     def connect(self) -> "ClusterClient":
@@ -66,6 +77,7 @@ class ClusterClient:
                 f"cannot reach cluster coordinator at {self.url}: {exc} "
                 "-- is `python -m repro cluster start` running there?")
         sock.settimeout(None)
+        sock = protocol.wrap_client_socket(sock, self.tls, self.host)
         try:
             protocol.client_handshake(sock, self.secret, role="client")
         except BaseException:
@@ -97,8 +109,8 @@ class ClusterClient:
         if self._sock is None:
             self.connect()
         assert self._sock is not None
-        protocol.send_frame(self._sock, message)
-        reply = protocol.recv_frame(self._sock)
+        protocol.send_message(self._sock, message)
+        reply = protocol.recv_message(self._sock)
         if reply is None:
             raise ClusterError(
                 f"coordinator at {self.url} closed the connection")
@@ -150,16 +162,32 @@ class TcpClusterBackend(ExecutorBackend):
     min_workers:
         Fail fast (:class:`~repro.errors.ClusterConfigError`) unless
         this many workers are attached when a batch starts.
+    reconnect_window:
+        After a *mid-batch* connection loss, keep redialling (and
+        resubmitting the outstanding jobs) for this many seconds
+        before failing them in place; 0 restores the old
+        fail-immediately behaviour.
+    reconnect_backoff:
+        Base of the capped, jittered exponential pause between
+        redials.
+    tls:
+        Optional :class:`~repro.cluster.protocol.TlsConfig` matching
+        the coordinator's.
     """
 
     name = "tcp"
 
     def __init__(self, url: str, secret: Optional[str] = None,
-                 min_workers: int = 1):
+                 min_workers: int = 1, reconnect_window: float = 30.0,
+                 reconnect_backoff: float = 0.2,
+                 tls: Optional[protocol.TlsConfig] = None):
         protocol.parse_url(url)  # validate eagerly: bad URLs fail at build
         self.url = url
         self.secret = secret
         self.min_workers = max(0, int(min_workers))
+        self.reconnect_window = max(0.0, float(reconnect_window))
+        self.reconnect_backoff = max(0.01, float(reconnect_backoff))
+        self.tls = tls
 
     def describe(self) -> str:
         return f"tcp({self.url})"
@@ -185,14 +213,52 @@ class TcpClusterBackend(ExecutorBackend):
 
     def _execute_remote(self, executor, remote: List[PendingJob],
                         outcomes: List[Optional[Any]], JobOutcome) -> None:
-        client = ClusterClient(self.url, secret=self.secret).connect()
+        client = ClusterClient(self.url, secret=self.secret,
+                               tls=self.tls).connect()
         try:
             if self.min_workers:
                 client.require_ready(self.min_workers)
-            self._submit_and_collect(executor, remote, outcomes, JobOutcome,
-                                     client)
-        finally:
+        except BaseException:
             client.close()
+            raise
+        self._submit_and_collect(executor, remote, outcomes, JobOutcome,
+                                 client)
+
+    def _reconnect(self, deadline: float) -> ClusterClient:
+        """Redial (and re-verify worker availability) until ``deadline``.
+
+        Everything is retried with capped, jittered backoff: refused
+        dials while the supervisor relaunches the coordinator, a
+        coordinator whose workers have not re-joined yet -- and even
+        handshake failures, because a coordinator mid-restart yields
+        connections that accept and then die before the challenge,
+        which is indistinguishable from an auth failure on the wire.
+        The *initial* connection already proved the secret right; if
+        it somehow did change, the window expiring surfaces the last
+        error.
+        """
+        attempt = 0
+        while True:
+            try:
+                fresh = ClusterClient(self.url, secret=self.secret,
+                                      tls=self.tls).connect()
+                try:
+                    if self.min_workers:
+                        fresh.require_ready(self.min_workers)
+                except BaseException:
+                    fresh.close()
+                    raise
+                return fresh
+            except (ClusterError, OSError) as exc:
+                attempt += 1
+                delay = backoff_delay(self.reconnect_backoff, attempt,
+                                      cap=2.0, jitter=0.25)
+                if time.monotonic() + delay >= deadline:
+                    raise ClusterError(
+                        f"coordinator at {self.url} did not come back "
+                        f"within {self.reconnect_window:.0f} s: "
+                        f"{exc}") from exc
+                time.sleep(delay)
 
     def _submit_and_collect(self, executor, remote: List[PendingJob],
                             outcomes, JobOutcome,
@@ -202,7 +268,7 @@ class TcpClusterBackend(ExecutorBackend):
         plan = faults.installed_plan()
         started = utc_now_iso()
         by_id: Dict[str, PendingJob] = {}
-        jobs = []
+        frames: Dict[str, Dict[str, Any]] = {}
         for index, spec, key in remote:
             job_id = str(index)
             by_id[job_id] = (index, spec, key)
@@ -219,33 +285,78 @@ class TcpClusterBackend(ExecutorBackend):
                 job["fault_plan"] = plan.to_json()
             if ctx is not None:
                 job["trace"] = ctx.as_dict()
-            jobs.append(job)
+            frames[job_id] = job
 
-        assert client._sock is not None
-        sock = client._sock
+        deadline: Optional[float] = None
         lost: Optional[str] = None
+        resubmits = 0
         try:
-            protocol.send_frame(sock, {"type": "submit", "jobs": jobs})
             while by_id:
-                frame = protocol.recv_frame(sock)
-                if frame is None:
-                    raise ClusterError("cluster connection lost")
-                if frame.get("type") != "outcome":
-                    continue  # tolerate future informational frames
-                job = by_id.pop(str(frame.get("id")), None)
-                if job is None:
-                    continue
-                index, spec, key = job
-                outcomes[index] = self._outcome(
-                    spec, key, frame, trace_id, started, JobOutcome)
-                executor._commit(outcomes[index])
-        except (OSError, ClusterError) as exc:
-            lost = str(exc) or type(exc).__name__
+                assert client._sock is not None
+                sock = client._sock
+                try:
+                    protocol.send_message(sock, {
+                        "type": "submit",
+                        "jobs": [frames[job_id] for job_id in by_id]})
+                    while by_id:
+                        frame = protocol.recv_message(sock)
+                        if frame is None:
+                            raise ClusterError("cluster connection lost")
+                        if frame.get("type") != "outcome":
+                            continue  # tolerate informational frames
+                        job = by_id.pop(str(frame.get("id")), None)
+                        if job is None:
+                            continue
+                        index, spec, key = job
+                        outcomes[index] = self._outcome(
+                            spec, key, frame, trace_id, started, JobOutcome)
+                        executor._commit(outcomes[index])
+                except ClusterAuthError as exc:
+                    lost = str(exc) or type(exc).__name__
+                    break
+                except (OSError, ClusterError) as exc:
+                    reason = str(exc) or type(exc).__name__
+                    client.close()
+                    if deadline is None:
+                        # The window starts at the *first* loss, not
+                        # per-retry, so a flapping coordinator cannot
+                        # stall a batch forever.
+                        deadline = time.monotonic() + self.reconnect_window
+                    if (self.reconnect_window <= 0
+                            or time.monotonic() >= deadline):
+                        lost = reason
+                        break
+                    _LOG.warning(
+                        "cluster connection lost (%s) with %d job(s) "
+                        "outstanding; reconnecting for up to %.0f s",
+                        reason, len(by_id), self.reconnect_window)
+                    if obs.enabled():
+                        obs.counter("cluster.client_reconnects").inc()
+                    try:
+                        client = self._reconnect(deadline)
+                    except (ClusterError, OSError) as exc2:
+                        lost = str(exc2) or type(exc2).__name__
+                        break
+                    resubmits += 1
+                    if obs.enabled():
+                        obs.counter("cluster.client_resubmitted_jobs") \
+                           .inc(len(by_id))
+                    # Loop around: resubmit the outstanding jobs on
+                    # the fresh connection.  Content keys make this
+                    # idempotent -- anything that completed before the
+                    # crash comes back instantly as a cache hit, and
+                    # anything still running coalesces via
+                    # single-flight.
+        finally:
+            client.close()
         if lost is None:
+            if resubmits:
+                _LOG.info("cluster batch recovered after %d "
+                          "reconnect(s)", resubmits)
             return
-        # The coordinator (or the network to it) went away mid-batch:
-        # jobs whose outcomes never arrived fail in place, everything
-        # already received stays.
+        # The coordinator (or the network to it) stayed away past the
+        # reconnect window: jobs whose outcomes never arrived fail in
+        # place, everything already received stays.
         _LOG.warning("cluster batch aborted after %d of %d outcome(s): %s",
                      len(remote) - len(by_id), len(remote), lost)
         if obs.enabled():

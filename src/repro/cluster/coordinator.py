@@ -17,8 +17,11 @@ batches.  The coordinator:
   every computed result is written through, so workers on different
   hosts see one content-addressed store;
 * **journals** -- the PR-4 write-ahead journal records ``start`` at
-  first dispatch and ``done`` at the outcome, giving the same
-  kill -9 post-mortem and resume story as local sweeps;
+  first dispatch (with the full job descriptor) and ``done`` at the
+  outcome; a coordinator restarted on the same journal *replays* it,
+  requeueing interrupted jobs and serving completed keys from the
+  shared cache, which is what makes ``repro cluster supervise``'s
+  kill -9 recovery transparent to clients;
 * **survives workers** -- a worker that disappears (socket EOF) or
   goes silent past the heartbeat timeout (partition, SIGSTOP, kernel
   OOM) has its in-flight tasks requeued on the survivors
@@ -38,6 +41,7 @@ from __future__ import annotations
 
 import collections
 import socket
+import ssl
 import threading
 import time
 from typing import Any, Deque, Dict, List, Optional, Tuple
@@ -91,7 +95,7 @@ class _WorkerConn:
 
     def send(self, message: Dict[str, Any]) -> None:
         with self.send_lock:
-            protocol.send_frame(self.sock, message)
+            protocol.send_message(self.sock, message)
 
 
 class _ClientConn:
@@ -108,7 +112,7 @@ class _ClientConn:
         outcomes (its executor will fail the batch on its own EOF)."""
         try:
             with self.send_lock:
-                protocol.send_frame(self.sock, message)
+                protocol.send_message(self.sock, message)
             return True
         except (OSError, ClusterError):
             self.alive = False
@@ -167,6 +171,12 @@ class Coordinator:
     deadline_grace:
         Slack added to a task's timeout before the coordinator
         force-reschedules it [s].
+    tls:
+        Optional :class:`~repro.cluster.protocol.TlsConfig`; when set,
+        every accepted connection is TLS-wrapped before the HMAC
+        handshake (bad material raises a typed
+        :class:`~repro.errors.ClusterConfigError` here, not at the
+        first connection).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -176,7 +186,8 @@ class Coordinator:
                  retries: int = 2,
                  heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
                  heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
-                 deadline_grace: float = 5.0):
+                 deadline_grace: float = 5.0,
+                 tls: Optional[protocol.TlsConfig] = None):
         self.cache = cache
         self.journal = journal
         self.secret = protocol.resolve_secret(secret)
@@ -184,7 +195,13 @@ class Coordinator:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.deadline_grace = deadline_grace
+        self._tls_context = (protocol.server_tls_context(tls)
+                             if tls is not None else None)
 
+        # create_server sets SO_REUSEADDR on POSIX, which matters for
+        # supervised restarts: the relaunched coordinator must rebind
+        # the port its killed predecessor's connections still hold in
+        # TIME_WAIT.
         self._server = socket.create_server((host, port))
         self._host = host
         self._port = self._server.getsockname()[1]
@@ -207,6 +224,63 @@ class Coordinator:
         self.rescheduled = 0
         self.coalesced = 0
         self.cache_hits = 0
+        self.journal_replayed = {"completed": 0, "interrupted": 0}
+        if journal is not None:
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Rebuild queue state from a resumed write-ahead journal.
+
+        Keys with a ``done`` record completed before the crash: their
+        results live in the shared cache, so resubmissions
+        short-circuit there and nothing is requeued.  Keys with a
+        ``start`` but no ``done`` were in flight when the previous
+        incarnation died: their journalled job descriptors (ref,
+        params, timeout -- written at first dispatch) are requeued as
+        waiterless tasks, so the work restarts even before any client
+        reconnects; a reconnecting client's resubmission then joins
+        the in-flight task via single-flight or hits the cache.
+        """
+        assert self.journal is not None
+        state = self.journal.state
+        self.journal_replayed["completed"] = len(state.completed)
+        requeued = 0
+        for key in sorted(state.interrupted):
+            record = state.start_records.get(key) or {}
+            ref = str(record.get("ref") or "")
+            if not ref:
+                continue  # pre-HA journal without job descriptors
+            try:
+                cached = bool(self.cache is not None
+                              and self.cache.get(key)[0])
+            except ValueError:
+                cached = False  # malformed key in a damaged journal
+            if cached:
+                # Completed, but the kill landed between the cache
+                # write and the done record: heal the journal instead
+                # of recomputing.
+                self.journal.done(key, "ok", attempts=0)
+                self.journal_replayed["completed"] += 1
+                continue
+            task = _Task(
+                key=key, ref=ref,
+                params=dict(record.get("params") or {}),
+                label=str(record.get("label") or "") or key[:12],
+                timeout=record.get("timeout"),
+                retries=int(record.get("retries", self.retries)),
+                fault_plan=None, trace=None)
+            task.journal_started = True
+            self._tasks[key] = task
+            self._queue.append(task)
+            requeued += 1
+        self.journal_replayed["interrupted"] = requeued
+        if self.journal_replayed["completed"] or requeued:
+            _LOG.info(
+                "journal replay: %d completed key(s) backed by the "
+                "cache, %d interrupted job(s) requeued",
+                self.journal_replayed["completed"], requeued)
+            obs.flight.record("cluster.journal_replayed",
+                              **self.journal_replayed)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -254,6 +328,35 @@ class Coordinator:
         for thread in self._threads:
             thread.join(timeout=2.0)
 
+    def kill(self) -> None:
+        """Crash-stop for chaos drills: close every socket abruptly,
+        *without* shutdown frames.
+
+        Peers see the same sudden EOF a ``kill -9`` of a subprocess
+        coordinator produces, so their reconnect loops engage --
+        unlike :meth:`stop`, whose ``shutdown`` frame tells workers
+        the cluster is over on purpose and they should exit."""
+        self._stop.set()
+        with self._work:
+            self._work.notify_all()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = ([w.sock for w in self._workers.values()]
+                     + [c.sock for c in self._clients])
+        for sock in conns:
+            _shutdown_socket(sock)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to unwind.  Async-signal-safe
+        (sets an event, takes no locks), so it is what a SIGTERM
+        handler under ``cluster supervise`` calls."""
+        self._stop.set()
+
     def serve_forever(self) -> None:
         """Block until :meth:`stop` (the CLI foreground mode)."""
         self.start()
@@ -285,6 +388,24 @@ class Coordinator:
 
     def _handle_connection(self, sock: socket.socket,
                            addr: Tuple[str, int]) -> None:
+        if self._tls_context is not None:
+            # Bound the handshake: a plaintext peer (or a port scanner)
+            # never sends a ClientHello, and without a timeout it would
+            # pin this thread forever while it waits for *our* frame.
+            try:
+                sock.settimeout(5.0)
+                sock = self._tls_context.wrap_socket(sock, server_side=True)
+                sock.settimeout(None)
+            except (ssl.SSLError, OSError) as exc:
+                _LOG.warning("TLS handshake from %s:%d failed: %s",
+                             addr[0], addr[1], exc)
+                if obs.enabled():
+                    obs.counter("cluster.tls_rejected").inc()
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
         try:
             auth = protocol.server_handshake(sock, self.secret)
         except (ClusterAuthError, ClusterError, OSError) as exc:
@@ -319,7 +440,7 @@ class Coordinator:
                          "heartbeat_interval": self.heartbeat_interval})
             while not self._stop.is_set():
                 try:
-                    frame = protocol.recv_frame(sock)
+                    frame = protocol.recv_message(sock)
                 except ClusterError as exc:
                     _LOG.warning("worker %s sent a broken frame: %s",
                                  worker.name, exc)
@@ -345,7 +466,7 @@ class Coordinator:
         try:
             while not self._stop.is_set():
                 try:
-                    frame = protocol.recv_frame(sock)
+                    frame = protocol.recv_message(sock)
                 except ClusterError as exc:
                     _LOG.warning("client %s:%d sent a broken frame: %s",
                                  addr[0], addr[1], exc)
@@ -463,7 +584,12 @@ class Coordinator:
 
     def _dispatch(self, task: _Task, worker: _WorkerConn) -> None:
         if self.journal is not None and not task.journal_started:
-            self.journal.start(task.key, task.label)
+            # The start record carries the job descriptor itself, so a
+            # restarted coordinator can requeue interrupted work from
+            # the journal alone (see _replay_journal).
+            self.journal.start(task.key, task.label, ref=task.ref,
+                               params=task.params, timeout=task.timeout,
+                               retries=task.retries)
             task.journal_started = True
         message = {"type": "job", "key": task.key, "ref": task.ref,
                    "params": task.params, "label": task.label,
@@ -671,10 +797,12 @@ class Coordinator:
             "uptime_s": round(now - self._started_at, 3),
             "workers": workers,
             "queued": queued,
+            "queue_depth": queued + inflight,
             "inflight": inflight,
             "completed": self.completed,
             "failed": self.failed,
             "rescheduled": self.rescheduled,
             "coalesced": self.coalesced,
             "cache_hits": self.cache_hits,
+            "journal_replayed": dict(self.journal_replayed),
         }

@@ -31,7 +31,7 @@ from typing import Any, Dict, Optional
 from .. import obs
 from ..errors import ClusterError
 from ..resilience import faults
-from ..runtime.executor import _call_with_timeout
+from ..runtime.executor import _call_with_timeout, backoff_delay
 from ..runtime.spec import resolve_ref
 from . import protocol
 
@@ -52,46 +52,82 @@ class Worker:
     name:
         Display name in ``cluster status``; defaults to
         ``<hostname>:<pid>``.
+    dial_timeout:
+        How long :meth:`connect` keeps retrying a refused dial [s].
+    dial_backoff:
+        Base of the jittered exponential pause between dial attempts.
+    reconnect_window:
+        How long :meth:`run_forever` keeps redialling after losing an
+        established connection before giving up [s].
+    tls:
+        Optional :class:`~repro.cluster.protocol.TlsConfig` matching
+        the coordinator's.
     """
 
     def __init__(self, url: str, secret: Optional[str] = None,
-                 capacity: int = 1, name: str = ""):
+                 capacity: int = 1, name: str = "",
+                 dial_timeout: float = 10.0, dial_backoff: float = 0.2,
+                 reconnect_window: float = 60.0,
+                 tls: Optional[protocol.TlsConfig] = None):
         self.host, self.port = protocol.parse_url(url)
         self.secret = protocol.resolve_secret(secret)
         self.capacity = max(1, int(capacity))
         self.name = name or f"{socket.gethostname()}:{os.getpid()}"
         self.heartbeat_interval = 0.5
+        self.dial_timeout = max(0.0, float(dial_timeout))
+        self.dial_backoff = max(0.01, float(dial_backoff))
+        self.reconnect_window = max(0.0, float(reconnect_window))
+        self.tls = tls
         self._sock: Optional[socket.socket] = None
         self._send_lock = threading.Lock()
         self._stop = threading.Event()
+        self._shutdown = False   # explicit stop/shutdown vs lost peer
         self.jobs_run = 0
+        self.reconnects = 0
 
     # -- lifecycle ----------------------------------------------------------
 
-    def connect(self, timeout: float = 10.0) -> None:
-        """Dial the coordinator, retrying refusals for ``timeout`` s.
+    def connect(self, timeout: Optional[float] = None) -> None:
+        """Dial the coordinator, retrying refusals for ``timeout`` s
+        (default :attr:`dial_timeout`).
 
         Workers and their coordinator are routinely launched together
         (CI scripts, ``&``-backgrounded shells), so losing the startup
-        race must not be fatal.  Authentication failures are never
-        retried -- a wrong secret will not get righter.
+        race must not be fatal.  Retries pace themselves with the
+        executor's jittered exponential backoff, so a fleet orphaned
+        by one coordinator death does not redial in lockstep.
+        Authentication failures are never retried -- a wrong secret
+        will not get righter.
         """
+        if timeout is None:
+            timeout = self.dial_timeout
         deadline = time.monotonic() + timeout
+        attempt = 0
         while True:
             try:
                 sock = socket.create_connection((self.host, self.port),
                                                 timeout=10.0)
                 break
             except OSError as exc:
+                attempt += 1
                 if time.monotonic() >= deadline:
                     raise ClusterError(
                         f"coordinator {self.host}:{self.port} unreachable "
                         f"after {timeout:.0f} s: {exc}") from exc
-                time.sleep(0.2)
+                time.sleep(backoff_delay(self.dial_backoff, attempt,
+                                         cap=2.0, jitter=0.25))
         sock.settimeout(None)
-        protocol.client_handshake(
-            sock, self.secret, role="worker",
-            extra={"capacity": self.capacity, "name": self.name})
+        sock = protocol.wrap_client_socket(sock, self.tls, self.host)
+        try:
+            protocol.client_handshake(
+                sock, self.secret, role="worker",
+                extra={"capacity": self.capacity, "name": self.name})
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
         self._sock = sock
         _LOG.info("worker %s connected to %s:%d (capacity %d)",
                   self.name, self.host, self.port, self.capacity)
@@ -102,12 +138,13 @@ class Worker:
             self.connect()
         assert self._sock is not None
         beat = threading.Thread(target=self._heartbeat_loop,
+                                args=(self._stop,),
                                 name="worker-heartbeat", daemon=True)
         beat.start()
         try:
             while not self._stop.is_set():
                 try:
-                    frame = protocol.recv_frame(self._sock)
+                    frame = protocol.recv_message(self._sock)
                 except ClusterError as exc:
                     _LOG.warning("broken frame from coordinator: %s", exc)
                     break
@@ -126,9 +163,76 @@ class Worker:
                         self.heartbeat_interval = float(interval)
                 elif kind == "shutdown":
                     _LOG.info("coordinator requested shutdown")
+                    self._shutdown = True
                     break
         finally:
             self.close()
+
+    def run_forever(self) -> None:
+        """Serve jobs across coordinator restarts.
+
+        :meth:`run` returns when the connection drops; unless the
+        drop was an explicit ``shutdown`` (frame or :meth:`stop`),
+        the coordinator is assumed to be restarting -- ``cluster
+        supervise`` relaunches it in well under a second -- and this
+        loop redials for up to :attr:`reconnect_window` seconds
+        before declaring it truly gone.  This is the worker half of
+        the transparent-failover story: in-flight jobs of the old
+        incarnation are replayed from its journal, so a reconnected
+        worker simply receives them again.
+        """
+        if self._sock is None:
+            self.connect()
+        while True:
+            self.run()
+            if self._shutdown:
+                return
+            _LOG.warning("worker %s lost the coordinator; redialling "
+                         "for up to %.0f s", self.name,
+                         self.reconnect_window)
+            self.reconnects += 1
+            if obs.enabled():
+                obs.counter("cluster.worker_reconnects").inc()
+            self._redial()
+
+    def _redial(self) -> None:
+        """Reconnect within :attr:`reconnect_window`, retrying even
+        handshake failures.
+
+        A coordinator mid-restart produces connections that accept at
+        the TCP level and then die before (or during) the handshake --
+        which surfaces as :class:`~repro.errors.ClusterAuthError`.  On
+        the *initial* dial that is fatal (a wrong secret will not get
+        righter); here the previous session already authenticated, so
+        the secret is known-good and the failure is the restart race,
+        not the credential.
+        """
+        deadline = time.monotonic() + self.reconnect_window
+        attempt = 0
+        while True:
+            self._reset()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterError(
+                    f"coordinator {self.host}:{self.port} did not come "
+                    f"back within {self.reconnect_window:.0f} s")
+            try:
+                self.connect(timeout=remaining)
+                return
+            except ClusterError as exc:
+                attempt += 1
+                delay = backoff_delay(self.dial_backoff, attempt,
+                                      cap=2.0, jitter=0.25)
+                if time.monotonic() + delay >= deadline:
+                    raise
+                _LOG.debug("redial attempt %d failed (%s); retrying",
+                           attempt, exc)
+                time.sleep(delay)
+
+    def stop(self) -> None:
+        """Explicitly stop: :meth:`run_forever` will not redial."""
+        self._shutdown = True
+        self.close()
 
     def close(self) -> None:
         self._stop.set()
@@ -139,18 +243,33 @@ class Worker:
                 pass
             self._sock = None
 
+    def _reset(self) -> None:
+        """Fresh per-connection state for a redial.  The old ``_stop``
+        event stays set, so threads of the previous connection (its
+        heartbeat loop, stray job senders) wind down on their own."""
+        self._sock = None
+        self._stop = threading.Event()
+
     def _send(self, message: Dict[str, Any]) -> None:
-        if self._sock is None:
+        # Snapshot socket and stop event: threads outliving a
+        # reconnect (stale job senders) must not be able to stop the
+        # *new* connection through a failure on the old one.
+        sock = self._sock
+        stop = self._stop
+        if sock is None:
             return
         try:
             with self._send_lock:
-                protocol.send_frame(self._sock, message)
+                protocol.send_message(sock, message)
         except (OSError, ClusterError) as exc:
             _LOG.warning("send to coordinator failed: %s", exc)
-            self._stop.set()
+            stop.set()
 
-    def _heartbeat_loop(self) -> None:
-        while not self._stop.wait(self.heartbeat_interval):
+    def _heartbeat_loop(self, stop: threading.Event) -> None:
+        # Bound to one connection's stop event: after a reconnect the
+        # old heartbeat thread sees its (set) event and exits instead
+        # of double-beating on the new socket.
+        while not stop.wait(self.heartbeat_interval):
             self._send({"type": "heartbeat"})
 
     # -- job execution ------------------------------------------------------
@@ -208,8 +327,12 @@ class Worker:
 
 
 def run_worker(url: str, secret: Optional[str] = None, capacity: int = 1,
-               name: str = "") -> None:
+               name: str = "", dial_timeout: float = 10.0,
+               dial_backoff: float = 0.2, reconnect_window: float = 60.0,
+               tls: Optional[protocol.TlsConfig] = None) -> None:
     """Blocking entry point used by ``python -m repro worker``."""
-    worker = Worker(url, secret=secret, capacity=capacity, name=name)
+    worker = Worker(url, secret=secret, capacity=capacity, name=name,
+                    dial_timeout=dial_timeout, dial_backoff=dial_backoff,
+                    reconnect_window=reconnect_window, tls=tls)
     worker.connect()
-    worker.run()
+    worker.run_forever()

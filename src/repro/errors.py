@@ -139,10 +139,13 @@ class ClusterError(ReproError):
     """A distributed-execution failure the cluster layer handles.
 
     Base of every :mod:`repro.cluster` failure mode: lost coordinator
-    connections, malformed or oversized frames, dead workers.  The
-    coordinator reschedules work on surviving workers where it can;
-    what cannot be recovered surfaces as this family so callers
-    distinguish cluster transport trouble from job failures.
+    connections, malformed or oversized frames, a chunked result
+    stream that fails its SHA-256 digest check, dead workers.  The
+    coordinator reschedules work on surviving workers where it can,
+    and clients/workers redial a restarting coordinator within their
+    reconnect windows; what cannot be recovered surfaces as this
+    family so callers distinguish cluster transport trouble from job
+    failures.
     """
 
 
@@ -150,8 +153,10 @@ class ClusterConfigError(ClusterError):
     """The cluster backend is misconfigured or unreachable.
 
     Raised instead of a raw socket traceback when a ``tcp://`` backend
-    URL is malformed, the coordinator does not answer, or the
-    coordinator is up but has no connected workers to run jobs on.
+    URL is malformed, the coordinator does not answer, the coordinator
+    is up but has no connected workers to run jobs on, or the TLS
+    flags are incomplete (``--tls-cert`` without ``--tls-key``,
+    missing PEM files, a supervised coordinator without a fixed port).
     """
 
 

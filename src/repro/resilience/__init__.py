@@ -14,7 +14,10 @@ Four small, independently usable pieces (see ``docs/RESILIENCE.md``):
 * :mod:`~repro.resilience.journal` -- the write-ahead job journal
   behind ``python -m repro sweep --resume``;
 * :mod:`~repro.resilience.circuit` -- the serving tier's per-job
-  circuit breaker.
+  circuit breaker;
+* :mod:`~repro.resilience.supervisor` -- the fork/restart-with-backoff
+  parent loop shared by ``serve --prefork`` and
+  ``cluster supervise``.
 
 All ``resilience.*`` metrics flow through :mod:`repro.obs` and show up
 in ``/metrics`` and ``metrics_snapshot()`` like any other counter.
@@ -47,6 +50,7 @@ from .guardrails import (
     run_with_dt_remediation,
 )
 from .journal import JobJournal, JournalState, read_journal
+from .supervisor import ProcessSupervisor
 
 __all__ = [
     "CacheCorrupt",
@@ -62,6 +66,7 @@ __all__ = [
     "JournalState",
     "MagnetisationWatchdog",
     "NumericalDivergenceError",
+    "ProcessSupervisor",
     "RemediationPolicy",
     "ReproError",
     "Watchdog",

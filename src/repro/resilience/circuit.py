@@ -103,6 +103,29 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = None
 
+    def trip_probe(self) -> None:
+        """Open the breaker with its reset timeout *already elapsed*.
+
+        For failures that indicate an unreachable dependency rather
+        than a poisoned job family -- e.g. the serving tier's cluster
+        coordinator restarting under supervision.  The very next
+        request is admitted as a half-open probe (instead of everyone
+        waiting out ``reset_timeout``), while the requests behind it
+        are shed until the probe reports back; success snaps the
+        breaker closed.  Compare :meth:`record_failure`, which opens
+        for the full timeout.
+        """
+        if self.state != STATE_OPEN:
+            self.trips += 1
+            obs.flight.record("breaker", name=self.name,
+                              state=STATE_OPEN, failures=self.failures,
+                              probe=True)
+            if obs.enabled():
+                obs.counter("resilience.circuit_probe_tripped").inc()
+        self.failures = max(self.failures, self.fail_threshold)
+        self.state = STATE_OPEN
+        self.opened_at = self.clock() - self.reset_timeout
+
     def record_failure(self) -> None:
         self.failures += 1
         if self.state == STATE_HALF_OPEN or \

@@ -47,6 +47,10 @@ class JournalState:
     interrupted: Set[str] = field(default_factory=set)
     #: key -> label, for reporting.
     labels: Dict[str, str] = field(default_factory=dict)
+    #: key -> latest full ``start`` record.  Writers that journal the
+    #: job descriptor itself (ref/params/timeout, as the cluster
+    #: coordinator does) can requeue interrupted work from here.
+    start_records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (f"{len(self.completed)} completed, "
@@ -79,6 +83,7 @@ def read_journal(path: str) -> JournalState:
                 state.labels[key] = record["label"]
             if event == EVENT_START:
                 state.interrupted.add(key)
+                state.start_records[key] = record
             else:
                 state.interrupted.discard(key)
                 state.completed[key] = str(record.get("status", "ok"))
@@ -116,8 +121,10 @@ class JobJournal:
 
     # -- write-ahead records ------------------------------------------------
 
-    def start(self, key: str, label: str = "") -> None:
-        self._append({"event": EVENT_START, "key": key, "label": label})
+    def start(self, key: str, label: str = "", **extra: Any) -> None:
+        record = {"event": EVENT_START, "key": key, "label": label}
+        record.update(extra)
+        self._append(record)
 
     def done(self, key: str, status: str, **extra: Any) -> None:
         record = {"event": EVENT_DONE, "key": key, "status": status}

@@ -1,0 +1,181 @@
+"""Generic fork-based child supervision: restart-with-backoff.
+
+Two subsystems need the same parent loop: ``serve --prefork`` (N HTTP
+children on one ``SO_REUSEPORT`` port) and ``cluster supervise`` (one
+coordinator child that must outlive ``kill -9``).  Both want identical
+semantics -- fork children, forward SIGTERM/SIGINT to the whole brood,
+reap, restart an *unrequested* death after an exponentially backed-off
+pause, give up after ``max_restarts`` crash-loops -- so the loop lives
+here once and the callers supply only the child body.
+
+A child that stayed alive for ``healthy_after`` seconds earns its
+lineage a fresh restart budget: the budget bounds *crash loops* (a
+child that dies instantly, forever), not the total number of faults a
+long-lived service may survive.  Without this, a coordinator killed
+once a day would exhaust any finite budget eventually.
+
+``os.fork`` is POSIX; on platforms without it the supervisor raises a
+typed :class:`~repro.errors.ClusterConfigError` at construction.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from .. import obs
+from ..errors import ClusterConfigError
+
+__all__ = ["ProcessSupervisor"]
+
+_LOG = obs.get_logger("resilience.supervisor")
+
+
+class ProcessSupervisor:
+    """Fork ``processes`` children running ``child_main`` and keep
+    them alive.
+
+    Parameters
+    ----------
+    child_main:
+        ``child_main(slot) -> int`` runs *in the forked child* with
+        default signal dispositions and its return value becomes the
+        child's exit code (it may also ``os._exit`` itself).  ``slot``
+        is the stable child index ``0..processes-1`` -- a restarted
+        child keeps its slot.
+    processes:
+        Number of concurrent children.
+    max_restarts:
+        Restart budget per slot *between healthy runs*; a slot that
+        crash-loops past it stays down and the supervisor's exit code
+        becomes non-zero.
+    backoff_base / backoff_cap:
+        Pause before the k-th consecutive restart of a slot is
+        ``min(backoff_cap, backoff_base * 2**k)`` seconds.
+    healthy_after:
+        Seconds a child must survive for its slot's restart count to
+        reset (None: never reset -- strict crash budget).
+    restart_counter:
+        Observability counter bumped per restart.
+    on_spawn:
+        ``on_spawn(pid, slot)`` runs in the parent after every fork --
+        e.g. to publish a pid file for chaos drills.
+    """
+
+    def __init__(self, child_main: Callable[[int], int],
+                 processes: int = 1, max_restarts: int = 3,
+                 backoff_base: float = 0.1, backoff_cap: float = 1.0,
+                 healthy_after: Optional[float] = None,
+                 name: str = "supervisor",
+                 restart_counter: str = "resilience.supervisor_restarts",
+                 on_spawn: Optional[Callable[[int, int], None]] = None):
+        if not hasattr(os, "fork"):
+            raise ClusterConfigError(
+                f"{name} needs os.fork (POSIX); run the service as a "
+                "single foreground process instead")
+        self.child_main = child_main
+        self.processes = max(1, int(processes))
+        self.max_restarts = int(max_restarts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.healthy_after = healthy_after
+        self.name = name
+        self.restart_counter = restart_counter
+        self.on_spawn = on_spawn
+
+    def run(self) -> int:
+        """Block until every child exited; return the worst exit code
+        (0 after a clean SIGTERM/SIGINT drain)."""
+        # pid -> (slot, restarts consumed, spawn time)
+        children: Dict[int, Tuple[int, int, float]] = {}
+        shutting_down = {"flag": False}
+
+        def _spawn(slot: int, restarts: int) -> None:
+            pid = os.fork()
+            if pid == 0:
+                # Fresh dispositions: the child installs its own
+                # graceful-drain handlers (or keeps the defaults).
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                signal.signal(signal.SIGINT, signal.SIG_DFL)
+                code = 1
+                try:
+                    code = int(self.child_main(slot) or 0)
+                except BaseException as exc:
+                    _LOG.error("%s child %d crashed: %s",
+                               self.name, os.getpid(), exc)
+                finally:
+                    os._exit(code)
+            children[pid] = (slot, restarts, time.monotonic())
+            _LOG.info("%s child %d started (slot %d, %d/%d)",
+                      self.name, pid, slot, len(children), self.processes)
+            if self.on_spawn is not None:
+                self.on_spawn(pid, slot)
+
+        def _forward(signum, _frame) -> None:
+            shutting_down["flag"] = True
+            for pid in list(children):
+                try:
+                    os.kill(pid, signum)
+                except OSError:
+                    pass
+
+        for slot in range(self.processes):
+            _spawn(slot, 0)
+        previous = {signum: signal.signal(signum, _forward)
+                    for signum in (signal.SIGTERM, signal.SIGINT)}
+        _LOG.info("%s %d supervising %d child(ren)",
+                  self.name, os.getpid(), self.processes)
+
+        worst = 0
+        try:
+            while children:
+                try:
+                    pid, status = os.wait()
+                except OSError as exc:
+                    if exc.errno == errno.EINTR:
+                        continue  # a forwarded signal interrupted wait()
+                    if exc.errno == errno.ECHILD:
+                        break
+                    raise
+                except KeyboardInterrupt:
+                    _forward(signal.SIGINT, None)
+                    continue
+                slot, restarts, started = children.pop(pid, (0, 0, 0.0))
+                code = (os.waitstatus_to_exitcode(status)
+                        if hasattr(os, "waitstatus_to_exitcode")
+                        else os.WEXITSTATUS(status))
+                if shutting_down["flag"]:
+                    worst = max(worst, abs(int(code)))
+                    continue
+                if code == 0:
+                    # Voluntary clean exit (e.g. a supervised
+                    # coordinator honouring `cluster stop`): the slot
+                    # is done, not crashed -- do not resurrect it.
+                    _LOG.info("%s child %d (slot %d) exited cleanly",
+                              self.name, pid, slot)
+                    continue
+                if (self.healthy_after is not None
+                        and time.monotonic() - started >= self.healthy_after):
+                    restarts = 0  # it was healthy; this is a new incident
+                # Unrequested death: keep capacity up (bounded).
+                _LOG.warning("%s child %d (slot %d) died with %s; "
+                             "restarting", self.name, pid, slot, code)
+                if obs.enabled():
+                    obs.counter(self.restart_counter).inc()
+                if restarts < self.max_restarts:
+                    time.sleep(min(self.backoff_cap,
+                                   self.backoff_base * 2 ** restarts))
+                    _spawn(slot, restarts + 1)
+                else:
+                    worst = max(worst, 1)
+                    _LOG.error("%s slot %d exceeded %d restarts; not "
+                               "restarting", self.name, slot,
+                               self.max_restarts)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        _LOG.info("%s exiting (%d)", self.name, worst)
+        return worst

@@ -106,13 +106,15 @@ class LocalPoolBackend(ExecutorBackend):
 
 
 def create_backend(description: Optional[str] = None,
-                   secret: Optional[str] = None) -> ExecutorBackend:
+                   secret: Optional[str] = None,
+                   tls: Optional[object] = None) -> ExecutorBackend:
     """Resolve a backend description into a backend instance.
 
     ``None`` or ``"local"`` build the :class:`LocalPoolBackend`; a
     ``tcp://host:port`` URL builds a
     :class:`repro.cluster.TcpClusterBackend` against that coordinator
-    (``secret`` overrides the shared-secret resolution; see
+    (``secret`` overrides the shared-secret resolution, ``tls`` is an
+    optional :class:`repro.cluster.TlsConfig`; see
     ``docs/CLUSTER.md``).  Anything else raises
     :class:`~repro.errors.ClusterConfigError` -- a typed error, not a
     socket traceback.
@@ -122,7 +124,7 @@ def create_backend(description: Optional[str] = None,
     if description.startswith("tcp://"):
         from ..cluster import TcpClusterBackend
 
-        return TcpClusterBackend(description, secret=secret)
+        return TcpClusterBackend(description, secret=secret, tls=tls)
     raise ClusterConfigError(
         f"unknown executor backend {description!r}; expected 'local' "
         "or a 'tcp://host:port' coordinator URL")

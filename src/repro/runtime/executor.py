@@ -37,6 +37,7 @@ from __future__ import annotations
 import concurrent.futures as cf
 import os
 import pickle
+import random
 import time
 import traceback
 from concurrent.futures.process import BrokenProcessPool
@@ -65,15 +66,28 @@ from .spec import JobSpec, resolve_ref
 _LOG = obs.get_logger("runtime.executor")
 
 
-def backoff_delay(base: float, retry_index: int) -> float:
+def backoff_delay(base: float, retry_index: int,
+                  cap: Optional[float] = None,
+                  jitter: float = 0.0) -> float:
     """Exponential backoff before the ``retry_index``-th retry (1-based).
 
     ``base * 2**(retry_index - 1)`` seconds -- the executor's retry
     policy, shared by :class:`repro.serve.client.ServeClient` so a
     client backing off from an overloaded server paces itself the same
     way the engine paces failing jobs.
+
+    ``cap`` bounds the delay (reconnect loops must not back off into
+    minutes); ``jitter`` spreads it uniformly by ``+/- jitter``
+    fraction so a fleet of workers orphaned by one coordinator death
+    does not redial in lockstep (thundering herd).  Both default off,
+    keeping retry pacing deterministic where it always was.
     """
-    return base * 2 ** max(0, retry_index - 1)
+    delay = base * 2 ** max(0, retry_index - 1)
+    if cap is not None:
+        delay = min(delay, cap)
+    if jitter > 0.0:
+        delay *= 1.0 + random.uniform(-jitter, jitter)
+    return max(0.0, delay)
 
 
 # JobTimeout / JobFailed historically lived here; they now sit in the

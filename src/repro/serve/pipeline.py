@@ -55,7 +55,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import obs
-from ..errors import CircuitOpen, JobTimeout, ReproError
+from ..errors import ClusterConfigError, CircuitOpen, JobTimeout, ReproError
 from ..resilience.circuit import CircuitBreaker
 from ..runtime.aio import run_async
 from ..runtime.cache import ResultCache
@@ -298,6 +298,14 @@ class GatePipeline:
         except JobTimeout:
             raise  # job still running: not a verdict on the family
         except asyncio.CancelledError:
+            raise
+        except ClusterConfigError:
+            # "Coordinator unreachable" is not a poisoned job family:
+            # under `cluster supervise` it is typically a restart in
+            # progress.  Shed the queue behind a single half-open
+            # probe instead of going dark for the full reset timeout.
+            if breaker is not None:
+                breaker.trip_probe()
             raise
         except Exception:
             if breaker is not None:

@@ -20,11 +20,13 @@ What makes N independent services coherent:
 * each child owns its own metrics registry; scrape ``/metrics``
   per-process or aggregate upstream (standard prefork practice).
 
-The parent is a tiny supervisor: it forwards SIGTERM/SIGINT to the
+The parent is the shared
+:class:`~repro.resilience.supervisor.ProcessSupervisor` (the same one
+behind ``cluster supervise``): it forwards SIGTERM/SIGINT to the
 children (each drains gracefully exactly like a single-process serve)
 and reaps them; a child that dies *unrequested* is logged and
-restarted, up to ``max_restarts`` per child, so one crashed worker
-does not shrink capacity forever.
+restarted with backoff, up to ``max_restarts`` per child, so one
+crashed worker does not shrink capacity forever.
 
 ``SO_REUSEPORT`` and ``os.fork`` are POSIX; on platforms without them
 this module raises :class:`~repro.errors.ClusterConfigError` with a
@@ -33,16 +35,15 @@ clear message instead of an attribute error.
 
 from __future__ import annotations
 
-import errno
 import os
 import signal
 import socket
-import time
 from dataclasses import replace
-from typing import Dict, Optional
+from typing import Optional
 
 from .. import obs
 from ..errors import ClusterConfigError
+from ..resilience.supervisor import ProcessSupervisor
 from .app import GateService, ServeConfig
 
 _LOG = obs.get_logger("serve.prefork")
@@ -90,68 +91,10 @@ def run_prefork(config: ServeConfig, processes: Optional[int] = None,
     n = max(1, int(n or 1))
     _check_platform(config)
     child_config = replace(config, prefork=0, reuse_port=True)
-
-    children: Dict[int, int] = {}          # pid -> restarts consumed
-    shutting_down = {"flag": False}
-
-    def _spawn(restarts: int) -> None:
-        pid = os.fork()
-        if pid == 0:
-            _child(child_config)
-        children[pid] = restarts
-        _LOG.info("prefork child %d started (%d/%d)", pid,
-                  len(children), n)
-
-    def _forward(signum, _frame) -> None:
-        shutting_down["flag"] = True
-        for pid in list(children):
-            try:
-                os.kill(pid, signum)
-            except OSError:
-                pass
-
-    for _ in range(n):
-        _spawn(0)
-    previous = {signum: signal.signal(signum, _forward)
-                for signum in (signal.SIGTERM, signal.SIGINT)}
-    _LOG.info("prefork supervisor %d: %d children on %s:%d",
-              os.getpid(), n, config.host, config.port)
-
-    worst = 0
-    try:
-        while children:
-            try:
-                pid, status = os.wait()
-            except OSError as exc:
-                if exc.errno == errno.EINTR:
-                    continue  # a forwarded signal interrupted wait()
-                if exc.errno == errno.ECHILD:
-                    break
-                raise
-            except KeyboardInterrupt:
-                _forward(signal.SIGINT, None)
-                continue
-            restarts = children.pop(pid, 0)
-            code = (os.waitstatus_to_exitcode(status)
-                    if hasattr(os, "waitstatus_to_exitcode")
-                    else os.WEXITSTATUS(status))
-            if shutting_down["flag"]:
-                worst = max(worst, abs(int(code)))
-                continue
-            # Unrequested death: keep capacity up (bounded).
-            _LOG.warning("prefork child %d died with %s; restarting",
-                         pid, code)
-            if obs.enabled():
-                obs.counter("serve.prefork_restarts").inc()
-            if restarts < max_restarts:
-                time.sleep(min(1.0, 0.1 * 2 ** restarts))
-                _spawn(restarts + 1)
-            else:
-                worst = max(worst, 1)
-                _LOG.error("prefork child exceeded %d restarts; not "
-                           "restarting", max_restarts)
-    finally:
-        for signum, handler in previous.items():
-            signal.signal(signum, handler)
-    _LOG.info("prefork supervisor exiting (%d)", worst)
-    return worst
+    _LOG.info("prefork: %d children on %s:%d",
+              n, config.host, config.port)
+    return ProcessSupervisor(
+        lambda slot: _child(child_config),
+        processes=n, max_restarts=max_restarts,
+        name="serve.prefork",
+        restart_counter="serve.prefork_restarts").run()

@@ -431,8 +431,11 @@ class TestRemoteFailures:
         holder = {}
 
         def client_run():
-            executor = Executor(workers=1, cache=None,
-                                backend=TcpClusterBackend(coordinator.url))
+            # reconnect_window=0: fail in place immediately instead of
+            # redialling the (gone for good) coordinator for 30 s.
+            backend = TcpClusterBackend(coordinator.url,
+                                        reconnect_window=0.0)
+            executor = Executor(workers=1, cache=None, backend=backend)
             holder["outcome"] = executor.run([spec]).outcomes[0]
 
         with running_cluster(n_workers=1) as coordinator:

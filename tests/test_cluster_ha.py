@@ -1,0 +1,617 @@
+"""High-availability tests for the cluster (``docs/CLUSTER.md``).
+
+Covers the failover story added on top of the base cluster contract:
+chunked result streaming (payloads above the 256 MiB frame cap cross
+the wire digest-verified), optional TLS on every cluster socket (with
+typed errors for partial flag sets), coordinator journal replay
+(interrupted jobs requeue, completed keys answer from the shared
+cache), transparent client/worker reconnection across a coordinator
+restart on the same port, and the full ``cluster supervise`` drill:
+kill -9 the coordinator mid-batch and the sweep still completes with
+``failed == 0`` and no client-visible error.
+"""
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import (
+    ClusterClient,
+    Coordinator,
+    TcpClusterBackend,
+    TlsConfig,
+    Worker,
+    protocol,
+    tls_config,
+)
+from repro.errors import ClusterConfigError, ClusterError
+from repro.resilience import JobJournal, ProcessSupervisor, faults
+from repro.resilience.journal import read_journal
+from repro.runtime import DiskCache, Executor, JobSpec
+
+from tests.test_cluster import (
+    _wait_until,
+    assert_values_identical,
+    slow_marker,  # noqa: F401  (re-exported as a job ref target)
+)
+
+ROOT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(ROOT_DIR, "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_state():
+    yield
+    faults.uninstall()
+    obs.disable()
+    obs.drain_spans()
+    obs.reset_metrics()
+
+
+# -- module-level job functions (resolvable by in-process workers) ----------
+
+def mul2(x):
+    return x * 2
+
+
+def big_blob(n):
+    """A result whose encoded frame is deliberately large."""
+    return {"n": n, "field": np.arange(n, dtype=np.float64)}
+
+
+# -- chunked result streaming ------------------------------------------------
+
+def _pipe():
+    left, right = socket.socketpair()
+    return left, right
+
+
+def _threaded_roundtrip(message):
+    """send_message in a thread (socketpair buffers are finite),
+    recv_message here."""
+    left, right = _pipe()
+    try:
+        box = {}
+
+        def _send():
+            box["sent"] = protocol.send_message(left, message)
+
+        sender = threading.Thread(target=_send, daemon=True)
+        sender.start()
+        received = protocol.recv_message(right)
+        sender.join(timeout=60)
+        assert not sender.is_alive(), "sender stalled"
+        return received
+    finally:
+        left.close()
+        right.close()
+
+
+class TestChunkedStreaming:
+    def test_small_message_is_a_single_frame(self):
+        left, right = _pipe()
+        try:
+            protocol.send_message(left, {"type": "pong", "x": 1})
+            # A plain frame: recv_frame sees the message itself, not a
+            # result_chunk header.
+            frame = protocol.recv_frame(right)
+            assert frame == {"type": "pong", "x": 1}
+        finally:
+            left.close()
+            right.close()
+
+    def test_large_message_round_trips_in_chunks(self, monkeypatch):
+        monkeypatch.setattr(protocol, "CHUNK_THRESHOLD", 256)
+        monkeypatch.setattr(protocol, "CHUNK_BYTES", 64)
+        message = {"type": "outcome", "blob": "y" * 5000,
+                   "tail": [1, 2, 3]}
+        assert _threaded_roundtrip(message) == message
+
+    def test_chunk_header_announces_the_stream(self, monkeypatch):
+        monkeypatch.setattr(protocol, "CHUNK_THRESHOLD", 64)
+        left, right = _pipe()
+        try:
+            payload = {"blob": "z" * 500}
+            protocol.send_message(left, payload)
+            header = protocol.recv_frame(right)
+            assert header["type"] == "result_chunk"
+            encoded = json.dumps(payload, separators=(",", ":"))
+            assert header["bytes"] == len(encoded)
+            assert header["chunks"] >= 1
+            assert len(header["sha256"]) == 64
+        finally:
+            left.close()
+            right.close()
+
+    def test_digest_mismatch_drops_the_connection(self):
+        left, right = _pipe()
+        try:
+            protocol.send_frame(left, {
+                "type": "result_chunk", "bytes": 4, "chunks": 1,
+                "chunk_bytes": 4, "sha256": "0" * 64})
+            left.sendall(protocol._LENGTH.pack(4) + b'{"a"')
+            with pytest.raises(ClusterError, match="digest"):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_short_stream_rejected(self):
+        left, right = _pipe()
+        try:
+            protocol.send_frame(left, {
+                "type": "result_chunk", "bytes": 100, "chunks": 1,
+                "chunk_bytes": 100, "sha256": "0" * 64})
+            left.sendall(protocol._LENGTH.pack(4) + b"abcd")
+            with pytest.raises(ClusterError, match="ended at"):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_hostile_totals_rejected(self):
+        for header in (
+                {"type": "result_chunk",
+                 "bytes": protocol.MAX_STREAM_BYTES + 1,
+                 "chunks": 1, "sha256": "0" * 64},
+                {"type": "result_chunk", "bytes": 10, "chunks": 99,
+                 "sha256": "0" * 64},
+                {"type": "result_chunk", "bytes": -1, "chunks": 1,
+                 "sha256": "0" * 64}):
+            left, right = _pipe()
+            try:
+                protocol.send_frame(left, header)
+                with pytest.raises(ClusterError):
+                    protocol.recv_message(right)
+            finally:
+                left.close()
+                right.close()
+
+    def test_eof_mid_stream_reads_as_peer_gone(self):
+        left, right = _pipe()
+        try:
+            protocol.send_frame(left, {
+                "type": "result_chunk", "bytes": 100, "chunks": 2,
+                "chunk_bytes": 50, "sha256": "0" * 64})
+            left.sendall(protocol._LENGTH.pack(50) + b"x" * 50)
+            left.close()
+            assert protocol.recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_result_beyond_frame_cap_round_trips(self):
+        """The acceptance drill: a message *larger than the 256 MiB
+        frame cap* -- impossible to send as one frame -- crosses the
+        wire chunked and digest-verified, bit-identically."""
+        blob = "x" * (protocol.MAX_FRAME_BYTES + 8 * 1024 * 1024)
+        message = {"type": "outcome", "blob": blob}
+        with pytest.raises(ClusterError, match="exceeds"):
+            # The un-chunked path really would refuse it.
+            protocol.send_frame(socket.socketpair()[0], message)
+        received = _threaded_roundtrip(message)
+        assert received["type"] == "outcome"
+        assert received["blob"] == blob
+
+    def test_cluster_job_with_huge_result_streams(self, monkeypatch,
+                                                  tmp_path):
+        """End to end: worker -> coordinator -> client, result above
+        the (patched) chunk threshold on both hops."""
+        monkeypatch.setattr(protocol, "CHUNK_THRESHOLD", 4096)
+        coordinator = Coordinator().start()
+        worker = Worker(coordinator.url, capacity=1, name="hw")
+        worker.connect()
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            _wait_until(lambda: coordinator.status()["workers"],
+                        message="worker registered")
+            executor = Executor(workers=1, cache=None,
+                                backend=TcpClusterBackend(coordinator.url))
+            spec = JobSpec(fn="tests.test_cluster_ha:big_blob",
+                           params={"n": 4096}, label="big")
+            outcome = executor.run([spec]).outcomes[0]
+            assert outcome.ok, outcome.record.error
+            assert_values_identical(outcome.value, big_blob(4096))
+        finally:
+            coordinator.stop()
+            worker.close()
+            thread.join(timeout=2)
+
+
+# -- TLS ---------------------------------------------------------------------
+
+def _make_cert(tmp_path):
+    """Self-signed localhost cert via the openssl CLI; None if absent."""
+    openssl = shutil.which("openssl")
+    if not openssl:
+        return None
+    cert = str(tmp_path / "cert.pem")
+    key = str(tmp_path / "key.pem")
+    proc = subprocess.run(
+        [openssl, "req", "-x509", "-newkey", "rsa:2048", "-nodes",
+         "-keyout", key, "-out", cert, "-days", "1", "-subj",
+         "/CN=localhost"],
+        capture_output=True)
+    if proc.returncode != 0:
+        return None
+    return TlsConfig(cert=cert, key=key)
+
+
+class TestTls:
+    def test_partial_flag_pair_is_a_typed_error(self, tmp_path):
+        cert = tmp_path / "cert.pem"
+        cert.write_text("not really a cert")
+        with pytest.raises(ClusterConfigError, match="together"):
+            tls_config(cert=str(cert), key=None)
+        with pytest.raises(ClusterConfigError, match="together"):
+            tls_config(cert=None, key=str(cert))
+
+    def test_missing_pem_file_is_a_typed_error(self, tmp_path):
+        with pytest.raises(ClusterConfigError, match="not found"):
+            tls_config(cert=str(tmp_path / "no.pem"),
+                       key=str(tmp_path / "no.pem"))
+
+    def test_no_flags_means_no_tls(self):
+        assert tls_config() is None
+
+    def test_garbage_pem_is_a_typed_error(self, tmp_path):
+        cert = tmp_path / "cert.pem"
+        cert.write_text("junk")
+        config = tls_config(cert=str(cert), key=str(cert))
+        with pytest.raises(ClusterConfigError, match="bad TLS"):
+            protocol.server_tls_context(config)
+
+    def test_server_context_requires_cert(self):
+        with pytest.raises(ClusterConfigError, match="tls-cert"):
+            protocol.server_tls_context(TlsConfig())
+
+    def test_cluster_round_trip_over_tls(self, tmp_path):
+        tls = _make_cert(tmp_path)
+        if tls is None:
+            pytest.skip("no usable openssl CLI for cert generation")
+        coordinator = Coordinator(tls=tls).start()
+        worker = Worker(coordinator.url, capacity=1, name="tlsw",
+                        tls=tls)
+        worker.connect()
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            _wait_until(lambda: coordinator.status()["workers"],
+                        message="worker registered over TLS")
+            executor = Executor(
+                workers=1, cache=None,
+                backend=TcpClusterBackend(coordinator.url, tls=tls))
+            spec = JobSpec(fn="tests.test_cluster_ha:mul2",
+                           params={"x": 21}, label="tls-job")
+            outcome = executor.run([spec]).outcomes[0]
+            assert outcome.ok and outcome.value == 42
+            # A plaintext client cannot talk to a TLS coordinator --
+            # and fails with a clean typed error, not a hang.
+            with pytest.raises((ClusterError, OSError)):
+                ClusterClient(coordinator.url).connect()
+        finally:
+            coordinator.stop()
+            worker.close()
+            thread.join(timeout=2)
+
+
+KEY_INT = "ab" * 16     # DiskCache keys are 8-64 hex chars
+KEY_DONE = "cd" * 16
+KEY_CACHED = "ef" * 16
+
+
+# -- journal replay ----------------------------------------------------------
+
+class TestJournalReplay:
+    def test_interrupted_job_requeues_and_completes(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JobJournal(path) as journal:
+            journal.start(KEY_INT, "lost-job",
+                          ref="tests.test_cluster_ha:mul2",
+                          params={"x": 10}, timeout=None, retries=2)
+            journal.start(KEY_DONE, "finished-job",
+                          ref="tests.test_cluster_ha:mul2",
+                          params={"x": 11})
+            journal.done(KEY_DONE, "ok", attempts=1)
+
+        cache = DiskCache(root=str(tmp_path / "cache"))
+        journal = JobJournal(path, resume=True)
+        coordinator = Coordinator(cache=cache, journal=journal).start()
+        try:
+            assert coordinator.journal_replayed == {
+                "completed": 1, "interrupted": 1}
+            status = coordinator.status()
+            assert status["queue_depth"] == 1
+            assert status["journal_replayed"]["interrupted"] == 1
+
+            # The requeued job runs as soon as a worker joins -- no
+            # client involved.
+            worker = Worker(coordinator.url, capacity=1, name="rw")
+            worker.connect()
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            try:
+                _wait_until(
+                    lambda: coordinator.status()["completed"] >= 1,
+                    message="replayed job completion")
+                found, value = cache.get(KEY_INT)
+                assert found and value == 20
+                # ... and the journal now records it as done.
+                state = read_journal(path)
+                assert KEY_INT in state.completed
+            finally:
+                worker.close()
+                thread.join(timeout=2)
+        finally:
+            coordinator.stop()
+            journal.close()
+
+    def test_cache_backed_key_heals_without_recompute(self, tmp_path):
+        """Killed between the cache write and the done record: replay
+        writes the missing done record instead of requeueing."""
+        path = str(tmp_path / "journal.jsonl")
+        cache = DiskCache(root=str(tmp_path / "cache"))
+        cache.put(KEY_CACHED, 77)
+        with JobJournal(path) as journal:
+            journal.start(KEY_CACHED, "raced",
+                          ref="tests.test_cluster_ha:mul2",
+                          params={"x": 7})
+
+        journal = JobJournal(path, resume=True)
+        coordinator = Coordinator(cache=cache, journal=journal).start()
+        try:
+            assert coordinator.journal_replayed == {
+                "completed": 1, "interrupted": 0}
+            assert coordinator.status()["queue_depth"] == 0
+            assert KEY_CACHED in read_journal(path).completed
+        finally:
+            coordinator.stop()
+            journal.close()
+
+    def test_pre_ha_journal_without_descriptors_is_skipped(self,
+                                                           tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JobJournal(path) as journal:
+            journal.start("old-key", "no-ref")  # pre-HA record
+        journal = JobJournal(path, resume=True)
+        coordinator = Coordinator(journal=journal).start()
+        try:
+            assert coordinator.journal_replayed == {
+                "completed": 0, "interrupted": 0}
+        finally:
+            coordinator.stop()
+            journal.close()
+
+
+# -- coordinator failover (in-process) ---------------------------------------
+
+class TestCoordinatorFailover:
+    def test_client_and_worker_ride_through_a_restart(self, tmp_path):
+        """Kill the coordinator mid-batch, restart it on the same port
+        with the same cache + journal: the worker redials, the client
+        resubmits, every job completes, no error surfaces."""
+        journal_path = str(tmp_path / "journal.jsonl")
+        cache_root = str(tmp_path / "shared")
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+
+        journal1 = JobJournal(journal_path, resume=True)
+        first = Coordinator(cache=DiskCache(root=cache_root),
+                            journal=journal1).start()
+        port = first.address[1]
+
+        worker = Worker(first.url, capacity=1, name="fw",
+                        reconnect_window=30.0, dial_backoff=0.05)
+        worker.connect()
+        worker_thread = threading.Thread(target=worker.run_forever,
+                                         daemon=True)
+        worker_thread.start()
+        _wait_until(lambda: first.status()["workers"],
+                    message="worker registered")
+
+        specs = [JobSpec(fn="tests.test_cluster_ha:slow_marker",
+                         params={"marker_dir": str(marker_dir),
+                                 "delay_s": 1.0, "token": f"t{i}"},
+                         label=f"job{i}")
+                 for i in range(3)]
+        holder = {}
+
+        def client_run():
+            backend = TcpClusterBackend(
+                first.url, reconnect_window=30.0, reconnect_backoff=0.05)
+            executor = Executor(workers=1, cache=None, backend=backend)
+            holder["result"] = executor.run(specs)
+
+        client_thread = threading.Thread(target=client_run, daemon=True)
+        client_thread.start()
+        second = None
+        journal2 = None
+        try:
+            _wait_until(lambda: first.status()["inflight"] >= 1,
+                        message="a job inflight before the kill")
+            first.kill()  # abrupt: no shutdown frames, like kill -9
+            journal1.close()
+
+            journal2 = JobJournal(journal_path, resume=True)
+            second = Coordinator(port=port,
+                                 cache=DiskCache(root=cache_root),
+                                 journal=journal2).start()
+            assert second.journal_replayed["interrupted"] >= 1
+
+            client_thread.join(timeout=60)
+            assert not client_thread.is_alive(), "client never finished"
+            result = holder["result"]
+            assert all(o.ok for o in result.outcomes), [
+                o.record.error for o in result.outcomes if not o.ok]
+            assert result.report.n_failed == 0
+            for i, outcome in enumerate(result.outcomes):
+                assert outcome.value == {"token": f"t{i}", "answer": 42}
+            assert worker.reconnects >= 1
+        finally:
+            worker.stop()
+            worker_thread.join(timeout=5)
+            if second is not None:
+                second.stop()
+            if journal2 is not None:
+                journal2.close()
+
+
+# -- process supervisor ------------------------------------------------------
+
+class TestProcessSupervisor:
+    def test_clean_children_exit_zero(self):
+        supervisor = ProcessSupervisor(lambda slot: 0, processes=2,
+                                       max_restarts=0)
+        assert supervisor.run() == 0
+
+    def test_crash_loop_exhausts_budget_with_nonzero_exit(self):
+        supervisor = ProcessSupervisor(lambda slot: 3, processes=1,
+                                       max_restarts=2,
+                                       backoff_base=0.01,
+                                       backoff_cap=0.02)
+        assert supervisor.run() != 0
+
+    def test_crashing_child_is_restarted(self, tmp_path):
+        stamp_dir = tmp_path / "stamps"
+        stamp_dir.mkdir()
+
+        def child(slot):
+            # Each incarnation leaves a stamp; crash until the third.
+            n = len(os.listdir(str(stamp_dir)))
+            (stamp_dir / f"run-{n}").write_text("x")
+            return 1 if n < 2 else 0
+
+        supervisor = ProcessSupervisor(child, processes=1,
+                                       max_restarts=5,
+                                       backoff_base=0.01,
+                                       backoff_cap=0.02)
+        supervisor.run()
+        assert len(os.listdir(str(stamp_dir))) == 3
+
+
+# -- the full supervised kill -9 drill ---------------------------------------
+
+def _free_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _read_pid(path):
+    try:
+        with open(path) as handle:
+            return int(handle.read().strip() or 0)
+    except (OSError, ValueError):
+        return 0
+
+
+class TestSupervisedKill9:
+    def test_kill9_mid_batch_heals_without_client_errors(self, tmp_path):
+        """The headline drill from docs/CLUSTER.md: kill -9 the
+        supervised coordinator while a batch is in flight.  The
+        supervisor restarts it, the journal replays, the worker and
+        client reconnect, and the batch finishes with failed == 0."""
+        port = _free_port()
+        url = f"tcp://127.0.0.1:{port}"
+        pid_file = str(tmp_path / "coordinator.pid")
+        journal_path = str(tmp_path / "journal.jsonl")
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + ROOT_DIR
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "cluster", "supervise",
+             "--host", "127.0.0.1", "--port", str(port),
+             "--cache-dir", str(tmp_path / "cache"),
+             "--journal", journal_path, "--pid-file", pid_file],
+            env=env, cwd=ROOT_DIR,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        worker = None
+        worker_thread = None
+        try:
+            _wait_until(lambda: _read_pid(pid_file) > 0, timeout=30,
+                        message="supervised coordinator pid file")
+
+            def _reachable():
+                try:
+                    with ClusterClient(url) as client:
+                        return client.ping().get("type") == "pong"
+                except (ClusterError, OSError):
+                    return False
+
+            _wait_until(_reachable, timeout=30,
+                        message="supervised coordinator reachable")
+
+            worker = Worker(url, capacity=1, name="dw",
+                            reconnect_window=30.0, dial_backoff=0.05)
+            worker.connect()
+            worker_thread = threading.Thread(target=worker.run_forever,
+                                             daemon=True)
+            worker_thread.start()
+
+            specs = [JobSpec(fn="tests.test_cluster_ha:slow_marker",
+                             params={"marker_dir": str(marker_dir),
+                                     "delay_s": 1.0, "token": f"k{i}"},
+                             label=f"drill{i}")
+                     for i in range(3)]
+            holder = {}
+
+            def client_run():
+                backend = TcpClusterBackend(url, reconnect_window=30.0,
+                                            reconnect_backoff=0.05)
+                executor = Executor(workers=1, cache=None,
+                                    backend=backend)
+                holder["result"] = executor.run(specs)
+
+            client_thread = threading.Thread(target=client_run,
+                                             daemon=True)
+            client_thread.start()
+            _wait_until(lambda: os.listdir(str(marker_dir)), timeout=30,
+                        message="a job executing before the kill")
+
+            pid = _read_pid(pid_file)
+            assert pid > 0
+            os.kill(pid, signal.SIGKILL)
+
+            _wait_until(
+                lambda: _read_pid(pid_file) not in (0, pid), timeout=30,
+                message="supervisor respawned the coordinator")
+            client_thread.join(timeout=90)
+            assert not client_thread.is_alive(), "client never finished"
+            result = holder["result"]
+            assert all(o.ok for o in result.outcomes), [
+                o.record.error for o in result.outcomes if not o.ok]
+            assert result.report.n_failed == 0
+            for i, outcome in enumerate(result.outcomes):
+                assert outcome.value == {"token": f"k{i}", "answer": 42}
+
+            # The restarted incarnation reports its replay in status.
+            with ClusterClient(url) as client:
+                status = client.status()
+            assert "journal_replayed" in status
+            assert "queue_depth" in status
+            assert status["uptime_s"] >= 0
+        finally:
+            if worker is not None:
+                worker.stop()
+            if worker_thread is not None:
+                worker_thread.join(timeout=5)
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=15)

@@ -537,6 +537,40 @@ class TestCircuitBreaker:
         assert breaker.snapshot() == {"state": "closed", "failures": 1,
                                       "trips": 0}
 
+    def test_trip_probe_admits_the_very_next_request(self):
+        """trip_probe opens the breaker with its timeout pre-elapsed:
+        request 1 is the half-open probe, the queue behind it is shed,
+        probe success snaps the breaker closed -- no reset_timeout
+        wait anywhere."""
+        breaker = self._breaker()
+        breaker.trip_probe()
+        assert breaker.is_open
+        assert breaker.trips == 1
+        breaker.allow()  # immediately admitted as the probe
+        assert breaker.state == "half-open"
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # the queue behind the probe is shed
+        breaker.record_success()
+        breaker.allow()
+        assert breaker.state == "closed"
+
+    def test_trip_probe_failed_probe_reopens_for_full_timeout(self):
+        breaker = self._breaker()
+        breaker.trip_probe()
+        breaker.allow()  # the probe
+        breaker.record_failure()  # coordinator still down
+        assert breaker.is_open
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # now it waits out reset_timeout
+        self.now = 11.0
+        breaker.allow()  # next probe after the timeout
+
+    def test_trip_probe_is_idempotent_while_open(self):
+        breaker = self._breaker()
+        breaker.trip_probe()
+        breaker.trip_probe()
+        assert breaker.trips == 1
+
 
 class TestCacheQuarantine:
     def test_corrupt_entry_is_quarantined_not_served(self, tmp_path):
